@@ -1,0 +1,131 @@
+//! One Criterion group per table/figure of the paper: times the full
+//! experiment driver at reduced workload, so regressions in any overlay's
+//! routing or maintenance cost show up as a benchmark regression on the
+//! corresponding figure.
+//!
+//! The *numbers* for the figures come from `repro` (`src/bin/repro.rs`);
+//! these benches track the *cost* of producing them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dht_sim::experiments::{
+    churn_exp, key_distribution, mass_departure, path_length, query_load, sparsity, static_tables,
+};
+use dht_sim::OverlayKind;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_static_tables(c: &mut Criterion) {
+    let mut g = configure(c);
+    g.bench_function("table1", |b| b.iter(static_tables::table1));
+    g.bench_function("table2", |b| b.iter(static_tables::table2));
+    g.bench_function("table3", |b| b.iter(static_tables::table3));
+    g.finish();
+}
+
+fn bench_fig5_6_7(c: &mut Criterion) {
+    let mut g = configure(c);
+    let params = path_length::PathLengthParams {
+        kinds: vec![OverlayKind::Cycloid7, OverlayKind::Koorde],
+        sizes: vec![(5, 160), (6, 384)],
+        per_node_factor: 0.25,
+        per_node_cap: Some(4),
+        seed: 1,
+    };
+    g.bench_function("fig5_6_7_path_length_sweep", |b| {
+        b.iter(|| path_length::measure(&params))
+    });
+    g.finish();
+}
+
+fn bench_fig8_9(c: &mut Criterion) {
+    let mut g = configure(c);
+    let params = key_distribution::KeyDistributionParams {
+        kinds: vec![OverlayKind::Cycloid7, OverlayKind::Koorde],
+        nodes: 500,
+        id_space: 512,
+        key_counts: vec![10_000],
+        seed: 2,
+    };
+    g.bench_function("fig8_9_key_distribution", |b| {
+        b.iter(|| key_distribution::measure(&params))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = configure(c);
+    let params = query_load::QueryLoadParams {
+        kinds: vec![OverlayKind::Cycloid7, OverlayKind::Viceroy],
+        sizes: vec![64],
+        per_node_cap: Some(8),
+        seed: 3,
+    };
+    g.bench_function("fig10_query_load", |b| {
+        b.iter(|| query_load::measure(&params))
+    });
+    g.finish();
+}
+
+fn bench_fig11_table4(c: &mut Criterion) {
+    let mut g = configure(c);
+    let params = mass_departure::MassDepartureParams {
+        kinds: vec![OverlayKind::Cycloid7, OverlayKind::Koorde],
+        nodes: 512,
+        probabilities: vec![0.3],
+        lookups: 500,
+        seed: 4,
+    };
+    g.bench_function("fig11_table4_mass_departure", |b| {
+        b.iter(|| mass_departure::measure(&params))
+    });
+    g.finish();
+}
+
+fn bench_fig12_table5(c: &mut Criterion) {
+    let mut g = configure(c);
+    let params = churn_exp::ChurnExpParams {
+        kinds: vec![OverlayKind::Cycloid7],
+        nodes: 256,
+        rates: vec![0.2],
+        lookups: 300,
+        seed: 5,
+    };
+    g.bench_function("fig12_table5_churn", |b| {
+        b.iter(|| churn_exp::measure(&params))
+    });
+    g.finish();
+}
+
+fn bench_fig13_14(c: &mut Criterion) {
+    let mut g = configure(c);
+    let params = sparsity::SparsityParams {
+        kinds: vec![OverlayKind::Cycloid7, OverlayKind::Koorde],
+        id_space: 512,
+        sparsities: vec![0.0, 0.5],
+        lookups: 400,
+        seed: 6,
+    };
+    g.bench_function("fig13_14_sparsity", |b| {
+        b.iter(|| sparsity::measure(&params))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_static_tables,
+    bench_fig5_6_7,
+    bench_fig8_9,
+    bench_fig10,
+    bench_fig11_table4,
+    bench_fig12_table5,
+    bench_fig13_14
+);
+criterion_main!(figures);

@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the primitive operations every experiment is built
+//! from: a single lookup, a protocol join, a graceful leave, one node's
+//! stabilization refresh, key ownership resolution, and consistent
+//! hashing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cycloid::{CycloidConfig, CycloidNetwork};
+use dht_core::hash::{hash_str, splitmix64};
+use dht_core::rng::stream;
+use dht_sim::{build_overlay, OverlayKind, PAPER_KINDS};
+use rand::Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup");
+    g.measurement_time(Duration::from_secs(3));
+    for kind in PAPER_KINDS {
+        let mut net = build_overlay(kind, 2048, 1);
+        let tokens = net.node_tokens();
+        let mut rng = stream(1, kind.label());
+        let mut i = 0usize;
+        g.bench_function(BenchmarkId::new("n2048", kind.label()), |b| {
+            b.iter(|| {
+                i = (i + 1) % tokens.len();
+                let t = net.lookup(tokens[i], rng.gen());
+                black_box(t.path_len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_leave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_ops");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    for kind in [
+        OverlayKind::Cycloid7,
+        OverlayKind::Koorde,
+        OverlayKind::Chord,
+    ] {
+        g.bench_function(BenchmarkId::new("join_then_leave", kind.label()), |b| {
+            b.iter_batched_ref(
+                || (build_overlay(kind, 1024, 2), stream(2, kind.label())),
+                |(net, rng)| {
+                    if let Some(t) = net.join(rng) {
+                        net.leave(t);
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_stabilize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stabilize");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    for kind in [
+        OverlayKind::Cycloid7,
+        OverlayKind::Koorde,
+        OverlayKind::Chord,
+    ] {
+        let mut net = build_overlay(kind, 1024, 3);
+        let tokens = net.node_tokens();
+        let mut i = 0usize;
+        g.bench_function(BenchmarkId::new("one_node", kind.label()), |b| {
+            b.iter(|| {
+                i = (i + 1) % tokens.len();
+                net.stabilize_node(tokens[i]);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_owner_of(c: &mut Criterion) {
+    let mut g = c.benchmark_group("owner_of");
+    g.measurement_time(Duration::from_secs(3));
+    for kind in PAPER_KINDS {
+        let net = build_overlay(kind, 2048, 4);
+        let mut rng = stream(4, kind.label());
+        g.bench_function(BenchmarkId::new("n2048", kind.label()), |b| {
+            b.iter(|| black_box(net.owner_of(rng.gen())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    g.bench_function("splitmix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(splitmix64(x))
+        })
+    });
+    g.bench_function("hash_str_16b", |b| {
+        b.iter(|| black_box(hash_str("object-1234.dat!")))
+    });
+    g.finish();
+}
+
+fn bench_network_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("cycloid_complete_d8", |b| {
+        b.iter(|| black_box(CycloidNetwork::complete(CycloidConfig::seven_entry(8))))
+    });
+    for kind in [
+        OverlayKind::Cycloid7,
+        OverlayKind::Koorde,
+        OverlayKind::Viceroy,
+    ] {
+        g.bench_function(BenchmarkId::new("n1024", kind.label()), |b| {
+            b.iter(|| black_box(build_overlay(kind, 1024, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    operations,
+    bench_lookup,
+    bench_join_leave,
+    bench_stabilize,
+    bench_owner_of,
+    bench_hashing,
+    bench_network_construction
+);
+criterion_main!(operations);

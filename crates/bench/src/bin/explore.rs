@@ -1,0 +1,222 @@
+//! `explore` — an interactive REPL for poking at any of the overlays:
+//! build a network, run lookups and watch the route, churn nodes in and
+//! out, crash them, stabilize, and inspect statistics.
+//!
+//! ```text
+//! cargo run --release -p bench --bin explore
+//! dht> new cycloid7 500
+//! dht> lookup movie.mp4
+//! dht> fail 1234
+//! dht> stats
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use dht_core::hash::hash_str;
+use dht_core::overlay::Overlay;
+use dht_core::rng::stream;
+use dht_core::stats::Summary;
+use dht_sim::{build_overlay, OverlayKind, ALL_KINDS};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct Session {
+    net: Box<dyn Overlay>,
+    rng: StdRng,
+}
+
+fn kind_by_name(name: &str) -> Option<OverlayKind> {
+    let needle = name.to_ascii_lowercase();
+    ALL_KINDS.into_iter().find(|k| {
+        k.label()
+            .to_ascii_lowercase()
+            .replace(['(', ')', '-', '='], "")
+            .contains(&needle.replace(['(', ')', '-', '='], ""))
+    })
+}
+
+const HELP: &str = "\
+commands:
+  new <kind> <n> [seed]   build a network (kinds: cycloid7 cycloid11 viceroy
+                          koorde koordebestfit chord pastry can)
+  lookup <name>           route a lookup for the named object from a random node
+  owner <name>            show which node stores the named object
+  join                    one node joins via the overlay's protocol
+  leave <token>           graceful departure of a node
+  fail <token>            ungraceful crash of a node (no notifications)
+  stabilize               one full stabilization round
+  nodes [count]           list the first node tokens
+  stats [lookups]         run a lookup batch and print path/timeout stats
+  loads                   summarize per-node query loads
+  help                    this text
+  quit                    exit";
+
+fn main() {
+    println!("dht explorer — `help` for commands");
+    let stdin = io::stdin();
+    let mut session: Option<Session> = None;
+    loop {
+        print!("dht> ");
+        io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = parts.first() else { continue };
+        match cmd {
+            "quit" | "exit" | "q" => break,
+            "help" | "?" => println!("{HELP}"),
+            "new" => {
+                let Some(kind) = parts.get(1).and_then(|n| kind_by_name(n)) else {
+                    println!("unknown kind; try: cycloid7, koorde, viceroy, chord, pastry, can");
+                    continue;
+                };
+                let n: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(256);
+                let seed: u64 = parts.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+                let net = build_overlay(kind, n, seed);
+                println!(
+                    "built {} with {} nodes (degree bound: {})",
+                    net.name(),
+                    net.len(),
+                    net.degree_bound()
+                        .map_or("O(log n) / O(d)".to_string(), |d| d.to_string())
+                );
+                session = Some(Session {
+                    net,
+                    rng: stream(seed, "explore"),
+                });
+            }
+            _ => {
+                let Some(s) = session.as_mut() else {
+                    println!("no network yet — `new cycloid7 256` first");
+                    continue;
+                };
+                run_command(s, cmd, &parts);
+            }
+        }
+    }
+    println!("bye");
+}
+
+fn run_command(s: &mut Session, cmd: &str, parts: &[&str]) {
+    match cmd {
+        "lookup" => {
+            let Some(name) = parts.get(1) else {
+                println!("usage: lookup <name>");
+                return;
+            };
+            let Some(src) = s.net.random_node(&mut s.rng) else {
+                println!("network is empty");
+                return;
+            };
+            let raw = hash_str(name);
+            let trace = s.net.lookup(src, raw);
+            let phases: Vec<&str> = trace.hops.iter().map(|h| h.label()).collect();
+            println!(
+                "{name}: {:?} in {} hops from node {src} -> node {} ({} timeouts)",
+                trace.outcome,
+                trace.path_len(),
+                trace.terminal,
+                trace.timeouts
+            );
+            if !phases.is_empty() {
+                println!("  route: {}", phases.join(" > "));
+            }
+        }
+        "owner" => {
+            let Some(name) = parts.get(1) else {
+                println!("usage: owner <name>");
+                return;
+            };
+            match s.net.owner_of(hash_str(name)) {
+                Some(o) => println!(
+                    "{name} -> node {o} (key id {})",
+                    s.net.key_id(hash_str(name))
+                ),
+                None => println!("network is empty"),
+            }
+        }
+        "join" => match s.net.join(&mut s.rng) {
+            Some(t) => println!("node {t} joined (network now {})", s.net.len()),
+            None => println!("identifier space is full"),
+        },
+        "leave" | "fail" => {
+            let Some(token) = parts.get(1).and_then(|t| t.parse::<u64>().ok()) else {
+                println!("usage: {cmd} <token>   (see `nodes`)");
+                return;
+            };
+            let ok = if cmd == "leave" {
+                s.net.leave(token)
+            } else {
+                s.net.fail(token)
+            };
+            if ok {
+                println!(
+                    "node {token} {} (network now {})",
+                    if cmd == "leave" {
+                        "left gracefully"
+                    } else {
+                        "crashed"
+                    },
+                    s.net.len()
+                );
+            } else {
+                println!("node {token} is not live");
+            }
+        }
+        "stabilize" => {
+            s.net.stabilize();
+            println!("stabilized {} nodes", s.net.len());
+        }
+        "nodes" => {
+            let count: usize = parts.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let tokens = s.net.node_tokens();
+            for t in tokens.iter().take(count) {
+                println!("  node {t}");
+            }
+            if tokens.len() > count {
+                println!("  ... and {} more", tokens.len() - count);
+            }
+        }
+        "stats" => {
+            let lookups: usize = parts.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+            let tokens = s.net.node_tokens();
+            let mut paths = Vec::with_capacity(lookups);
+            let mut timeouts = Vec::with_capacity(lookups);
+            let mut failures = 0usize;
+            for i in 0..lookups {
+                let t = s.net.lookup(tokens[i % tokens.len()], s.rng.gen());
+                paths.push(t.path_len());
+                timeouts.push(u64::from(t.timeouts));
+                if !t.outcome.is_success() {
+                    failures += 1;
+                }
+            }
+            let p = Summary::of_lens(&paths);
+            let to = Summary::of_counts(&timeouts);
+            println!(
+                "{} lookups on {} ({} nodes):",
+                lookups,
+                s.net.name(),
+                s.net.len()
+            );
+            println!(
+                "  path length: mean {:.2}, p01 {:.0}, p99 {:.0}, max {:.0}",
+                p.mean, p.p01, p.p99, p.max
+            );
+            println!(
+                "  timeouts   : mean {:.3}, p99 {:.0}   failures: {failures}",
+                to.mean, to.p99
+            );
+        }
+        "loads" => {
+            let l = Summary::of_counts(&s.net.query_loads());
+            println!(
+                "query loads over {} nodes: mean {:.1}, p01 {:.0}, p99 {:.0}, max {:.0}",
+                l.n, l.mean, l.p01, l.p99, l.max
+            );
+        }
+        other => println!("unknown command '{other}' — `help` lists commands"),
+    }
+}

@@ -1,0 +1,346 @@
+//! `repro` — regenerates every table and figure of the Cycloid paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- fig5 fig7 --quick
+//! cargo run --release -p bench --bin repro -- table4 --seed 7 --csv
+//! ```
+//!
+//! Experiments: `table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10
+//! fig11 table4 fig12 table5 fig13 fig14`, the extensions `extfail
+//! extpath extdegree exthotspot`, and the `all` shorthand.
+//! Flags: `--quick` (reduced workloads), `--seed <u64>` (default 2004),
+//! `--csv` (machine-readable output), `--chart` (terminal line charts
+//! for the line figures).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use bench::render;
+use dht_core::lookup::HopPhase;
+use dht_sim::experiments::{
+    churn_exp, hotspot, key_distribution, maintenance, mass_departure, path_length, query_load,
+    sparsity, ungraceful,
+};
+use dht_sim::report::Table;
+
+#[derive(Debug, Clone)]
+struct Options {
+    experiments: BTreeSet<String>,
+    quick: bool,
+    csv: bool,
+    chart: bool,
+    seed: u64,
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table4",
+    "fig12",
+    "table5",
+    "fig13",
+    "fig14",
+    "extfail",
+    "extpath",
+    "extdegree",
+    "exthotspot",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--seed N]\n\
+         experiments: {} all",
+        ALL.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        experiments: BTreeSet::new(),
+        quick: false,
+        csv: false,
+        chart: false,
+        seed: 2004, // IPPS 2004
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--csv" => opts.csv = true,
+            "--chart" => opts.chart = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            "all" => {
+                opts.experiments.extend(ALL.iter().map(|s| s.to_string()));
+            }
+            name if ALL.contains(&name) => {
+                opts.experiments.insert(name.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    if opts.experiments.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn emit(table: &Table, csv: bool) {
+    if csv {
+        print!("{}", table.render_csv());
+        println!();
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let wants = |name: &str| opts.experiments.contains(name);
+    let started = Instant::now();
+
+    if wants("table1") {
+        emit(&render::table1(), opts.csv);
+    }
+    if wants("table2") {
+        emit(&render::table2(), opts.csv);
+    }
+    if wants("table3") {
+        emit(&render::table3(), opts.csv);
+    }
+
+    // Figs. 5/6/7 share one sweep.
+    if wants("fig5") || wants("fig6") || wants("fig7") {
+        eprintln!("[repro] running path-length sweep (figs 5-7)...");
+        let params = if opts.quick {
+            path_length::PathLengthParams::quick(opts.seed)
+        } else {
+            path_length::PathLengthParams::paper(opts.seed)
+        };
+        let rows = path_length::measure(&params);
+        if wants("fig5") {
+            emit(&render::fig5(&rows), opts.csv);
+            if opts.chart {
+                println!("{}", render::charts::fig5(&rows).render());
+            }
+        }
+        if wants("fig6") {
+            emit(&render::fig6(&rows), opts.csv);
+            if opts.chart {
+                println!("{}", render::charts::fig6(&rows).render());
+            }
+        }
+        if wants("fig7") {
+            let cyc_phases = [
+                HopPhase::Ascending,
+                HopPhase::Descending,
+                HopPhase::TraverseCycle,
+            ];
+            emit(&render::fig7(&rows, "Cycloid(7)", &cyc_phases), opts.csv);
+            emit(&render::fig7(&rows, "Cycloid(11)", &cyc_phases), opts.csv);
+            emit(&render::fig7(&rows, "Viceroy", &cyc_phases), opts.csv);
+            emit(
+                &render::fig7(&rows, "Koorde", &[HopPhase::DeBruijn, HopPhase::Successor]),
+                opts.csv,
+            );
+        }
+    }
+
+    if wants("fig8") {
+        eprintln!("[repro] running key-distribution sweep (fig 8, dense)...");
+        let params = if opts.quick {
+            key_distribution::KeyDistributionParams {
+                nodes: 2000,
+                key_counts: vec![10_000, 50_000, 100_000],
+                ..key_distribution::KeyDistributionParams::quick(opts.seed)
+            }
+        } else {
+            key_distribution::KeyDistributionParams::fig8(opts.seed)
+        };
+        let rows = key_distribution::measure(&params);
+        emit(
+            &render::fig_keys(
+                &rows,
+                "Fig 8: keys per node, 2000 nodes in a 2048-slot space, mean (p01, p99)",
+            ),
+            opts.csv,
+        );
+    }
+
+    if wants("fig9") {
+        eprintln!("[repro] running key-distribution sweep (fig 9, sparse)...");
+        let params = if opts.quick {
+            key_distribution::KeyDistributionParams {
+                nodes: 1000,
+                key_counts: vec![10_000, 50_000, 100_000],
+                ..key_distribution::KeyDistributionParams::quick(opts.seed)
+            }
+        } else {
+            key_distribution::KeyDistributionParams::fig9(opts.seed)
+        };
+        let rows = key_distribution::measure(&params);
+        emit(
+            &render::fig_keys(
+                &rows,
+                "Fig 9: keys per node, 1000 nodes in a 2048-slot space, mean (p01, p99)",
+            ),
+            opts.csv,
+        );
+    }
+
+    if wants("fig10") {
+        eprintln!("[repro] running query-load sweep (fig 10)...");
+        let params = if opts.quick {
+            query_load::QueryLoadParams {
+                sizes: vec![64, 512],
+                per_node_cap: Some(16),
+                ..query_load::QueryLoadParams::paper(opts.seed)
+            }
+        } else {
+            query_load::QueryLoadParams::paper(opts.seed)
+        };
+        let rows = query_load::measure(&params);
+        emit(&render::fig10(&rows), opts.csv);
+    }
+
+    if wants("fig11") || wants("table4") {
+        eprintln!("[repro] running mass-departure sweep (fig 11 / table 4)...");
+        let params = if opts.quick {
+            mass_departure::MassDepartureParams {
+                kinds: dht_sim::PAPER_KINDS.to_vec(),
+                nodes: 2048,
+                lookups: 2_000,
+                ..mass_departure::MassDepartureParams::quick(opts.seed)
+            }
+        } else {
+            mass_departure::MassDepartureParams::paper(opts.seed)
+        };
+        let rows = mass_departure::measure(&params);
+        if wants("fig11") {
+            emit(&render::fig11(&rows), opts.csv);
+            if opts.chart {
+                println!("{}", render::charts::fig11(&rows).render());
+            }
+        }
+        if wants("table4") {
+            emit(&render::table4(&rows), opts.csv);
+            emit(&render::table4_failures(&rows), opts.csv);
+        }
+    }
+
+    if wants("fig12") || wants("table5") {
+        eprintln!("[repro] running churn sweep (fig 12 / table 5)...");
+        let params = if opts.quick {
+            churn_exp::ChurnExpParams {
+                kinds: dht_sim::PAPER_KINDS.to_vec(),
+                nodes: 512,
+                lookups: 1_000,
+                rates: vec![0.05, 0.20, 0.40],
+                seed: opts.seed,
+            }
+        } else {
+            churn_exp::ChurnExpParams::paper(opts.seed)
+        };
+        let rows = churn_exp::measure(&params);
+        if wants("fig12") {
+            emit(&render::fig12(&rows), opts.csv);
+            if opts.chart {
+                println!("{}", render::charts::fig12(&rows).render());
+            }
+        }
+        if wants("table5") {
+            emit(&render::table5(&rows), opts.csv);
+        }
+    }
+
+    if wants("fig13") || wants("fig14") {
+        eprintln!("[repro] running sparsity sweep (figs 13-14)...");
+        let params = if opts.quick {
+            sparsity::SparsityParams {
+                kinds: dht_sim::PAPER_KINDS.to_vec(),
+                id_space: 2048,
+                lookups: 2_000,
+                sparsities: vec![0.0, 0.3, 0.6, 0.9],
+                seed: opts.seed,
+            }
+        } else {
+            sparsity::SparsityParams::paper(opts.seed)
+        };
+        let rows = sparsity::measure(&params);
+        if wants("fig13") {
+            emit(&render::fig13(&rows), opts.csv);
+            if opts.chart {
+                println!("{}", render::charts::fig13(&rows).render());
+            }
+        }
+        if wants("fig14") {
+            emit(&render::fig14(&rows), opts.csv);
+        }
+    }
+
+    if wants("extpath") {
+        eprintln!("[repro] running extended path-length comparison (Pastry, CAN)...");
+        let params = path_length::PathLengthParams {
+            kinds: dht_sim::EXTENDED_KINDS.to_vec(),
+            sizes: vec![(4, 64), (5, 160), (6, 384)],
+            per_node_factor: 0.25,
+            per_node_cap: Some(if opts.quick { 8 } else { 32 }),
+            seed: opts.seed,
+        };
+        let rows = path_length::measure(&params);
+        emit(&render::ext_path(&rows), opts.csv);
+    }
+
+    if wants("exthotspot") {
+        eprintln!("[repro] running hot-spot workload extension...");
+        let params = if opts.quick {
+            hotspot::HotspotParams::quick(opts.seed)
+        } else {
+            hotspot::HotspotParams::paper_scale(opts.seed)
+        };
+        let rows = hotspot::measure(&params);
+        emit(&render::ext_hotspot(&rows), opts.csv);
+    }
+
+    if wants("extdegree") {
+        eprintln!("[repro] measuring maintenance degrees (extension)...");
+        let params = if opts.quick {
+            maintenance::MaintenanceParams::quick(opts.seed)
+        } else {
+            maintenance::MaintenanceParams::paper_scale(opts.seed)
+        };
+        let rows = maintenance::measure(&params);
+        emit(&render::ext_degree(&rows), opts.csv);
+    }
+
+    if wants("extfail") {
+        eprintln!("[repro] running ungraceful-failure extension...");
+        let params = if opts.quick {
+            ungraceful::UngracefulParams::quick(opts.seed)
+        } else {
+            ungraceful::UngracefulParams::paper_scale(opts.seed)
+        };
+        let rows = ungraceful::measure(&params);
+        emit(&render::ext_failures(&rows), opts.csv);
+    }
+
+    eprintln!(
+        "[repro] done in {:.1}s (seed {}, {})",
+        started.elapsed().as_secs_f64(),
+        opts.seed,
+        if opts.quick { "quick" } else { "paper scale" }
+    );
+}

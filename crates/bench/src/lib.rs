@@ -1,0 +1,11 @@
+//! Benchmark and reproduction harness for the Cycloid paper.
+//!
+//! The `repro` binary (`cargo run --release -p bench --bin repro -- all`)
+//! regenerates every table and figure of the evaluation; the Criterion
+//! benches (`cargo bench -p bench`) time the underlying operations. This
+//! library crate hosts the shared rendering helpers both entry points use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;

@@ -1,0 +1,34 @@
+//! # CAN: a Content-Addressable Network
+//!
+//! The mesh-based representative of §2.3 / Table 1 (Ratnasamy et al.,
+//! SIGCOMM 2001): keys hash to points in a `d`-dimensional toroidal
+//! coordinate space, each node *owns a zone* (an axis-aligned box) of that
+//! torus, neighbours are the owners of abutting zones, and routing greedily
+//! forwards towards the key's point. Nodes keep `O(d)` neighbours and
+//! lookups take `O(d · n^{1/d})` hops — the other end of the
+//! degree/diameter tradeoff from the constant-degree DHTs.
+//!
+//! Joins split the zone containing the newcomer's random point; graceful
+//! leaves hand the zone to the smallest neighbour (which may then own
+//! several boxes, as in real CAN before defragmentation); crashes orphan
+//! the zone until the stabilizer's takeover reassigns it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! ```
+//! use can::{CanConfig, CanNetwork};
+//!
+//! let mut net = CanNetwork::with_nodes(CanConfig::new(2), 100, 42);
+//! let src = net.tokens()[0];
+//! let trace = net.route(src, 0xfeed);
+//! assert!(trace.outcome.is_success());
+//! assert_eq!(net.tiling_holes(200), 0); // zones tile the torus exactly
+//! ```
+
+pub mod network;
+pub mod overlay;
+pub mod zone;
+
+pub use network::{CanConfig, CanNetwork, CanNode};
+pub use zone::{Point, Zone};

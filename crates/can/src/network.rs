@@ -1,0 +1,526 @@
+//! The simulated CAN: membership, zone splitting/takeover, greedy torus
+//! routing, and stabilization.
+
+use std::collections::HashMap;
+
+use crate::zone::{Point, Zone};
+use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+
+/// Configuration of a CAN deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanConfig {
+    /// Number of torus dimensions `d` (CAN's original evaluation uses 2
+    /// by default).
+    pub dims: usize,
+    /// Bits per coordinate: each dimension has side `2^bits_per_dim`.
+    pub bits_per_dim: u32,
+}
+
+impl CanConfig {
+    /// A `d`-dimensional torus with 16-bit coordinates.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!((1..=8).contains(&dims), "dims must be in [1, 8]");
+        Self {
+            dims,
+            bits_per_dim: 16,
+        }
+    }
+
+    /// Side length of each dimension.
+    #[must_use]
+    pub fn side(&self) -> u64 {
+        1u64 << self.bits_per_dim
+    }
+}
+
+/// One CAN node: a token plus the zones it currently owns (one after a
+/// plain join; several after takeovers).
+#[derive(Debug, Clone)]
+pub struct CanNode {
+    /// Opaque node token.
+    pub token: u64,
+    /// Owned zones (disjoint boxes).
+    pub zones: Vec<Zone>,
+    /// Lookup messages received since the last reset.
+    pub query_load: u64,
+}
+
+impl CanNode {
+    /// Total owned volume.
+    #[must_use]
+    pub fn volume(&self) -> u128 {
+        self.zones.iter().map(Zone::volume).sum()
+    }
+}
+
+/// A simulated CAN network.
+#[derive(Debug, Clone)]
+pub struct CanNetwork {
+    config: CanConfig,
+    nodes: HashMap<u64, CanNode>,
+    /// Deterministic iteration order for tokens.
+    order: Vec<u64>,
+    /// Zones whose owner crashed, awaiting takeover by the stabilizer.
+    orphans: Vec<Zone>,
+    alloc: IdAllocator,
+}
+
+impl CanNetwork {
+    /// Creates a network with a single founding node owning the whole
+    /// torus.
+    #[must_use]
+    pub fn bootstrap(config: CanConfig, seed: u64) -> Self {
+        let mut alloc = IdAllocator::new(seed);
+        let token = alloc.next_raw();
+        let founder = CanNode {
+            token,
+            zones: vec![Zone::full(config.dims, config.side())],
+            query_load: 0,
+        };
+        Self {
+            config,
+            nodes: HashMap::from([(token, founder)]),
+            order: vec![token],
+            orphans: Vec::new(),
+            alloc,
+        }
+    }
+
+    /// Builds a network of `count` nodes by repeated protocol joins.
+    #[must_use]
+    pub fn with_nodes(config: CanConfig, count: usize, seed: u64) -> Self {
+        assert!(count >= 1);
+        let mut net = Self::bootstrap(config, seed);
+        while net.node_count() < count {
+            net.join_random_point()
+                .expect("space has room for another split");
+        }
+        net
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> CanConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff `token` is live.
+    #[must_use]
+    pub fn is_live(&self, token: u64) -> bool {
+        self.nodes.contains_key(&token)
+    }
+
+    /// Live node tokens in join order.
+    #[must_use]
+    pub fn tokens(&self) -> Vec<u64> {
+        self.order.clone()
+    }
+
+    /// Read access to one node.
+    #[must_use]
+    pub fn node(&self, token: u64) -> Option<&CanNode> {
+        self.nodes.get(&token)
+    }
+
+    /// Maps a raw key to its point on the torus (one derived coordinate
+    /// per dimension).
+    #[must_use]
+    pub fn point_of(&self, raw_key: u64) -> Point {
+        (0..self.config.dims)
+            .map(|k| {
+                reduce(
+                    splitmix64(raw_key ^ (0xC0FFEEu64 + k as u64)),
+                    self.config.side(),
+                )
+            })
+            .collect()
+    }
+
+    /// The live owner of `point`, if its zone is not orphaned.
+    #[must_use]
+    pub fn owner_of_point(&self, point: &[u64]) -> Option<u64> {
+        self.nodes
+            .values()
+            .find(|n| n.zones.iter().any(|z| z.contains(point)))
+            .map(|n| n.token)
+    }
+
+    /// Tokens of the nodes whose zones abut any of `token`'s zones.
+    #[must_use]
+    pub fn neighbors_of(&self, token: u64) -> Vec<u64> {
+        let side = self.config.side();
+        let me = match self.nodes.get(&token) {
+            Some(n) => n,
+            None => return Vec::new(),
+        };
+        self.order
+            .iter()
+            .copied()
+            .filter(|&other| other != token)
+            .filter(|&other| {
+                let on = &self.nodes[&other];
+                me.zones
+                    .iter()
+                    .any(|a| on.zones.iter().any(|b| a.abuts(b, side)))
+            })
+            .collect()
+    }
+
+    /// Protocol join: a random point is drawn, the zone containing it is
+    /// split, and the newcomer takes the half containing the point.
+    /// Returns `None` when every zone has unit volume.
+    pub fn join_random_point(&mut self) -> Option<u64> {
+        let raw = self.alloc.next_raw();
+        let point = self.point_of(raw);
+        self.join_at(&point)
+    }
+
+    /// Protocol join at an explicit point.
+    pub fn join_at(&mut self, point: &[u64]) -> Option<u64> {
+        let owner = self.owner_of_point(point)?;
+        let owner_node = self.nodes.get_mut(&owner).expect("owner is live");
+        let zone_idx = owner_node
+            .zones
+            .iter()
+            .position(|z| z.contains(point))
+            .expect("owner contains the point");
+        let (lower, upper) = owner_node.zones[zone_idx].split()?;
+        let newcomer_zone = if lower.contains(point) {
+            lower.clone()
+        } else {
+            upper.clone()
+        };
+        let keeper_zone = if lower.contains(point) { upper } else { lower };
+        owner_node.zones[zone_idx] = keeper_zone;
+        let token = self.alloc.next_raw();
+        self.nodes.insert(
+            token,
+            CanNode {
+                token,
+                zones: vec![newcomer_zone],
+                query_load: 0,
+            },
+        );
+        self.order.push(token);
+        Some(token)
+    }
+
+    /// Graceful departure: the leaver hands all its zones to its
+    /// smallest-volume neighbour (real CAN's takeover, without the later
+    /// defragmentation — the successor may own several boxes).
+    pub fn leave(&mut self, token: u64) -> bool {
+        if !self.is_live(token) || self.nodes.len() == 1 {
+            return false;
+        }
+        let heirs = self.neighbors_of(token);
+        let node = self.nodes.remove(&token).expect("checked live");
+        self.order.retain(|&t| t != token);
+        let heir = heirs
+            .into_iter()
+            .filter(|t| self.is_live(*t))
+            .min_by_key(|&t| (self.nodes[&t].volume(), t));
+        match heir {
+            Some(h) => {
+                self.nodes
+                    .get_mut(&h)
+                    .expect("heir is live")
+                    .zones
+                    .extend(node.zones);
+            }
+            None => self.orphans.extend(node.zones),
+        }
+        true
+    }
+
+    /// Ungraceful failure: the zones are orphaned until [`CanNetwork::stabilize_takeover`].
+    pub fn fail_node(&mut self, token: u64) -> bool {
+        if !self.is_live(token) || self.nodes.len() == 1 {
+            return false;
+        }
+        let node = self.nodes.remove(&token).expect("checked live");
+        self.order.retain(|&t| t != token);
+        self.orphans.extend(node.zones);
+        true
+    }
+
+    /// The takeover protocol: each orphaned zone is adopted by the live
+    /// node with the smallest volume among those abutting it.
+    pub fn stabilize_takeover(&mut self) {
+        let side = self.config.side();
+        let orphans = std::mem::take(&mut self.orphans);
+        for zone in orphans {
+            let adopter = self
+                .order
+                .iter()
+                .copied()
+                .filter(|t| {
+                    self.nodes[t]
+                        .zones
+                        .iter()
+                        .any(|z| z.abuts(&zone, side) || z.contains(&zone.lo))
+                })
+                .min_by_key(|&t| (self.nodes[&t].volume(), t))
+                .or_else(|| self.order.first().copied());
+            match adopter {
+                Some(t) => self.nodes.get_mut(&t).expect("live").zones.push(zone),
+                None => self.orphans.push(zone), // empty network
+            }
+        }
+    }
+
+    fn hop_budget(&self) -> usize {
+        let n = self.nodes.len().max(2) as f64;
+        let d = self.config.dims as f64;
+        (8.0 * d * n.powf(1.0 / d)) as usize + 64
+    }
+
+    /// One lookup from `src` towards the point of `raw_key`: greedy
+    /// forwarding to the neighbour whose zone is torus-closest to the
+    /// target. All hops are tagged [`HopPhase::Finger`] (geometric
+    /// forwarding has a single phase).
+    pub fn route(&mut self, src: u64, raw_key: u64) -> LookupTrace {
+        assert!(self.is_live(src), "lookup source {src} is not live");
+        let point = self.point_of(raw_key);
+        let side = self.config.side();
+        let mut cur = src;
+        let mut hops = Vec::new();
+        self.count_query(cur);
+
+        let zone_dist = |net: &Self, token: u64| -> u64 {
+            net.nodes[&token]
+                .zones
+                .iter()
+                .map(|z| z.torus_distance(&point, side))
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+
+        let outcome = loop {
+            if zone_dist(self, cur) == 0 {
+                break match self.owner_of_point(&point) {
+                    Some(owner) if owner == cur => LookupOutcome::Found,
+                    Some(_) => LookupOutcome::WrongOwner,
+                    None => LookupOutcome::Stuck,
+                };
+            }
+            if hops.len() >= self.hop_budget() {
+                break LookupOutcome::HopBudgetExhausted;
+            }
+            let cur_dist = zone_dist(self, cur);
+            let next = self
+                .neighbors_of(cur)
+                .into_iter()
+                .map(|t| (zone_dist(self, t), t))
+                .filter(|&(d, _)| d < cur_dist)
+                .min();
+            match next {
+                Some((_, t)) => {
+                    hops.push(HopPhase::Finger);
+                    cur = t;
+                    self.count_query(cur);
+                }
+                None => {
+                    // Local minimum: the target zone is orphaned (or the
+                    // greedy frontier is blocked by a hole).
+                    break LookupOutcome::Stuck;
+                }
+            }
+        };
+
+        LookupTrace {
+            hops,
+            timeouts: 0, // zone handover repairs adjacency eagerly
+            outcome,
+            terminal: cur,
+        }
+    }
+
+    pub(crate) fn count_query(&mut self, token: u64) {
+        if let Some(n) = self.nodes.get_mut(&token) {
+            n.query_load += 1;
+        }
+    }
+
+    /// Per-node query loads in token order.
+    #[must_use]
+    pub fn query_loads(&self) -> Vec<u64> {
+        self.order
+            .iter()
+            .map(|t| self.nodes[t].query_load)
+            .collect()
+    }
+
+    /// Zeroes all query-load counters.
+    pub fn reset_query_loads(&mut self) {
+        for n in self.nodes.values_mut() {
+            n.query_load = 0;
+        }
+    }
+
+    /// Validates the tiling invariant: every point belongs to exactly one
+    /// zone (live or orphaned). Checks a probe grid rather than the whole
+    /// space.
+    #[must_use]
+    pub fn tiling_holes(&self, probes: usize) -> usize {
+        let side = self.config.side();
+        let mut holes = 0;
+        for i in 0..probes {
+            let point: Point = (0..self.config.dims)
+                .map(|k| reduce(splitmix64((i as u64) << 8 | k as u64), side))
+                .collect();
+            let owners = self
+                .nodes
+                .values()
+                .flat_map(|n| &n.zones)
+                .chain(&self.orphans)
+                .filter(|z| z.contains(&point))
+                .count();
+            if owners != 1 {
+                holes += 1;
+            }
+        }
+        holes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::rng::stream;
+    use rand::Rng;
+
+    #[test]
+    fn with_nodes_tiles_the_torus() {
+        let net = CanNetwork::with_nodes(CanConfig::new(2), 100, 1);
+        assert_eq!(net.node_count(), 100);
+        assert_eq!(net.tiling_holes(500), 0, "zones must tile exactly");
+        let total: u128 = net
+            .tokens()
+            .iter()
+            .map(|&t| net.node(t).unwrap().volume())
+            .sum();
+        assert_eq!(total, u128::from(net.config().side()).pow(2));
+    }
+
+    #[test]
+    fn all_lookups_resolve() {
+        let mut net = CanNetwork::with_nodes(CanConfig::new(2), 128, 2);
+        let toks = net.tokens();
+        let mut rng = stream(3, "can");
+        for i in 0..500 {
+            let raw: u64 = rng.gen();
+            let t = net.route(toks[i % toks.len()], raw);
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            assert_eq!(Some(t.terminal), net.owner_of_point(&net.point_of(raw)));
+        }
+    }
+
+    #[test]
+    fn path_length_scales_as_n_to_1_over_d() {
+        // O(d n^{1/d}): quadrupling n in 2-d should roughly double paths.
+        let mean = |n: usize| {
+            let mut net = CanNetwork::with_nodes(CanConfig::new(2), n, 4);
+            let toks = net.tokens();
+            let mut rng = stream(5, "canlen");
+            let mut total = 0usize;
+            for i in 0..400 {
+                total += net.route(toks[i % toks.len()], rng.gen()).path_len();
+            }
+            total as f64 / 400.0
+        };
+        let small = mean(64);
+        let large = mean(256);
+        assert!(
+            large > small * 1.4 && large < small * 3.0,
+            "scaling off: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn graceful_leave_hands_zones_over() {
+        let mut net = CanNetwork::with_nodes(CanConfig::new(2), 50, 6);
+        let toks = net.tokens();
+        assert!(net.leave(toks[10]));
+        assert_eq!(net.node_count(), 49);
+        assert_eq!(net.tiling_holes(300), 0, "no holes after graceful leave");
+        let mut rng = stream(7, "canleave");
+        let toks = net.tokens();
+        for i in 0..200 {
+            let t = net.route(toks[i % toks.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+        }
+    }
+
+    #[test]
+    fn crash_orphans_zone_until_takeover() {
+        let mut net = CanNetwork::with_nodes(CanConfig::new(2), 60, 8);
+        let toks = net.tokens();
+        let victim = toks[30];
+        assert!(net.fail_node(victim));
+        // Lookups towards the orphaned zone get stuck...
+        let mut rng = stream(9, "cancrash");
+        let mut stuck = 0;
+        for _ in 0..400 {
+            let t = net.route(net.tokens()[0], rng.gen());
+            if !t.outcome.is_success() {
+                stuck += 1;
+            }
+        }
+        assert!(stuck > 0, "orphaned zone must break some lookups");
+        // ... until takeover adopts it.
+        net.stabilize_takeover();
+        assert_eq!(net.tiling_holes(300), 0);
+        let mut rng = stream(9, "cancrash");
+        for i in 0..400 {
+            let t = net.route(net.tokens()[i % net.node_count()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let net = CanNetwork::with_nodes(CanConfig::new(2), 40, 10);
+        for &t in &net.tokens() {
+            for nb in net.neighbors_of(t) {
+                assert!(
+                    net.neighbors_of(nb).contains(&t),
+                    "adjacency must be symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_degree_is_order_2d() {
+        let net = CanNetwork::with_nodes(CanConfig::new(2), 200, 11);
+        let mean: f64 = net
+            .tokens()
+            .iter()
+            .map(|&t| net.neighbors_of(t).len() as f64)
+            .sum::<f64>()
+            / net.node_count() as f64;
+        // 2-d CAN: ~2d = 4 neighbours on average (more for irregular
+        // tilings, but bounded well below log n scales).
+        assert!((3.0..=9.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn three_dimensional_torus_works() {
+        let mut net = CanNetwork::with_nodes(CanConfig::new(3), 64, 12);
+        assert_eq!(net.tiling_holes(300), 0);
+        let toks = net.tokens();
+        let mut rng = stream(13, "can3");
+        for i in 0..300 {
+            let t = net.route(toks[i % toks.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! [`dht_core::Overlay`] adapter for the CAN baseline.
+
+use dht_core::lookup::LookupTrace;
+use dht_core::overlay::{NodeToken, Overlay};
+use rand::RngCore;
+
+use crate::network::CanNetwork;
+
+impl Overlay for CanNetwork {
+    fn name(&self) -> String {
+        format!("CAN(d={})", self.config().dims)
+    }
+
+    fn len(&self) -> usize {
+        self.node_count()
+    }
+
+    fn degree_bound(&self) -> Option<usize> {
+        // O(d) on average, but irregular tilings have no hard per-node
+        // bound; report unbounded like the other non-constant systems.
+        None
+    }
+
+    fn node_tokens(&self) -> Vec<NodeToken> {
+        self.tokens()
+    }
+
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        let tokens = self.tokens();
+        if tokens.is_empty() {
+            return None;
+        }
+        Some(tokens[(rng.next_u64() % tokens.len() as u64) as usize])
+    }
+
+    fn key_id(&self, raw_key: u64) -> u64 {
+        // No scalar identifier space; report the first coordinate.
+        self.point_of(raw_key)[0]
+    }
+
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
+        self.owner_of_point(&self.point_of(raw_key))
+    }
+
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
+        self.route(src, raw_key)
+    }
+
+    fn join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random_point()
+    }
+
+    fn leave(&mut self, node: NodeToken) -> bool {
+        CanNetwork::leave(self, node)
+    }
+
+    fn fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize(&mut self) {
+        self.stabilize_takeover();
+    }
+
+    fn stabilize_node(&mut self, _node: NodeToken) {
+        // Takeover is a zone-level (not per-node) repair.
+        self.stabilize_takeover();
+    }
+
+    fn query_loads(&self) -> Vec<u64> {
+        CanNetwork::query_loads(self)
+    }
+
+    fn reset_query_loads(&mut self) {
+        CanNetwork::reset_query_loads(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CanConfig;
+    use dht_core::overlay::key_counts;
+    use dht_core::rng::stream;
+    use dht_core::workload;
+
+    #[test]
+    fn trait_roundtrip() {
+        let mut net: Box<dyn Overlay> = Box::new(CanNetwork::with_nodes(CanConfig::new(2), 80, 1));
+        assert_eq!(net.name(), "CAN(d=2)");
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[3], 777);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(777));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        let net = CanNetwork::with_nodes(CanConfig::new(2), 60, 2);
+        let keys = workload::key_population(2_000, &mut stream(3, "cank"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        let mut net = CanNetwork::with_nodes(CanConfig::new(2), 32, 4);
+        let mut rng = stream(5, "canj");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert_eq!(net.len(), 33);
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 32);
+    }
+}

@@ -1,0 +1,201 @@
+//! Axis-aligned zones of the toroidal coordinate space, and the geometry
+//! CAN routing needs: containment, adjacency (shared faces), splitting,
+//! and torus distance.
+
+use dht_core::ring::ring_dist;
+
+/// A point of the `d`-dimensional torus: one coordinate per dimension,
+/// each in `[0, side)`.
+pub type Point = Vec<u64>;
+
+/// An axis-aligned box `∏ [lo_i, hi_i)`. Zones never wrap internally
+/// (they arise from repeated halving of the full space); adjacency wraps
+/// across the torus seam.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Zone {
+    /// Inclusive lower corner.
+    pub lo: Vec<u64>,
+    /// Exclusive upper corner.
+    pub hi: Vec<u64>,
+}
+
+impl Zone {
+    /// The full space: `[0, side)` in every dimension.
+    #[must_use]
+    pub fn full(dims: usize, side: u64) -> Self {
+        Self {
+            lo: vec![0; dims],
+            hi: vec![side; dims],
+        }
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// `true` iff `p` lies inside this zone.
+    #[must_use]
+    pub fn contains(&self, p: &[u64]) -> bool {
+        debug_assert_eq!(p.len(), self.dims());
+        p.iter()
+            .zip(&self.lo)
+            .zip(&self.hi)
+            .all(|((&x, &lo), &hi)| x >= lo && x < hi)
+    }
+
+    /// Zone volume (product of side lengths).
+    #[must_use]
+    pub fn volume(&self) -> u128 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&lo, &hi)| u128::from(hi - lo))
+            .product()
+    }
+
+    /// The longest dimension (ties towards the lowest index) — the split
+    /// axis CAN uses to keep zones square-ish.
+    #[must_use]
+    pub fn longest_dim(&self) -> usize {
+        (0..self.dims())
+            .max_by_key(|&k| (self.hi[k] - self.lo[k], std::cmp::Reverse(k)))
+            .expect("zones have at least one dimension")
+    }
+
+    /// Splits this zone in half along its longest dimension, returning
+    /// `(lower half, upper half)`. Zones of volume 1 cannot split.
+    #[must_use]
+    pub fn split(&self) -> Option<(Zone, Zone)> {
+        let k = self.longest_dim();
+        let len = self.hi[k] - self.lo[k];
+        if len < 2 {
+            return None;
+        }
+        let mid = self.lo[k] + len / 2;
+        let mut lower = self.clone();
+        let mut upper = self.clone();
+        lower.hi[k] = mid;
+        upper.lo[k] = mid;
+        Some((lower, upper))
+    }
+
+    /// `true` iff the two zones share a `(d-1)`-dimensional face on the
+    /// torus with side length `side`: abutting (or wrapping) in exactly
+    /// one dimension and overlapping in all others.
+    #[must_use]
+    pub fn abuts(&self, other: &Zone, side: u64) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        let mut touching_dim = false;
+        for k in 0..self.dims() {
+            let overlap = self.lo[k] < other.hi[k] && other.lo[k] < self.hi[k];
+            if overlap {
+                continue;
+            }
+            let touches = self.hi[k] == other.lo[k]
+                || other.hi[k] == self.lo[k]
+                || (self.hi[k] == side && other.lo[k] == 0)
+                || (other.hi[k] == side && self.lo[k] == 0);
+            if touches && !touching_dim {
+                touching_dim = true;
+            } else {
+                return false; // disjoint in a second dimension, or a gap
+            }
+        }
+        touching_dim
+    }
+
+    /// Minimal L1 torus distance from this zone to point `p`: per
+    /// dimension, zero if the coordinate is covered, otherwise the
+    /// shorter way around to the nearest edge.
+    #[must_use]
+    pub fn torus_distance(&self, p: &[u64], side: u64) -> u64 {
+        debug_assert_eq!(p.len(), self.dims());
+        (0..self.dims())
+            .map(|k| {
+                if p[k] >= self.lo[k] && p[k] < self.hi[k] {
+                    0
+                } else {
+                    ring_dist(self.lo[k], p[k], side).min(ring_dist(self.hi[k] - 1, p[k], side))
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(lo: &[u64], hi: &[u64]) -> Zone {
+        Zone {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
+    }
+
+    #[test]
+    fn full_zone_contains_everything() {
+        let full = Zone::full(2, 16);
+        assert!(full.contains(&[0, 0]));
+        assert!(full.contains(&[15, 15]));
+        assert_eq!(full.volume(), 256);
+    }
+
+    #[test]
+    fn split_halves_volume_and_tiles() {
+        let full = Zone::full(2, 16);
+        let (a, b) = full.split().unwrap();
+        assert_eq!(a.volume() + b.volume(), full.volume());
+        for p in [[0u64, 0], [7, 3], [8, 3], [15, 15]] {
+            assert!(
+                a.contains(&p) ^ b.contains(&p),
+                "exactly one half owns {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_splits_stay_square_ish() {
+        let mut zone = Zone::full(2, 16);
+        for _ in 0..4 {
+            let (a, _) = zone.split().unwrap();
+            zone = a;
+        }
+        // After 4 splits of a 16x16 square: 4x4.
+        assert_eq!(zone.hi[0] - zone.lo[0], 4);
+        assert_eq!(zone.hi[1] - zone.lo[1], 4);
+    }
+
+    #[test]
+    fn unit_zone_cannot_split() {
+        let unit = z(&[3, 3], &[4, 4]);
+        assert!(unit.split().is_none());
+    }
+
+    #[test]
+    fn adjacency_shared_edge() {
+        let a = z(&[0, 0], &[8, 8]);
+        let b = z(&[8, 0], &[16, 8]);
+        let c = z(&[8, 8], &[16, 16]);
+        assert!(a.abuts(&b, 16), "share the x=8 edge");
+        assert!(!a.abuts(&c, 16), "corner contact only");
+        assert!(b.abuts(&c, 16), "share the y=8 edge");
+    }
+
+    #[test]
+    fn adjacency_wraps_around_torus() {
+        let left = z(&[0, 0], &[4, 16]);
+        let right = z(&[12, 0], &[16, 16]);
+        assert!(left.abuts(&right, 16), "wraps across the x seam");
+    }
+
+    #[test]
+    fn torus_distance_basics() {
+        let zone = z(&[4, 4], &[8, 8]);
+        assert_eq!(zone.torus_distance(&[5, 5], 16), 0);
+        assert_eq!(zone.torus_distance(&[10, 5], 16), 3); // to x edge 7
+        assert_eq!(zone.torus_distance(&[15, 15], 16), 5 + 5); // wraps to lo corner
+    }
+}

@@ -1,0 +1,282 @@
+//! The static cube-connected cycles graph.
+
+/// A node of the CCC: a cyclic index `k ∈ [0, d)` locating it on its local
+/// cycle, and a cubical index `a ∈ [0, 2^d)` naming the hypercube vertex the
+/// cycle replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CccNode {
+    /// Position on the local cycle (`k` in the paper's `(k, a_{d-1}…a_0)`).
+    pub cyclic: u32,
+    /// Hypercube vertex the cycle replaces.
+    pub cubical: u64,
+}
+
+impl CccNode {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(cyclic: u32, cubical: u64) -> Self {
+        Self { cyclic, cubical }
+    }
+}
+
+/// A `d`-dimensional cube-connected cycles graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CccGraph {
+    d: u32,
+}
+
+impl CccGraph {
+    /// Creates the `d`-dimensional CCC. `d` must be in `[1, 32]` (the
+    /// paper's simulations use `d ∈ [3, 8]`; 32 keeps `d * 2^d` within
+    /// `u64` comfortably).
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `d > 32`.
+    #[must_use]
+    pub fn new(d: u32) -> Self {
+        assert!(
+            (1..=32).contains(&d),
+            "CCC dimension must be in [1, 32], got {d}"
+        );
+        Self { d }
+    }
+
+    /// The dimension `d`.
+    #[must_use]
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// Total node count, `d * 2^d`.
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        u64::from(self.d) << self.d
+    }
+
+    /// Number of hypercube vertices / local cycles, `2^d`.
+    #[must_use]
+    pub fn cycle_count(&self) -> u64 {
+        1u64 << self.d
+    }
+
+    /// `true` iff `node` is a valid node of this graph.
+    #[must_use]
+    pub fn contains(&self, node: CccNode) -> bool {
+        node.cyclic < self.d && node.cubical < self.cycle_count()
+    }
+
+    /// Linearizes a node to a dense index in `[0, node_count)`:
+    /// `cubical * d + cyclic`. This is also the order Cycloid's identifier
+    /// space uses ("first numerically closest to the cubical index and then
+    /// to the cyclic index").
+    #[must_use]
+    pub fn index_of(&self, node: CccNode) -> u64 {
+        debug_assert!(self.contains(node));
+        node.cubical * u64::from(self.d) + u64::from(node.cyclic)
+    }
+
+    /// Inverse of [`CccGraph::index_of`].
+    #[must_use]
+    pub fn node_at(&self, index: u64) -> CccNode {
+        debug_assert!(index < self.node_count());
+        CccNode {
+            cyclic: (index % u64::from(self.d)) as u32,
+            cubical: index / u64::from(self.d),
+        }
+    }
+
+    /// Iterates over all nodes in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = CccNode> + '_ {
+        (0..self.node_count()).map(move |i| self.node_at(i))
+    }
+
+    /// Cycle successor: `(k + 1 mod d, a)`.
+    #[must_use]
+    pub fn cycle_next(&self, node: CccNode) -> CccNode {
+        CccNode {
+            cyclic: (node.cyclic + 1) % self.d,
+            cubical: node.cubical,
+        }
+    }
+
+    /// Cycle predecessor: `(k - 1 mod d, a)`.
+    #[must_use]
+    pub fn cycle_prev(&self, node: CccNode) -> CccNode {
+        CccNode {
+            cyclic: (node.cyclic + self.d - 1) % self.d,
+            cubical: node.cubical,
+        }
+    }
+
+    /// Cube neighbour: `(k, a XOR 2^k)` — the edge along hypercube
+    /// dimension `k`.
+    #[must_use]
+    pub fn cube_neighbor(&self, node: CccNode) -> CccNode {
+        CccNode {
+            cyclic: node.cyclic,
+            cubical: node.cubical ^ (1u64 << node.cyclic),
+        }
+    }
+
+    /// The (up to three distinct) neighbours of `node`. For `d >= 3` this
+    /// is always exactly three distinct nodes; for `d < 3` the cycle
+    /// collapses and duplicates are removed.
+    #[must_use]
+    pub fn neighbors(&self, node: CccNode) -> Vec<CccNode> {
+        let mut out = vec![
+            self.cycle_prev(node),
+            self.cycle_next(node),
+            self.cube_neighbor(node),
+        ];
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&n| n != node);
+        out
+    }
+
+    /// Breadth-first distances from `src` to every node, indexed by
+    /// [`CccGraph::index_of`]. Used to validate routing and diameter.
+    #[must_use]
+    pub fn bfs_distances(&self, src: CccNode) -> Vec<u32> {
+        let n = self.node_count() as usize;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[self.index_of(src) as usize] = 0;
+        queue.push_back(src);
+        while let Some(cur) = queue.pop_front() {
+            let dcur = dist[self.index_of(cur) as usize];
+            for nb in self.neighbors(cur) {
+                let i = self.index_of(nb) as usize;
+                if dist[i] == u32::MAX {
+                    dist[i] = dcur + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Exact diameter by all-pairs BFS. Exponential in `d`; intended for
+    /// validation at small dimensions only.
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        self.nodes()
+            .map(|s| {
+                self.bfs_distances(s)
+                    .into_iter()
+                    .max()
+                    .expect("graph is non-empty")
+            })
+            .max()
+            .expect("graph is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches_formula() {
+        for d in 1..=8 {
+            let g = CccGraph::new(d);
+            assert_eq!(g.node_count(), u64::from(d) << d);
+            assert_eq!(g.nodes().count() as u64, g.node_count());
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = CccGraph::new(5);
+        for i in 0..g.node_count() {
+            let node = g.node_at(i);
+            assert!(g.contains(node));
+            assert_eq!(g.index_of(node), i);
+        }
+    }
+
+    #[test]
+    fn three_regular_for_d_at_least_3() {
+        for d in 3..=6 {
+            let g = CccGraph::new(d);
+            for node in g.nodes() {
+                assert_eq!(
+                    g.neighbors(node).len(),
+                    3,
+                    "node {node:?} in CCC({d}) must have degree 3"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = CccGraph::new(4);
+        for node in g.nodes() {
+            for nb in g.neighbors(node) {
+                assert!(
+                    g.neighbors(nb).contains(&node),
+                    "edge {node:?} -> {nb:?} must be undirected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cube_neighbor_is_involution() {
+        let g = CccGraph::new(6);
+        for node in g.nodes() {
+            assert_eq!(g.cube_neighbor(g.cube_neighbor(node)), node);
+        }
+    }
+
+    #[test]
+    fn cycle_next_prev_inverse() {
+        let g = CccGraph::new(5);
+        for node in g.nodes() {
+            assert_eq!(g.cycle_prev(g.cycle_next(node)), node);
+            assert_eq!(g.cycle_next(g.cycle_prev(node)), node);
+        }
+    }
+
+    #[test]
+    fn cycle_has_length_d() {
+        let g = CccGraph::new(7);
+        let start = CccNode::new(0, 42);
+        let mut cur = start;
+        for step in 1..=7 {
+            cur = g.cycle_next(cur);
+            if step < 7 {
+                assert_ne!(cur, start);
+            }
+        }
+        assert_eq!(cur, start);
+    }
+
+    #[test]
+    fn connected_small_dimensions() {
+        for d in 1..=5 {
+            let g = CccGraph::new(d);
+            let dist = g.bfs_distances(g.node_at(0));
+            assert!(
+                dist.iter().all(|&x| x != u32::MAX),
+                "CCC({d}) must be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_known_values() {
+        // Known exact diameters: CCC(3) = 6 (Preparata–Vuillemin; for d >= 4
+        // the diameter is 2d + floor(d/2) - 2).
+        assert_eq!(CccGraph::new(3).diameter(), 6);
+        assert_eq!(CccGraph::new(4).diameter(), 2 * 4 + 2 - 2);
+        assert_eq!(CccGraph::new(5).diameter(), 2 * 5 + 2 - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn rejects_zero_dimension() {
+        let _ = CccGraph::new(0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Cube-connected cycles (CCC) graph substrate.
+//!
+//! A *d*-dimensional CCC (Preparata & Vuillemin, CACM 1981) is a
+//! *d*-dimensional hypercube with each vertex replaced by a cycle of *d*
+//! nodes. It has `d * 2^d` nodes, each of degree 3: two *cycle* neighbours
+//! and one *cube* neighbour. Cycloid (§3.1, Fig. 1 of the paper) emulates
+//! this graph: "the network will be the traditional cube-connected cycles
+//! if all nodes are alive".
+//!
+//! This crate provides the exact static graph — construction, neighbour
+//! enumeration, the classic cycle-walking routing scheme, and BFS-based
+//! property validation — used both as a specification oracle for the
+//! `cycloid` crate's tests and as a standalone interconnection-network
+//! library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod route;
+
+pub use graph::{CccGraph, CccNode};
+pub use route::classic_route;

@@ -1,0 +1,147 @@
+//! Classic CCC routing (the scheme Cycloid's lookup algorithm emulates).
+//!
+//! The textbook algorithm sweeps the cycle position across every hypercube
+//! dimension in which source and destination differ, taking a cube edge at
+//! each such position, then walks the local cycle to the destination's
+//! cyclic index. Cycloid's three-phase lookup (§3.2) is exactly this sweep
+//! re-expressed over a *partial* node population:
+//! ascending ≈ reaching the most significant differing bit, descending ≈
+//! the alternation of cube edges and cycle steps, traverse-cycle ≈ the
+//! final cycle walk.
+
+use crate::graph::{CccGraph, CccNode};
+
+/// Routes from `src` to `dst` through the complete CCC, returning the full
+/// node path including both endpoints.
+///
+/// The path length is `O(d)` — at most `2d + d/2` hops, matching the CCC
+/// diameter bound — and every consecutive pair in the returned path is an
+/// edge of the graph (validated by tests).
+#[must_use]
+pub fn classic_route(g: &CccGraph, src: CccNode, dst: CccNode) -> Vec<CccNode> {
+    assert!(
+        g.contains(src) && g.contains(dst),
+        "endpoints must be in the graph"
+    );
+    let mut path = vec![src];
+    let mut cur = src;
+
+    // Phase 1+2: sweep over differing cube dimensions from the most
+    // significant down to bit 0, as Cycloid's left-to-right prefix routing
+    // does. Between cube edges, walk the cycle (choosing the shorter
+    // direction) to bring the cyclic index to the next differing bit.
+    let mut diff = cur.cubical ^ dst.cubical;
+    while diff != 0 {
+        let bit = 63 - diff.leading_zeros(); // most significant differing bit
+        cur = walk_cycle_to(g, cur, bit, &mut path);
+        cur = g.cube_neighbor(cur);
+        path.push(cur);
+        diff = cur.cubical ^ dst.cubical;
+    }
+
+    // Phase 3: walk the local cycle to the destination's cyclic index.
+    cur = walk_cycle_to(g, cur, dst.cyclic, &mut path);
+    debug_assert_eq!(cur, dst);
+    path
+}
+
+/// Walks the local cycle from `cur` to cyclic index `target`, appending each
+/// hop to `path`, picking the shorter direction around the cycle.
+fn walk_cycle_to(g: &CccGraph, mut cur: CccNode, target: u32, path: &mut Vec<CccNode>) -> CccNode {
+    let d = g.dimension();
+    let fwd = (target + d - cur.cyclic) % d; // steps via cycle_next
+    let bwd = (cur.cyclic + d - target) % d; // steps via cycle_prev
+    if fwd <= bwd {
+        for _ in 0..fwd {
+            cur = g.cycle_next(cur);
+            path.push(cur);
+        }
+    } else {
+        for _ in 0..bwd {
+            cur = g.cycle_prev(cur);
+            path.push(cur);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_edge(g: &CccGraph, a: CccNode, b: CccNode) -> bool {
+        g.neighbors(a).contains(&b)
+    }
+
+    #[test]
+    fn route_reaches_destination() {
+        let g = CccGraph::new(4);
+        for s in 0..g.node_count() {
+            for t in (0..g.node_count()).step_by(7) {
+                let path = classic_route(&g, g.node_at(s), g.node_at(t));
+                assert_eq!(*path.first().unwrap(), g.node_at(s));
+                assert_eq!(*path.last().unwrap(), g.node_at(t));
+            }
+        }
+    }
+
+    #[test]
+    fn route_uses_only_graph_edges() {
+        let g = CccGraph::new(4);
+        for s in (0..g.node_count()).step_by(5) {
+            for t in (0..g.node_count()).step_by(11) {
+                let path = classic_route(&g, g.node_at(s), g.node_at(t));
+                for w in path.windows(2) {
+                    assert!(
+                        is_edge(&g, w[0], w[1]),
+                        "{:?} -> {:?} is not an edge",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_length_is_order_d() {
+        // Classic routing is within a constant factor of the 2.5d diameter
+        // bound; this sweep allows up to 3d to cover the cycle re-walks.
+        for d in 3..=7 {
+            let g = CccGraph::new(d);
+            let worst = (0..g.node_count())
+                .step_by(13)
+                .flat_map(|s| (0..g.node_count()).step_by(17).map(move |t| (s, t)))
+                .map(|(s, t)| classic_route(&g, g.node_at(s), g.node_at(t)).len() - 1)
+                .max()
+                .unwrap();
+            assert!(
+                worst as u32 <= 3 * d,
+                "CCC({d}) classic route took {worst} > {} hops",
+                3 * d
+            );
+        }
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let g = CccGraph::new(5);
+        let n = g.node_at(77);
+        assert_eq!(classic_route(&g, n, n), vec![n]);
+    }
+
+    #[test]
+    fn route_not_much_longer_than_bfs() {
+        let g = CccGraph::new(4);
+        let src = g.node_at(0);
+        let dist = g.bfs_distances(src);
+        for t in 0..g.node_count() {
+            let hops = classic_route(&g, src, g.node_at(t)).len() as u32 - 1;
+            let opt = dist[t as usize];
+            assert!(
+                hops <= opt + g.dimension() * 2,
+                "route {hops} vs optimal {opt} for target {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! The simulated Chord ring: membership, pointer resolution, greedy
+//! finger routing, join/leave protocols, and stabilization.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::ring::{clockwise_dist, in_interval_oc, in_interval_oo};
+
+use crate::node::ChordNode;
+
+/// Configuration of a Chord deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChordConfig {
+    /// Identifier bits: the ring has `2^bits` positions and `bits` fingers
+    /// per node.
+    pub bits: u32,
+    /// Successor-list length (the paper's fault-tolerance backup; 3 keeps
+    /// parity with Koorde's three successors).
+    pub successor_list: usize,
+}
+
+impl ChordConfig {
+    /// Standard configuration: `bits`-bit ring, successor list of 3.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "Chord bits must be in [1, 63]");
+        Self {
+            bits,
+            successor_list: 3,
+        }
+    }
+
+    /// The ring size `2^bits`.
+    #[must_use]
+    pub fn space(&self) -> u64 {
+        1u64 << self.bits
+    }
+}
+
+/// A simulated Chord network.
+#[derive(Debug, Clone)]
+pub struct ChordNetwork {
+    config: ChordConfig,
+    /// Live nodes keyed by ring identifier.
+    nodes: BTreeMap<u64, ChordNode>,
+    alloc: IdAllocator,
+}
+
+impl ChordNetwork {
+    /// Creates an empty ring.
+    #[must_use]
+    pub fn new(config: ChordConfig, seed: u64) -> Self {
+        Self {
+            config,
+            nodes: BTreeMap::new(),
+            alloc: IdAllocator::new(seed),
+        }
+    }
+
+    /// Builds a stabilized ring of `count` uniformly placed nodes.
+    #[must_use]
+    pub fn with_nodes(config: ChordConfig, count: usize, seed: u64) -> Self {
+        let mut net = Self::new(config, seed);
+        assert!(
+            count as u64 <= config.space(),
+            "{count} nodes exceed the 2^{} ring",
+            config.bits
+        );
+        while net.nodes.len() < count {
+            let id = net.alloc.next_in(config.space());
+            if !net.nodes.contains_key(&id) {
+                net.insert_raw(id);
+            }
+        }
+        net.stabilize_all();
+        net
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> ChordConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff `id` is live.
+    #[must_use]
+    pub fn is_live(&self, id: u64) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Live node identifiers in ring order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Shared read access to a node's state.
+    #[must_use]
+    pub fn node(&self, id: u64) -> Option<&ChordNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Maps a raw key onto the ring.
+    #[must_use]
+    pub fn key_of(&self, raw_key: u64) -> u64 {
+        reduce(splitmix64(raw_key), self.config.space())
+    }
+
+    /// Ground truth: the live successor of ring point `x` (the node
+    /// storing key `x`).
+    #[must_use]
+    pub fn successor_of_point(&self, x: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(x..)
+            .next()
+            .or_else(|| self.nodes.range(..).next())
+            .map(|(&id, _)| id)
+    }
+
+    /// Ground truth: the live node strictly preceding ring point `x`.
+    #[must_use]
+    pub fn predecessor_of_point(&self, x: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(..x)
+            .next_back()
+            .or_else(|| self.nodes.range(..).next_back())
+            .map(|(&id, _)| id)
+    }
+
+    fn insert_raw(&mut self, id: u64) {
+        let node = ChordNode::new(id, self.config.bits, self.config.successor_list);
+        let prev = self.nodes.insert(id, node);
+        assert!(prev.is_none(), "identifier {id} already occupied");
+    }
+
+    /// Recomputes every pointer of one node from the live membership (what
+    /// its stabilizer converges to).
+    pub fn refresh_node(&mut self, id: u64) {
+        let bits = self.config.bits;
+        let space = self.config.space();
+        let r = self.config.successor_list;
+        let pred = self
+            .predecessor_of_point(id)
+            .expect("refresh on empty ring");
+        let mut succs = Vec::with_capacity(r);
+        let mut cursor = id;
+        for _ in 0..r {
+            let s = self
+                .successor_of_point((cursor + 1) % space)
+                .expect("non-empty ring");
+            succs.push(s);
+            cursor = s;
+        }
+        let mut fingers = Vec::with_capacity(bits as usize);
+        for i in 0..bits {
+            let target = (id + (1u64 << i)) % space;
+            fingers.push(self.successor_of_point(target).expect("non-empty ring"));
+        }
+        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        node.predecessor = pred;
+        node.successors = succs;
+        node.fingers = fingers;
+    }
+
+    /// Refreshes only the ring pointers (predecessor + successor list) of
+    /// one node — what join/leave notifications repair.
+    fn refresh_ring_pointers(&mut self, id: u64) {
+        let space = self.config.space();
+        let r = self.config.successor_list;
+        let pred = self
+            .predecessor_of_point(id)
+            .expect("refresh on empty ring");
+        let mut succs = Vec::with_capacity(r);
+        let mut cursor = id;
+        for _ in 0..r {
+            let s = self
+                .successor_of_point((cursor + 1) % space)
+                .expect("non-empty ring");
+            succs.push(s);
+            cursor = s;
+        }
+        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        node.predecessor = pred;
+        node.successors = succs;
+    }
+
+    /// Full stabilization: every node refreshes its fingers and ring
+    /// pointers.
+    pub fn stabilize_all(&mut self) {
+        let ids: Vec<u64> = self.ids().collect();
+        for id in ids {
+            self.refresh_node(id);
+        }
+    }
+
+    /// The nodes whose successor lists or predecessor pointer reference
+    /// ring position `id`: its `successor_list` nearest live predecessors
+    /// and its live successor.
+    fn ring_neighbors_of(&self, id: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        // `id + 1`: at join time the node itself is already in the map, and
+        // its *successor* is the neighbour that must learn about it.
+        if let Some(s) = self.successor_of_point((id + 1) % self.config.space()) {
+            out.push(s);
+        }
+        let mut cursor = id;
+        for _ in 0..self.config.successor_list {
+            match self.predecessor_of_point(cursor) {
+                Some(p) if !out.contains(&p) => {
+                    out.push(p);
+                    cursor = p;
+                }
+                Some(p) => {
+                    cursor = p;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Protocol join: the new node builds its own full state and notifies
+    /// its ring neighbourhood (predecessor and successors), which mend
+    /// their ring pointers. Finger tables elsewhere stay stale until
+    /// stabilization.
+    pub fn join_id(&mut self, id: u64) -> bool {
+        if self.is_live(id) {
+            return false;
+        }
+        self.insert_raw(id);
+        self.refresh_node(id);
+        for nb in self.ring_neighbors_of(id) {
+            if nb != id {
+                self.refresh_ring_pointers(nb);
+            }
+        }
+        true
+    }
+
+    /// Join with a freshly hashed identifier.
+    pub fn join_random(&mut self) -> Option<u64> {
+        if self.nodes.len() as u64 >= self.config.space() {
+            return None;
+        }
+        loop {
+            let id = self.alloc.next_in(self.config.space());
+            if self.join_id(id) {
+                return Some(id);
+            }
+        }
+    }
+
+    /// Graceful departure: the leaver notifies its predecessor and
+    /// successors, which mend their ring pointers. **Fingers elsewhere are
+    /// not notified** — they stay stale until stabilization (the timeouts
+    /// of §4.3).
+    pub fn leave(&mut self, id: u64) -> bool {
+        if self.nodes.remove(&id).is_none() {
+            return false;
+        }
+        if self.nodes.is_empty() {
+            return true;
+        }
+        for nb in self.ring_neighbors_of(id) {
+            self.refresh_ring_pointers(nb);
+        }
+        true
+    }
+
+    /// Hop budget for lookups.
+    /// Ungraceful failure: the node vanishes without the leave
+    /// notifications, so even ring successors and predecessors stay stale
+    /// until stabilization.
+    pub fn fail_node(&mut self, id: u64) -> bool {
+        self.nodes.remove(&id).is_some()
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * self.config.bits as usize + 64
+    }
+
+    /// One lookup from `src` for ring key `key`, using only per-node state:
+    /// greedy closest-preceding-finger routing with successor-list
+    /// fallback. Dead contacts cost a timeout each.
+    pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
+        assert!(self.is_live(src), "lookup source {src} is not live");
+        let space = self.config.space();
+        let mut cur = src;
+        let mut hops = Vec::new();
+        let mut timeouts = 0u32;
+        self.count_query(cur);
+
+        let outcome = loop {
+            if hops.len() >= self.hop_budget() {
+                break LookupOutcome::HopBudgetExhausted;
+            }
+            let node = self.nodes.get(&cur).expect("current node is live");
+            // Terminal test: cur owns (pred, cur].
+            if in_interval_oc(key, node.predecessor, cur, space) {
+                break match self.successor_of_point(key) {
+                    Some(owner) if owner == cur => LookupOutcome::Found,
+                    Some(_) => LookupOutcome::WrongOwner,
+                    None => LookupOutcome::Stuck,
+                };
+            }
+            // Candidate order: if the key is between cur and its successor,
+            // go to the successor (it is the owner); otherwise the closest
+            // preceding finger, falling back through lower fingers and the
+            // successor list on timeouts.
+            let mut candidates: Vec<(HopPhase, u64)> = Vec::new();
+            if in_interval_oc(key, cur, node.successor(), space) {
+                for &s in &node.successors {
+                    candidates.push((HopPhase::Successor, s));
+                }
+            } else {
+                let mut fingers: Vec<u64> = node
+                    .fingers
+                    .iter()
+                    .copied()
+                    .filter(|&f| f != cur && in_interval_oo(f, cur, key, space))
+                    .collect();
+                // Closest preceding first: maximal clockwise distance from
+                // cur (i.e. nearest to the key without passing it).
+                fingers.sort_unstable_by_key(|&f| std::cmp::Reverse(clockwise_dist(cur, f, space)));
+                fingers.dedup();
+                for f in fingers {
+                    candidates.push((HopPhase::Finger, f));
+                }
+                for &s in &node.successors {
+                    candidates.push((HopPhase::Successor, s));
+                }
+            }
+            let mut next = None;
+            let mut dead_seen: HashSet<u64> = HashSet::new();
+            for (phase, cand) in candidates {
+                if cand == cur {
+                    continue;
+                }
+                if !self.is_live(cand) {
+                    if dead_seen.insert(cand) {
+                        timeouts += 1;
+                    }
+                    continue;
+                }
+                next = Some((phase, cand));
+                break;
+            }
+            match next {
+                Some((phase, cand)) => {
+                    hops.push(phase);
+                    cur = cand;
+                    self.count_query(cur);
+                }
+                None => {
+                    break match self.successor_of_point(key) {
+                        Some(owner) if owner == cur => LookupOutcome::Found,
+                        Some(_) => LookupOutcome::Stuck,
+                        None => LookupOutcome::Stuck,
+                    }
+                }
+            }
+        };
+
+        LookupTrace {
+            hops,
+            timeouts,
+            outcome,
+            terminal: cur,
+        }
+    }
+
+    /// Lookup by raw (pre-hash) key.
+    pub fn route(&mut self, src: u64, raw_key: u64) -> LookupTrace {
+        let key = self.key_of(raw_key);
+        self.route_to_point(src, key)
+    }
+
+    pub(crate) fn count_query(&mut self, id: u64) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.query_load += 1;
+        }
+    }
+
+    /// Per-node query loads in ring order.
+    #[must_use]
+    pub fn query_loads(&self) -> Vec<u64> {
+        self.nodes.values().map(|n| n.query_load).collect()
+    }
+
+    /// Zeroes all query-load counters.
+    pub fn reset_query_loads(&mut self) {
+        for n in self.nodes.values_mut() {
+            n.query_load = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::rng::stream;
+    use rand::Rng;
+
+    #[test]
+    fn with_nodes_builds_and_stabilizes() {
+        let net = ChordNetwork::with_nodes(ChordConfig::new(11), 500, 1);
+        assert_eq!(net.node_count(), 500);
+        for id in net.ids() {
+            let n = net.node(id).unwrap();
+            assert_eq!(n.fingers.len(), 11);
+            assert!(net.is_live(n.successor()));
+            assert!(net.is_live(n.predecessor));
+        }
+    }
+
+    #[test]
+    fn successor_predecessor_ground_truth() {
+        let mut net = ChordNetwork::new(ChordConfig::new(6), 2);
+        for id in [5u64, 20, 40, 60] {
+            net.join_id(id);
+        }
+        assert_eq!(net.successor_of_point(5), Some(5));
+        assert_eq!(net.successor_of_point(6), Some(20));
+        assert_eq!(net.successor_of_point(61), Some(5), "wraps");
+        assert_eq!(net.predecessor_of_point(5), Some(60), "wraps back");
+        assert_eq!(net.predecessor_of_point(21), Some(20));
+    }
+
+    #[test]
+    fn all_lookups_resolve_in_stable_ring() {
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(11), 300, 3);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(4, "chord");
+        for i in 0..2000 {
+            let src = ids[i % ids.len()];
+            let raw: u64 = rng.gen();
+            let key = net.key_of(raw);
+            let t = net.route(src, raw);
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            assert_eq!(t.timeouts, 0);
+            assert_eq!(Some(t.terminal), net.successor_of_point(key));
+        }
+    }
+
+    #[test]
+    fn path_length_is_logarithmic() {
+        // Mean path must be around (log2 n)/2 and well below log2 n + slack.
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(16), 1024, 5);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(6, "chordlen");
+        let mut total = 0usize;
+        let trials = 2000;
+        for i in 0..trials {
+            let src = ids[i % ids.len()];
+            total += net.route(src, rng.gen()).path_len();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean > 2.0 && mean < 11.0, "mean path {mean} not O(log n)");
+    }
+
+    #[test]
+    fn graceful_leave_keeps_lookups_correct_with_timeouts() {
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(11), 1024, 7);
+        let mut rng = stream(8, "chordfail");
+        let ids: Vec<u64> = net.ids().collect();
+        for &id in &ids {
+            if rng.gen_bool(0.3) {
+                net.leave(id);
+            }
+        }
+        let live: Vec<u64> = net.ids().collect();
+        let mut timeouts = 0u32;
+        for i in 0..1000 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            timeouts += t.timeouts;
+        }
+        assert!(timeouts > 0, "stale fingers must time out");
+        net.stabilize_all();
+        for i in 0..200 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            assert_eq!(t.timeouts, 0, "stabilization removes timeouts");
+        }
+    }
+
+    #[test]
+    fn join_makes_new_node_reachable() {
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(10), 100, 9);
+        let newcomer = net.join_random().unwrap();
+        // A key just below the newcomer maps to it.
+        let probe = newcomer; // key == node id -> successor is the node
+        let src = net.ids().next().unwrap();
+        let t = net.route_to_point(src, probe);
+        assert_eq!(t.outcome, LookupOutcome::Found);
+        assert_eq!(t.terminal, newcomer);
+    }
+
+    #[test]
+    fn leave_mends_ring_pointers() {
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(8), 50, 10);
+        let ids: Vec<u64> = net.ids().collect();
+        let victim = ids[10];
+        let before_pred = net.predecessor_of_point(victim).unwrap();
+        let after_succ = net.successor_of_point((victim + 1) % 256).unwrap();
+        net.leave(victim);
+        let p = net.node(before_pred).unwrap();
+        assert_eq!(p.successor(), after_succ, "ring mended around leaver");
+        let s = net.node(after_succ).unwrap();
+        assert_eq!(s.predecessor, before_pred);
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let mut net = ChordNetwork::new(ChordConfig::new(8), 11);
+        net.join_id(42);
+        let t = net.route_to_point(42, 7);
+        assert_eq!(t.outcome, LookupOutcome::Found);
+        assert_eq!(t.path_len(), 0);
+    }
+
+    #[test]
+    fn degree_grows_with_network_size() {
+        // Chord is the O(log n) baseline: mean degree in a 512-node ring
+        // must exceed any constant-degree DHT's 7 entries.
+        let net = ChordNetwork::with_nodes(ChordConfig::new(12), 512, 12);
+        let mean: f64 = net
+            .ids()
+            .map(|id| net.node(id).unwrap().degree() as f64)
+            .sum::<f64>()
+            / net.node_count() as f64;
+        assert!(mean > 7.0, "Chord mean degree {mean} should exceed 7");
+    }
+}

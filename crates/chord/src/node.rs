@@ -1,0 +1,81 @@
+//! Per-node Chord state.
+
+/// Routing state of one Chord node.
+///
+/// All pointers are node identifiers on the `2^bits` ring; they may be
+/// stale (pointing at departed nodes) until stabilization refreshes them.
+#[derive(Debug, Clone)]
+pub struct ChordNode {
+    /// This node's ring identifier.
+    pub id: u64,
+    /// Immediate predecessor on the ring.
+    pub predecessor: u64,
+    /// Successor list: the `r` nodes immediately following this node,
+    /// nearest first. `successors[0]` is *the* successor.
+    pub successors: Vec<u64>,
+    /// Finger table: `fingers[i]` is `successor(id + 2^i)`.
+    pub fingers: Vec<u64>,
+    /// Lookup messages received since the last reset.
+    pub query_load: u64,
+}
+
+impl ChordNode {
+    /// Fresh state; pointers initially self-referential (a lone node is its
+    /// own successor and predecessor).
+    #[must_use]
+    pub fn new(id: u64, bits: u32, succ_list_len: usize) -> Self {
+        Self {
+            id,
+            predecessor: id,
+            successors: vec![id; succ_list_len],
+            fingers: vec![id; bits as usize],
+            query_load: 0,
+        }
+    }
+
+    /// The primary successor.
+    #[must_use]
+    pub fn successor(&self) -> u64 {
+        self.successors[0]
+    }
+
+    /// Distinct non-self entries currently held (the node's actual degree).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        let mut all: Vec<u64> = self
+            .successors
+            .iter()
+            .chain(self.fingers.iter())
+            .copied()
+            .chain(std::iter::once(self.predecessor))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.retain(|&x| x != self.id);
+        all.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_node_points_at_itself() {
+        let n = ChordNode::new(5, 8, 3);
+        assert_eq!(n.successor(), 5);
+        assert_eq!(n.predecessor, 5);
+        assert_eq!(n.degree(), 0);
+        assert_eq!(n.fingers.len(), 8);
+        assert_eq!(n.successors.len(), 3);
+    }
+
+    #[test]
+    fn degree_counts_distinct_contacts() {
+        let mut n = ChordNode::new(0, 4, 2);
+        n.successors = vec![3, 7];
+        n.fingers = vec![3, 3, 7, 9];
+        n.predecessor = 12;
+        assert_eq!(n.degree(), 4); // {3, 7, 9, 12}
+    }
+}

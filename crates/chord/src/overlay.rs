@@ -1,0 +1,114 @@
+//! [`dht_core::Overlay`] adapter for the Chord baseline.
+
+use dht_core::lookup::LookupTrace;
+use dht_core::overlay::{NodeToken, Overlay};
+use rand::RngCore;
+
+use crate::network::ChordNetwork;
+
+impl Overlay for ChordNetwork {
+    fn name(&self) -> String {
+        "Chord".to_string()
+    }
+
+    fn len(&self) -> usize {
+        self.node_count()
+    }
+
+    fn degree_bound(&self) -> Option<usize> {
+        None // O(log n) fingers: not constant-degree
+    }
+
+    fn node_tokens(&self) -> Vec<NodeToken> {
+        self.ids().collect()
+    }
+
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let tokens = self.node_tokens();
+        Some(tokens[(rng.next_u64() % tokens.len() as u64) as usize])
+    }
+
+    fn key_id(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
+        self.successor_of_point(self.key_of(raw_key))
+    }
+
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
+        self.route(src, raw_key)
+    }
+
+    fn join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random()
+    }
+
+    fn leave(&mut self, node: NodeToken) -> bool {
+        ChordNetwork::leave(self, node)
+    }
+
+    fn fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_node(&mut self, node: NodeToken) {
+        if self.is_live(node) {
+            self.refresh_node(node);
+        }
+    }
+
+    fn query_loads(&self) -> Vec<u64> {
+        ChordNetwork::query_loads(self)
+    }
+
+    fn reset_query_loads(&mut self) {
+        ChordNetwork::reset_query_loads(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ChordConfig;
+    use dht_core::overlay::key_counts;
+    use dht_core::rng::stream;
+    use dht_core::workload;
+
+    #[test]
+    fn trait_roundtrip() {
+        let mut net: Box<dyn Overlay> =
+            Box::new(ChordNetwork::with_nodes(ChordConfig::new(11), 200, 1));
+        assert_eq!(net.name(), "Chord");
+        assert_eq!(net.degree_bound(), None);
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[0], 777);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(777));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        let net = ChordNetwork::with_nodes(ChordConfig::new(11), 100, 2);
+        let keys = workload::key_population(2_000, &mut stream(3, "ck"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(11), 64, 4);
+        let mut rng = stream(5, "cj");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert_eq!(net.len(), 65);
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
+    }
+}

@@ -1,0 +1,46 @@
+//! # Cycloid: a constant-degree, lookup-efficient DHT
+//!
+//! A Rust implementation of the overlay from *Cycloid: A Constant-Degree
+//! and Lookup-Efficient P2P Overlay Network* (Shen, Xu, Chen — IPPS 2004 /
+//! Performance Evaluation 2005).
+//!
+//! Cycloid emulates a cube-connected-cycles graph: a `d`-dimensional
+//! deployment hosts up to `n = d * 2^d` nodes, each identified by a pair of
+//! cyclic and cubical indices and connected to at most **seven** neighbours
+//! (or eleven in the widened-leaf-set variant), yet lookups complete in
+//! `O(d)` hops.
+//!
+//! ```
+//! use cycloid::{CycloidConfig, CycloidNetwork};
+//! use dht_core::lookup::LookupOutcome;
+//!
+//! // A stabilized 8-dimensional network with 500 of 2048 slots occupied.
+//! let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 500, 42);
+//! let src = net.ids().next().unwrap();
+//! let trace = net.route(src, 0xfeed_beef);
+//! assert_eq!(trace.outcome, LookupOutcome::Found);
+//! assert!(trace.path_len() <= 24); // O(d) with d = 8
+//! ```
+//!
+//! Module map:
+//! * [`id`] — identifiers `(k, a)`, the consistent-hash mapping, and the
+//!   key-ownership metric,
+//! * [`state`] — per-node routing state (routing table + leaf sets),
+//! * [`network`] — membership, neighbour resolution, join/leave protocols,
+//!   stabilization,
+//! * [`lookup`] — the three-phase routing algorithm,
+//! * [`overlay`] — the [`dht_core::Overlay`] adapter used by the
+//!   experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod lookup;
+pub mod network;
+pub mod overlay;
+pub mod state;
+
+pub use id::{CycloidId, Dim, KeyDistance};
+pub use network::{CycloidConfig, CycloidNetwork};
+pub use state::NodeState;

@@ -1,0 +1,517 @@
+//! The Cycloid lookup algorithm (§3.2, Fig. 3).
+//!
+//! Routing from `(k, a_{d-1}…a_0)` towards a key `(l, b_{d-1}…b_0)` runs in
+//! three phases, with `MSDB` the most significant differing bit between the
+//! current node's cubical index and the key's:
+//!
+//! 1. **Ascending** — while `k < MSDB`, forward along the outside leaf set
+//!    (normally one hop, because the outside entry is its cycle's primary).
+//! 2. **Descending** — when `k == MSDB`, take the cubical neighbour
+//!    (correcting bit `k`, Pastry-style left-to-right prefix routing);
+//!    when `k > MSDB`, take the cyclic neighbour or an inside-leaf node,
+//!    whichever is closer to the target, to lower the cyclic index.
+//! 3. **Traverse cycle** — once the target is within the leaf sets, greedy
+//!    leaf-set hops until the closest node is the current node itself.
+//!
+//! If an entry is missing or points at a departed node ("a timeout"), "the
+//! node that is numerically closer to the destination among the leaf sets
+//! is chosen" — the leaf sets are the fault-tolerance backbone.
+
+use std::collections::HashSet;
+
+use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::ring::clockwise_dist;
+
+use crate::id::{msdb, prefix_len, CycloidId, KeyDistance};
+use crate::network::CycloidNetwork;
+use crate::state::NodeState;
+
+/// Hop budget: a correct lookup needs `O(d)` hops; the budget leaves a wide
+/// margin so only genuinely broken routing trips it.
+fn hop_budget(d: u32) -> usize {
+    16 * d as usize + 64
+}
+
+/// One planned forwarding step: an ordered preference list of candidates,
+/// each tagged with the phase it would be accounted to.
+enum StepPlan {
+    /// The current node is (locally provably) the closest node to the key.
+    Terminate,
+    /// Try these candidates in order; skip dead ones with a timeout.
+    Forward(Vec<(HopPhase, CycloidId)>),
+}
+
+impl CycloidNetwork {
+    /// Performs one lookup from `src` for `raw_key`, walking the overlay
+    /// hop by hop using only each node's private routing state, and
+    /// returns the full trace. Every visited node's query-load counter is
+    /// incremented (the §4.2 congestion measure).
+    pub fn route(&mut self, src: CycloidId, raw_key: u64) -> LookupTrace {
+        let key = self.key_of(raw_key);
+        self.route_to_id(src, key)
+    }
+
+    /// Like [`CycloidNetwork::route`], but takes a pre-mapped key
+    /// identifier.
+    pub fn route_to_id(&mut self, src: CycloidId, key: CycloidId) -> LookupTrace {
+        self.route_impl(src, key, true)
+    }
+
+    /// Routing used by control traffic (join messages): same walk, but
+    /// without touching the per-node query-load counters the §4.2
+    /// experiment measures (which count *lookup* queries only).
+    pub(crate) fn route_quiet(&mut self, src: CycloidId, key: CycloidId) -> LookupTrace {
+        self.route_impl(src, key, false)
+    }
+
+    fn route_impl(&mut self, src: CycloidId, key: CycloidId, count_loads: bool) -> LookupTrace {
+        assert!(self.is_live(src), "lookup source {src} is not live");
+        let dim = self.dim();
+        let budget = hop_budget(dim.get());
+        let mut cur = src;
+        let mut hops: Vec<HopPhase> = Vec::new();
+        let mut timeouts: u32 = 0;
+        let mut visited: HashSet<u64> = HashSet::new();
+        visited.insert(cur.linear(dim));
+        if count_loads {
+            self.count_query(cur);
+        }
+
+        let outcome = loop {
+            if hops.len() >= budget {
+                break LookupOutcome::HopBudgetExhausted;
+            }
+            let plan = self.plan_step(cur, key);
+            match plan {
+                StepPlan::Terminate => {
+                    break self.classify_terminal(cur, key);
+                }
+                StepPlan::Forward(candidates) => {
+                    let cur_dist = KeyDistance::between(key, cur, dim);
+                    let mut next: Option<(HopPhase, CycloidId)> = None;
+                    let mut dead_seen: HashSet<u64> = HashSet::new();
+                    for (phase, cand) in candidates {
+                        // A hop that strictly reduces the key distance can
+                        // never loop, so it may revisit; non-improving
+                        // (phase) hops are blocked from revisiting to
+                        // guarantee termination.
+                        let improving = KeyDistance::between(key, cand, dim) < cur_dist;
+                        if cand == cur || (!improving && visited.contains(&cand.linear(dim))) {
+                            continue;
+                        }
+                        if !self.is_live(cand) {
+                            if dead_seen.insert(cand.linear(dim)) {
+                                timeouts += 1;
+                            }
+                            continue;
+                        }
+                        next = Some((phase, cand));
+                        break;
+                    }
+                    match next {
+                        Some((phase, cand)) => {
+                            hops.push(phase);
+                            cur = cand;
+                            visited.insert(cur.linear(dim));
+                            if count_loads {
+                                self.count_query(cur);
+                            }
+                        }
+                        None => break self.classify_terminal(cur, key),
+                    }
+                }
+            }
+        };
+
+        LookupTrace {
+            hops,
+            timeouts,
+            outcome,
+            terminal: cur.linear(dim),
+        }
+    }
+
+    /// Classifies where a lookup stopped: at the true owner, or elsewhere.
+    fn classify_terminal(&self, cur: CycloidId, key: CycloidId) -> LookupOutcome {
+        match self.owner_of_key(key) {
+            Some(owner) if owner == cur => LookupOutcome::Found,
+            Some(_) => LookupOutcome::WrongOwner,
+            None => LookupOutcome::Stuck,
+        }
+    }
+
+    /// Builds the forwarding plan for one step at `cur` (Fig. 3).
+    fn plan_step(&self, cur: CycloidId, key: CycloidId) -> StepPlan {
+        let dim = self.dim();
+        let state = self.node(cur).expect("current node must be live");
+        let cur_dist = KeyDistance::between(key, cur, dim);
+
+        // Live leaf-set entries strictly closer to the key than the
+        // current node, sorted closest-first. This is both the termination
+        // test ("the closest node is the current node itself") and the
+        // universal fallback.
+        let mut closer_leafs: Vec<(KeyDistance, CycloidId)> = state
+            .leaf_entries()
+            .filter(|&c| c != cur && self.is_live(c))
+            .map(|c| (KeyDistance::between(key, c, dim), c))
+            .filter(|&(d, _)| d < cur_dist)
+            .collect();
+        closer_leafs.sort_unstable();
+        closer_leafs.dedup();
+        if closer_leafs.is_empty() {
+            return StepPlan::Terminate;
+        }
+
+        if self.target_within_leaf_span(state, key) {
+            // Phase 3: traverse cycle.
+            let plan = closer_leafs
+                .into_iter()
+                .map(|(_, c)| (HopPhase::TraverseCycle, c))
+                .collect();
+            return StepPlan::Forward(plan);
+        }
+
+        let m = msdb(cur.cubical, key.cubical)
+            .expect("outside the leaf span implies differing cubical indices");
+        let k = cur.cyclic;
+
+        if k < m {
+            // Phase 1: ascending — outside-leaf hop towards the target,
+            // preferring the entry whose cubical index is closest to the
+            // destination, then any closer leaf.
+            let mut plan: Vec<(HopPhase, CycloidId)> = Vec::new();
+            let mut outside: Vec<(KeyDistance, CycloidId)> = state
+                .outside_left
+                .iter()
+                .chain(&state.outside_right)
+                .map(|&c| (KeyDistance::between(key, c, dim), c))
+                .collect();
+            outside.sort_unstable();
+            outside.dedup();
+            plan.extend(outside.into_iter().map(|(_, c)| (HopPhase::Ascending, c)));
+            plan.extend(
+                closer_leafs
+                    .into_iter()
+                    .map(|(_, c)| (HopPhase::Ascending, c)),
+            );
+            return StepPlan::Forward(plan);
+        }
+
+        // Phase 2: descending.
+        let mut plan: Vec<(HopPhase, CycloidId)> = Vec::new();
+        if k == m {
+            // Correct bit k through the cubical neighbour.
+            if let Some(cb) = state.cubical_neighbor {
+                plan.push((HopPhase::Descending, cb));
+            }
+        } else {
+            // k > m: lower the cyclic index towards MSDB through the
+            // cyclic neighbours or inside leaf set, "whichever is closer
+            // to the target": maximal shared cubical prefix with the key,
+            // then minimal key distance.
+            let mut cands: Vec<(u32, KeyDistance, CycloidId)> = state
+                .cyclic_smaller
+                .into_iter()
+                .chain(state.cyclic_larger)
+                .chain(state.inside_left.iter().copied())
+                .chain(state.inside_right.iter().copied())
+                .filter(|c| c.cyclic >= m && c.cyclic < k)
+                .map(|c| {
+                    (
+                        prefix_len(c.cubical, key.cubical, dim),
+                        KeyDistance::between(key, c, dim),
+                        c,
+                    )
+                })
+                .collect();
+            cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            cands.dedup_by_key(|e| e.2);
+            plan.extend(cands.into_iter().map(|(_, _, c)| (HopPhase::Descending, c)));
+        }
+        plan.extend(
+            closer_leafs
+                .into_iter()
+                .map(|(_, c)| (HopPhase::Descending, c)),
+        );
+        StepPlan::Forward(plan)
+    }
+
+    /// "The target ID is within the leaf sets": the key's cycle coincides
+    /// with the current node's, or lies on the clockwise arc from the
+    /// farthest preceding outside-leaf cycle to the farthest succeeding
+    /// one (the arc through the current node).
+    fn target_within_leaf_span(&self, state: &NodeState, key: CycloidId) -> bool {
+        let cur = state.id;
+        if key.cubical == cur.cubical {
+            return true;
+        }
+        let left_outer = match state.outside_left.last() {
+            Some(c) => c.cubical,
+            None => return true, // no outside leafs: lone cycle
+        };
+        let right_outer = match state.outside_right.last() {
+            Some(c) => c.cubical,
+            None => return true,
+        };
+        if left_outer == cur.cubical && right_outer == cur.cubical {
+            return true; // network has a single cycle
+        }
+        let m = self.dim().cubical_space();
+        clockwise_dist(left_outer, key.cubical, m) <= clockwise_dist(left_outer, right_outer, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CycloidConfig;
+    use dht_core::rng::stream;
+    use rand::Rng;
+
+    fn id(k: u32, a: u64) -> CycloidId {
+        CycloidId::new(k, a)
+    }
+
+    /// Routes between explicit IDs in a complete network and checks
+    /// success.
+    fn route_ok(net: &mut CycloidNetwork, src: CycloidId, key: CycloidId) -> LookupTrace {
+        let t = net.route_to_id(src, key);
+        assert_eq!(
+            t.outcome,
+            LookupOutcome::Found,
+            "lookup {src} -> {key} ended {:?} at {}",
+            t.outcome,
+            CycloidId::from_linear(t.terminal, net.dim())
+        );
+        t
+    }
+
+    #[test]
+    fn complete_network_every_pair_resolves_d4() {
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        let ids: Vec<CycloidId> = net.ids().collect();
+        for &src in &ids {
+            for &dst in ids.iter().step_by(5) {
+                let t = route_ok(&mut net, src, dst);
+                assert_eq!(
+                    CycloidId::from_linear(t.terminal, net.dim()),
+                    dst,
+                    "in a complete network the key's own node stores it"
+                );
+                assert_eq!(t.timeouts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig4_route_example() {
+        // Fig. 4: routing from (0,0100) to (2,1111) in a 4-dimensional
+        // complete Cycloid passes through ascending, descending and
+        // traverse phases and takes O(d) hops.
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        let t = route_ok(&mut net, id(0, 0b0100), id(2, 0b1111));
+        assert!(t.path_len() >= 3, "nontrivial route expected");
+        assert!(
+            t.path_len() <= 12,
+            "route must stay O(d), got {}",
+            t.path_len()
+        );
+        assert!(t.hops_in_phase(HopPhase::Ascending) >= 1);
+        assert!(t.hops_in_phase(HopPhase::Descending) >= 1);
+    }
+
+    #[test]
+    fn ascending_usually_one_hop_in_complete_network() {
+        // §4.1: "the ascending phase in Cycloid usually takes only one
+        // step because the outside leaf set entry node is the primary node
+        // in its cycle".
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(6));
+        let mut rng = stream(11, "asc");
+        let mut total_asc = 0usize;
+        let mut lookups = 0usize;
+        for _ in 0..500 {
+            let src_lin = rng.gen_range(0..net.dim().id_space());
+            let dst_lin = rng.gen_range(0..net.dim().id_space());
+            let src = CycloidId::from_linear(src_lin, net.dim());
+            let dst = CycloidId::from_linear(dst_lin, net.dim());
+            let t = route_ok(&mut net, src, dst);
+            total_asc += t.hops_in_phase(HopPhase::Ascending);
+            lookups += 1;
+        }
+        let mean_asc = total_asc as f64 / lookups as f64;
+        assert!(
+            mean_asc <= 1.5,
+            "mean ascending hops {mean_asc} should be about one"
+        );
+    }
+
+    #[test]
+    fn sparse_network_lookups_all_resolve() {
+        // 300 of 2048 slots occupied: every lookup still terminates at the
+        // global owner with zero timeouts (tables are fresh).
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 300, 17);
+        let ids: Vec<CycloidId> = net.ids().collect();
+        let mut rng = stream(18, "sparse");
+        for i in 0..2000 {
+            let src = ids[i % ids.len()];
+            let raw: u64 = rng.gen();
+            let key = net.key_of(raw);
+            let t = net.route_to_id(src, key);
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i} failed");
+            assert_eq!(t.timeouts, 0);
+            assert_eq!(
+                Some(t.terminal),
+                net.owner_of_key(key).map(|o| o.linear(net.dim()))
+            );
+        }
+    }
+
+    #[test]
+    fn eleven_entry_paths_not_longer_on_average() {
+        // §3.2: "the 11-entry Cycloid DHT has better performance".
+        let mut seven = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(7), 500, 3);
+        let mut eleven = CycloidNetwork::with_nodes(CycloidConfig::eleven_entry(7), 500, 3);
+        let mut rng = stream(19, "cmp");
+        let reqs: Vec<(usize, u64)> = (0..2000).map(|i| (i % 500, rng.gen())).collect();
+        let mean = |net: &mut CycloidNetwork| -> f64 {
+            let ids: Vec<CycloidId> = net.ids().collect();
+            let mut total = 0usize;
+            for &(i, raw) in &reqs {
+                total += net.route(ids[i], raw).path_len();
+            }
+            total as f64 / reqs.len() as f64
+        };
+        let m7 = mean(&mut seven);
+        let m11 = mean(&mut eleven);
+        assert!(
+            m11 <= m7 + 0.3,
+            "11-entry mean {m11} should not exceed 7-entry mean {m7}"
+        );
+    }
+
+    #[test]
+    fn path_length_scales_linearly_with_dimension() {
+        // O(d) claim: mean path length in the complete network stays below
+        // 2.5 * d for every simulated dimension.
+        for d in 3..=7u32 {
+            let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(d));
+            let mut rng = stream(u64::from(d), "odim");
+            let space = net.dim().id_space();
+            let mut total = 0usize;
+            let n_lookups = 400;
+            for _ in 0..n_lookups {
+                let src = CycloidId::from_linear(rng.gen_range(0..space), net.dim());
+                let dst = CycloidId::from_linear(rng.gen_range(0..space), net.dim());
+                total += route_ok(&mut net, src, dst).path_len();
+            }
+            let mean = total as f64 / f64::from(n_lookups);
+            assert!(
+                mean <= 2.5 * f64::from(d),
+                "complete Cycloid({d}) mean path {mean} exceeds 2.5d"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_after_mass_departures_still_resolves() {
+        // §4.3's property: after massive graceful departures and NO
+        // stabilization, all lookups still resolve (leaf sets carry the
+        // routing), at the cost of timeouts.
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 1024, 23);
+        let mut rng = stream(29, "fail");
+        let ids: Vec<CycloidId> = net.ids().collect();
+        for &node in &ids {
+            if rng.gen_bool(0.4) {
+                net.leave(node);
+            }
+        }
+        let live: Vec<CycloidId> = net.ids().collect();
+        assert!(!live.is_empty());
+        let mut total_timeouts = 0u32;
+        for i in 0..1000 {
+            let src = live[i % live.len()];
+            let raw: u64 = rng.gen();
+            let t = net.route(src, raw);
+            assert_eq!(
+                t.outcome,
+                LookupOutcome::Found,
+                "lookup {i} failed after departures"
+            );
+            total_timeouts += t.timeouts;
+        }
+        assert!(
+            total_timeouts > 0,
+            "stale cubical/cyclic entries must produce timeouts"
+        );
+    }
+
+    #[test]
+    fn stabilization_removes_timeouts() {
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 1024, 31);
+        let mut rng = stream(37, "stab");
+        let ids: Vec<CycloidId> = net.ids().collect();
+        for &node in &ids {
+            if rng.gen_bool(0.3) {
+                net.leave(node);
+            }
+        }
+        net.stabilize_all();
+        let live: Vec<CycloidId> = net.ids().collect();
+        for i in 0..500 {
+            let src = live[i % live.len()];
+            let t = net.route(src, rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+            assert_eq!(t.timeouts, 0, "stabilized network must have no timeouts");
+        }
+    }
+
+    #[test]
+    fn query_loads_accumulate_over_lookups() {
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), 100, 41);
+        let ids: Vec<CycloidId> = net.ids().collect();
+        let mut rng = stream(43, "load");
+        for i in 0..200 {
+            let src = ids[i % ids.len()];
+            let _ = net.route(src, rng.gen());
+        }
+        let loads = net.query_loads();
+        let total: u64 = loads.iter().sum();
+        assert!(total >= 200, "at least the source visit per lookup");
+    }
+
+    #[test]
+    fn route_from_every_node_to_same_key_agrees() {
+        // Determinism/consistency: the terminal node is the unique owner
+        // regardless of the source.
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(7), 300, 47);
+        let ids: Vec<CycloidId> = net.ids().collect();
+        let raw = 0xdead_beef_cafe_f00d;
+        let owner = net.owner_of_key(net.key_of(raw)).unwrap();
+        for &src in ids.iter().step_by(13) {
+            let t = net.route(src, raw);
+            assert_eq!(t.outcome, LookupOutcome::Found);
+            assert_eq!(t.terminal, owner.linear(net.dim()));
+        }
+    }
+
+    #[test]
+    fn two_node_network_routes() {
+        let mut net = CycloidNetwork::new(CycloidConfig::seven_entry(4), 51);
+        net.join_id(id(1, 2));
+        net.join_id(id(3, 11));
+        net.stabilize_all();
+        for raw in 0..50u64 {
+            let t = net.route(id(1, 2), raw.wrapping_mul(0x1234_5678_9abc));
+            assert_eq!(t.outcome, LookupOutcome::Found);
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut net = CycloidNetwork::new(CycloidConfig::seven_entry(4), 53);
+        net.join_id(id(2, 7));
+        let t = net.route(id(2, 7), 999);
+        assert_eq!(t.outcome, LookupOutcome::Found);
+        assert_eq!(t.path_len(), 0);
+    }
+}

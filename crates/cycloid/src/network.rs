@@ -1,0 +1,949 @@
+//! The Cycloid overlay network: membership, neighbour resolution, the
+//! join/leave protocols of §3.3, and stabilization.
+//!
+//! The network is a *simulator* in the paper's sense: all node states live
+//! in one structure, and protocol actions (join notifications, graceful
+//! leave notifications, stabilization refreshes) mutate exactly the state
+//! the real protocol would mutate. Pointers the protocol does **not**
+//! repair — other nodes' cubical and cyclic neighbours — go stale until
+//! stabilization, which is what the §4.3 timeout experiments measure.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use dht_core::hash::IdAllocator;
+use rand::RngCore;
+
+use crate::id::{CycloidId, Dim, KeyDistance};
+use crate::state::NodeState;
+
+/// Configuration of a Cycloid deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycloidConfig {
+    /// Dimension `d`; the identifier space holds `d * 2^d` nodes.
+    pub dimension: u32,
+    /// Leaf-set radius: 1 gives the paper's seven-entry DHT, 2 the
+    /// eleven-entry variant.
+    pub leaf_radius: usize,
+}
+
+impl CycloidConfig {
+    /// The paper's default seven-entry configuration.
+    #[must_use]
+    pub fn seven_entry(dimension: u32) -> Self {
+        Self {
+            dimension,
+            leaf_radius: 1,
+        }
+    }
+
+    /// The eleven-entry configuration (two predecessors and two successors
+    /// in each leaf set).
+    #[must_use]
+    pub fn eleven_entry(dimension: u32) -> Self {
+        Self {
+            dimension,
+            leaf_radius: 2,
+        }
+    }
+
+    /// Maximum routing-state entries per node: 3 routing-table neighbours
+    /// plus `4 * leaf_radius` leaf pointers.
+    #[must_use]
+    pub fn degree_bound(&self) -> usize {
+        3 + 4 * self.leaf_radius
+    }
+}
+
+/// A simulated Cycloid network.
+#[derive(Debug, Clone)]
+pub struct CycloidNetwork {
+    dim: Dim,
+    leaf_radius: usize,
+    /// Live nodes, keyed by linear identifier (`cubical * d + cyclic`).
+    nodes: BTreeMap<u64, NodeState>,
+    /// Non-empty cycles: cubical index → live cyclic indices on that cycle.
+    cycles: BTreeMap<u64, BTreeSet<u32>>,
+    /// Per-cyclic-index membership: `by_cyclic[k]` holds the cubical
+    /// indices of cycles containing a node with cyclic index `k`.
+    by_cyclic: Vec<BTreeSet<u64>>,
+    /// Identifier allocator for joins.
+    alloc: IdAllocator,
+}
+
+impl CycloidNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new(config: CycloidConfig, seed: u64) -> Self {
+        let dim = Dim::new(config.dimension);
+        assert!(
+            config.leaf_radius >= 1 && config.leaf_radius <= 4,
+            "leaf radius must be in [1, 4]"
+        );
+        Self {
+            dim,
+            leaf_radius: config.leaf_radius,
+            nodes: BTreeMap::new(),
+            cycles: BTreeMap::new(),
+            by_cyclic: vec![BTreeSet::new(); config.dimension as usize],
+            alloc: IdAllocator::new(seed),
+        }
+    }
+
+    /// Builds a network of `count` uniformly placed nodes and stabilizes it
+    /// ("once the network becomes stable", §4.3). Panics if `count` exceeds
+    /// the identifier space.
+    #[must_use]
+    pub fn with_nodes(config: CycloidConfig, count: usize, seed: u64) -> Self {
+        let mut net = Self::new(config, seed);
+        assert!(
+            count as u64 <= net.dim.id_space(),
+            "{count} nodes exceed the {}-slot identifier space",
+            net.dim.id_space()
+        );
+        while net.nodes.len() < count {
+            let id = CycloidId::from_hash(net.alloc.next_raw(), net.dim);
+            if !net.is_live(id) {
+                net.insert_membership(id);
+            }
+        }
+        net.stabilize_all();
+        net
+    }
+
+    /// Builds the *complete* network: every one of the `d * 2^d`
+    /// identifiers is occupied ("the network will be the traditional
+    /// cube-connected cycles if all nodes are alive", §3.1).
+    #[must_use]
+    pub fn complete(config: CycloidConfig) -> Self {
+        let mut net = Self::new(config, 0);
+        for linear in 0..net.dim.id_space() {
+            net.insert_membership(CycloidId::from_linear(linear, net.dim));
+        }
+        net.stabilize_all();
+        net
+    }
+
+    /// The network dimension.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The leaf-set radius (1 = seven-entry, 2 = eleven-entry).
+    #[must_use]
+    pub fn leaf_radius(&self) -> usize {
+        self.leaf_radius
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff `id` is a live node.
+    #[must_use]
+    pub fn is_live(&self, id: CycloidId) -> bool {
+        self.nodes.contains_key(&id.linear(self.dim))
+    }
+
+    /// State of a live node.
+    #[must_use]
+    pub fn node(&self, id: CycloidId) -> Option<&NodeState> {
+        self.nodes.get(&id.linear(self.dim))
+    }
+
+    /// Mutable state of a live node.
+    pub fn node_mut(&mut self, id: CycloidId) -> Option<&mut NodeState> {
+        self.nodes.get_mut(&id.linear(self.dim))
+    }
+
+    /// Iterates over live node identifiers in linear order.
+    pub fn ids(&self) -> impl Iterator<Item = CycloidId> + '_ {
+        self.nodes
+            .keys()
+            .map(move |&linear| CycloidId::from_linear(linear, self.dim))
+    }
+
+    /// Maps a raw key to its identifier in this space.
+    #[must_use]
+    pub fn key_of(&self, raw_key: u64) -> CycloidId {
+        CycloidId::from_hash(raw_key, self.dim)
+    }
+
+    /// The live node responsible for `key`: the unique minimum of
+    /// [`KeyDistance`] over all live nodes (§3.1's assignment rule).
+    ///
+    /// Computed from the membership indexes in `O(log n)`-ish time: only
+    /// the nearest non-empty cycle on each side of the key (plus the key's
+    /// own cycle) can contain the owner.
+    #[must_use]
+    pub fn owner_of_key(&self, key: CycloidId) -> Option<CycloidId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best: Option<(KeyDistance, CycloidId)> = None;
+        let mut consider = |cubical: u64, net: &Self| {
+            if let Some(members) = net.cycles.get(&cubical) {
+                for &k in members {
+                    let cand = CycloidId::new(k, cubical);
+                    let d = KeyDistance::between(key, cand, net.dim);
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, cand));
+                    }
+                }
+            }
+        };
+        consider(key.cubical, self);
+        if let Some(next) = self.next_nonempty_cycle(key.cubical) {
+            consider(next, self);
+        }
+        if let Some(prev) = self.prev_nonempty_cycle(key.cubical) {
+            consider(prev, self);
+        }
+        best.map(|(_, id)| id)
+    }
+
+    // ------------------------------------------------------------------
+    // Membership indexes
+    // ------------------------------------------------------------------
+
+    fn insert_membership(&mut self, id: CycloidId) {
+        let linear = id.linear(self.dim);
+        let prev = self.nodes.insert(linear, NodeState::new(id));
+        assert!(prev.is_none(), "identifier {id} already occupied");
+        self.cycles.entry(id.cubical).or_default().insert(id.cyclic);
+        self.by_cyclic[id.cyclic as usize].insert(id.cubical);
+    }
+
+    fn remove_membership(&mut self, id: CycloidId) -> Option<NodeState> {
+        let linear = id.linear(self.dim);
+        let state = self.nodes.remove(&linear)?;
+        let members = self
+            .cycles
+            .get_mut(&id.cubical)
+            .expect("cycle index out of sync");
+        members.remove(&id.cyclic);
+        if members.is_empty() {
+            self.cycles.remove(&id.cubical);
+        }
+        self.by_cyclic[id.cyclic as usize].remove(&id.cubical);
+        Some(state)
+    }
+
+    /// Primary node (largest cyclic index, §3.1) of cycle `cubical`, if the
+    /// cycle is non-empty.
+    #[must_use]
+    pub fn primary_of(&self, cubical: u64) -> Option<CycloidId> {
+        self.cycles
+            .get(&cubical)
+            .and_then(|m| m.iter().next_back())
+            .map(|&k| CycloidId::new(k, cubical))
+    }
+
+    /// Nearest non-empty cycle clockwise (increasing cubical index,
+    /// wrapping) strictly after `cubical`. Returns `cubical` itself only if
+    /// it is the sole non-empty cycle.
+    #[must_use]
+    pub fn next_nonempty_cycle(&self, cubical: u64) -> Option<u64> {
+        if self.cycles.is_empty() {
+            return None;
+        }
+        self.cycles
+            .range(cubical + 1..)
+            .next()
+            .or_else(|| self.cycles.range(..=cubical).next())
+            .map(|(&c, _)| c)
+    }
+
+    /// Nearest non-empty cycle counter-clockwise strictly before `cubical`
+    /// (wrapping).
+    #[must_use]
+    pub fn prev_nonempty_cycle(&self, cubical: u64) -> Option<u64> {
+        if self.cycles.is_empty() {
+            return None;
+        }
+        self.cycles
+            .range(..cubical)
+            .next_back()
+            .or_else(|| self.cycles.range(cubical..).next_back())
+            .map(|(&c, _)| c)
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbour resolution (the "local remote search" outcome)
+    // ------------------------------------------------------------------
+
+    /// Resolves the cubical neighbour of `id`: a live node matching
+    /// `(k-1, a_{d-1}…a_{k+1} ā_k x…x)` — prefix above bit `k` preserved,
+    /// bit `k` flipped, low bits arbitrary (Table 2). Among multiple
+    /// candidates, the one whose cubical index is nearest to `a XOR 2^k`
+    /// is chosen (ties toward the smaller index), which is the node the
+    /// §3.3.1 local-remote search finds first.
+    #[must_use]
+    pub fn resolve_cubical_neighbor(&self, id: CycloidId) -> Option<CycloidId> {
+        let k = id.cyclic;
+        if k == 0 {
+            return None;
+        }
+        let target = id.cubical ^ (1u64 << k);
+        let low_mask = (1u64 << k) - 1;
+        let base = target & !low_mask;
+        let set = &self.by_cyclic[(k - 1) as usize];
+        let above = set.range(target..=base | low_mask).next().copied();
+        let below = set.range(base..target).next_back().copied();
+        let pick = match (above, below) {
+            (Some(u), Some(l)) => {
+                if u - target < target - l {
+                    Some(u)
+                } else {
+                    Some(l)
+                }
+            }
+            (a, b) => a.or(b),
+        };
+        pick.map(|c| CycloidId::new(k - 1, c))
+    }
+
+    /// Resolves the two cyclic neighbours of `id`: the first larger and
+    /// first smaller live nodes with cyclic index `k-1` whose cubical index
+    /// differs from `a` only below bit `k` (MSDB with the current node no
+    /// larger than `k-1`, §3.1).
+    #[must_use]
+    pub fn resolve_cyclic_neighbors(
+        &self,
+        id: CycloidId,
+    ) -> (Option<CycloidId>, Option<CycloidId>) {
+        let k = id.cyclic;
+        if k == 0 {
+            return (None, None);
+        }
+        let low_mask = (1u64 << k) - 1;
+        let base = id.cubical & !low_mask;
+        let top = base | low_mask;
+        let set = &self.by_cyclic[(k - 1) as usize];
+        let larger = if id.cubical < top {
+            set.range(id.cubical + 1..=top)
+                .next()
+                .map(|&c| CycloidId::new(k - 1, c))
+        } else {
+            None
+        };
+        let smaller = set
+            .range(base..id.cubical)
+            .next_back()
+            .map(|&c| CycloidId::new(k - 1, c));
+        (smaller, larger)
+    }
+
+    /// Resolves the inside leaf set of `id`: the `leaf_radius` nearest live
+    /// predecessors and successors on the local cycle, in cyclic order
+    /// (mod `d`), nearest first. A node alone on its cycle points at
+    /// itself (§3.3.1 case 2).
+    #[must_use]
+    pub fn resolve_inside_leafs(&self, id: CycloidId) -> (Vec<CycloidId>, Vec<CycloidId>) {
+        let members = self
+            .cycles
+            .get(&id.cubical)
+            .expect("inside leafs of a node on an empty cycle");
+        let r = self.leaf_radius;
+        if members.len() <= 1 {
+            return (vec![id; r], vec![id; r]);
+        }
+        let sorted: Vec<u32> = members.iter().copied().collect();
+        let pos = sorted
+            .binary_search(&id.cyclic)
+            .expect("node missing from its own cycle");
+        let n = sorted.len();
+        let mut left = Vec::with_capacity(r);
+        let mut right = Vec::with_capacity(r);
+        for i in 1..=r {
+            left.push(CycloidId::new(sorted[(pos + n - (i % n)) % n], id.cubical));
+            right.push(CycloidId::new(sorted[(pos + i) % n], id.cubical));
+        }
+        (left, right)
+    }
+
+    /// Resolves the outside leaf set of `id`: primaries of the
+    /// `leaf_radius` nearest non-empty preceding and succeeding remote
+    /// cycles (wrapping on the large ring), nearest first. When fewer
+    /// other cycles exist, entries wrap onto the node's own primary.
+    #[must_use]
+    pub fn resolve_outside_leafs(&self, id: CycloidId) -> (Vec<CycloidId>, Vec<CycloidId>) {
+        let r = self.leaf_radius;
+        let mut left = Vec::with_capacity(r);
+        let mut right = Vec::with_capacity(r);
+        let mut c = id.cubical;
+        for _ in 0..r {
+            c = self.prev_nonempty_cycle(c).unwrap_or(id.cubical);
+            left.push(self.primary_of(c).unwrap_or(id));
+        }
+        let mut c = id.cubical;
+        for _ in 0..r {
+            c = self.next_nonempty_cycle(c).unwrap_or(id.cubical);
+            right.push(self.primary_of(c).unwrap_or(id));
+        }
+        (left, right)
+    }
+
+    /// Recomputes every entry of one node's routing state (what the node's
+    /// own stabilizer plus fresh leaf-set knowledge would produce).
+    pub fn refresh_node(&mut self, id: CycloidId) {
+        let cubical = self.resolve_cubical_neighbor(id);
+        let (cyc_small, cyc_large) = self.resolve_cyclic_neighbors(id);
+        let (in_l, in_r) = self.resolve_inside_leafs(id);
+        let (out_l, out_r) = self.resolve_outside_leafs(id);
+        let state = self
+            .node_mut(id)
+            .expect("refresh of a node that is not live");
+        state.cubical_neighbor = cubical;
+        state.cyclic_smaller = cyc_small;
+        state.cyclic_larger = cyc_large;
+        state.inside_left = in_l;
+        state.inside_right = in_r;
+        state.outside_left = out_l;
+        state.outside_right = out_r;
+    }
+
+    /// Refreshes only the leaf sets of one node (join/leave notifications
+    /// repair leaf sets but *not* cubical/cyclic neighbours, §3.3.2).
+    pub fn refresh_leaf_sets(&mut self, id: CycloidId) {
+        let (in_l, in_r) = self.resolve_inside_leafs(id);
+        let (out_l, out_r) = self.resolve_outside_leafs(id);
+        let state = self
+            .node_mut(id)
+            .expect("leaf refresh of a node that is not live");
+        state.inside_left = in_l;
+        state.inside_right = in_r;
+        state.outside_left = out_l;
+        state.outside_right = out_r;
+    }
+
+    /// One full stabilization round: every node refreshes its cubical and
+    /// cyclic neighbours ("updating cubical and cyclic neighbours are the
+    /// responsibility of system stabilization, as in Chord", §3.3.2) and
+    /// its leaf sets.
+    pub fn stabilize_all(&mut self) {
+        let ids: Vec<CycloidId> = self.ids().collect();
+        for id in ids {
+            self.refresh_node(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join / leave protocols (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Oracle-initialized join of a node with identifier `id`: state is
+    /// computed from the live membership, then the §3.3.1 notifications
+    /// repair the neighbourhood. Used for bulk construction; the
+    /// message-level path is [`CycloidNetwork::join_via_protocol`], whose
+    /// outcome is provably identical (see the property tests). Returns
+    /// `false` if the identifier is already occupied.
+    pub fn join_id(&mut self, id: CycloidId) -> bool {
+        if self.is_live(id) {
+            return false;
+        }
+        self.insert_membership(id);
+        self.refresh_node(id);
+        self.notify_after_membership_change(id);
+        true
+    }
+
+    /// The full §3.3.1 protocol join: the join message is **routed** from
+    /// the bootstrap contact to the existing node `Z` whose identifier is
+    /// numerically closest to the newcomer's, and the newcomer's leaf sets
+    /// are derived from `Z`'s state (the section's two cases) rather than
+    /// from global knowledge. The routing table is then initialized by the
+    /// local-remote search, and the §3.3.1 notifications repair the
+    /// neighbourhood.
+    ///
+    /// Returns `false` if `id` is occupied or `bootstrap` is not live.
+    /// Equivalent in outcome to [`CycloidNetwork::join_id`] (asserted by
+    /// the property tests), but exercises the real message path.
+    pub fn join_via_protocol(&mut self, bootstrap: CycloidId, id: CycloidId) -> bool {
+        if self.is_live(id) || !self.is_live(bootstrap) {
+            return false;
+        }
+        // 1. "The node A will route the joining message to the existing
+        //    node Z whose ID is numerically closest to the ID of X."
+        //    Control traffic: no query-load accounting.
+        let trace = self.route_quiet(bootstrap, id);
+        let z = CycloidId::from_linear(trace.terminal, self.dim);
+
+        // 2. "Z's Leaf Sets are the basis for X's Leaf Sets."
+        self.insert_membership(id);
+        let (in_l, in_r, out_l, out_r) = self.derive_leafs_from(z, id);
+        {
+            let state = self.node_mut(id).expect("just inserted");
+            state.inside_left = in_l;
+            state.inside_right = in_r;
+            state.outside_left = out_l;
+            state.outside_right = out_r;
+        }
+
+        // 3. "We use a local remote method to initialize the three
+        //    neighbors in the X's routing table."
+        let cubical = self.resolve_cubical_neighbor(id);
+        let (cyc_small, cyc_large) = self.resolve_cyclic_neighbors(id);
+        {
+            let state = self.node_mut(id).expect("just inserted");
+            state.cubical_neighbor = cubical;
+            state.cyclic_smaller = cyc_small;
+            state.cyclic_larger = cyc_large;
+        }
+
+        // 4. Notifications: inside leaf set, plus the outside propagation
+        //    when the newcomer is a primary. The newcomer's own sets were
+        //    derived above and must not be overwritten.
+        self.notify_after_membership_change_except(id, Some(id));
+        true
+    }
+
+    /// Derives the newcomer `x`'s leaf sets from `z`'s state per §3.3.1:
+    /// case 1 (same cycle) splices `x` next to `z` using `z`'s inside leaf
+    /// set; case 2 (`x` alone on its cycle) points inside at `x` itself
+    /// and assembles the outside leaf set from `z`'s cycle's primary and
+    /// `z`'s outside entries.
+    fn derive_leafs_from(
+        &self,
+        z: CycloidId,
+        x: CycloidId,
+    ) -> (
+        Vec<CycloidId>,
+        Vec<CycloidId>,
+        Vec<CycloidId>,
+        Vec<CycloidId>,
+    ) {
+        let r = self.leaf_radius;
+        let z_state = self.node(z).expect("Z is live").clone();
+        if z.cubical == x.cubical {
+            // Case 1: X joins Z's cycle. Z is X's nearest cycle member, so
+            // Z plus Z's inside leaf set covers X's whole neighbourhood;
+            // compute X's pred/succ lists from that locally known set.
+            let mut members: Vec<u32> = z_state
+                .inside_left
+                .iter()
+                .chain(&z_state.inside_right)
+                .filter(|m| m.cubical == x.cubical)
+                .map(|m| m.cyclic)
+                .chain([z.cyclic, x.cyclic])
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            let pos = members
+                .binary_search(&x.cyclic)
+                .expect("x was added to the set");
+            let n = members.len();
+            let mut left = Vec::with_capacity(r);
+            let mut right = Vec::with_capacity(r);
+            for i in 1..=r {
+                left.push(CycloidId::new(members[(pos + n - (i % n)) % n], x.cubical));
+                right.push(CycloidId::new(members[(pos + i) % n], x.cubical));
+            }
+            (
+                left,
+                right,
+                z_state.outside_left.clone(),
+                z_state.outside_right.clone(),
+            )
+        } else {
+            // Case 2: X is alone on its cycle; Z sits on an adjacent one.
+            // "Two nodes in X's inside leaf set are X itself."
+            let inside = vec![x; r];
+            // Locally known non-empty cycles and their primaries: Z's own
+            // cycle (Z reports its primary) plus Z's outside entries.
+            let mut known: BTreeMap<u64, CycloidId> = BTreeMap::new();
+            known.insert(
+                z.cubical,
+                self.primary_of(z.cubical).expect("Z's cycle is non-empty"),
+            );
+            for p in z_state.outside_left.iter().chain(&z_state.outside_right) {
+                known.insert(p.cubical, *p);
+            }
+            known.remove(&x.cubical);
+            let cubicals: Vec<u64> = known.keys().copied().collect();
+            let pick = |dir_left: bool| -> Vec<CycloidId> {
+                let mut out = Vec::with_capacity(r);
+                let mut cursor = x.cubical;
+                for _ in 0..r {
+                    let next = if dir_left {
+                        cubicals
+                            .iter()
+                            .rev()
+                            .find(|&&c| c < cursor)
+                            .or_else(|| cubicals.last())
+                    } else {
+                        cubicals
+                            .iter()
+                            .find(|&&c| c > cursor)
+                            .or_else(|| cubicals.first())
+                    };
+                    match next {
+                        Some(&c) => {
+                            out.push(known[&c]);
+                            cursor = c;
+                        }
+                        None => break,
+                    }
+                }
+                if out.is_empty() {
+                    out.push(x);
+                }
+                out
+            };
+            (inside.clone(), inside, pick(true), pick(false))
+        }
+    }
+
+    /// Join with a freshly hashed identifier (re-hashing on collision, as
+    /// a real deployment re-hashes with a salt), bootstrapped at a random
+    /// live node through the full §3.3.1 message path. Returns the new
+    /// node, or `None` if the identifier space is full.
+    pub fn join_random(&mut self, rng: &mut dyn RngCore) -> Option<CycloidId> {
+        if self.nodes.len() as u64 >= self.dim.id_space() {
+            return None;
+        }
+        let bootstrap = if self.nodes.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % self.nodes.len() as u64) as usize;
+            self.ids().nth(i)
+        };
+        loop {
+            let id = CycloidId::from_hash(self.alloc.next_raw(), self.dim);
+            let joined = match bootstrap {
+                Some(b) => self.join_via_protocol(b, id),
+                None => self.join_id(id),
+            };
+            if joined {
+                return Some(id);
+            }
+        }
+    }
+
+    /// Graceful departure of `id` (§3.3.2): the node notifies its inside
+    /// leaf set, and its outside leaf set if it is a primary; notified
+    /// primaries propagate around their local cycles. Nodes that hold the
+    /// leaver as a *cubical or cyclic neighbour* are **not** notified —
+    /// those pointers stay stale until stabilization, producing the
+    /// timeouts of §4.3.
+    ///
+    /// Returns `false` if `id` is not live.
+    pub fn leave(&mut self, id: CycloidId) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        self.remove_membership(id);
+        self.notify_after_membership_change(id);
+        true
+    }
+
+    /// Ungraceful failure: `id` vanishes without notifying anyone, so the
+    /// leaf sets of its cycle peers and adjacent primaries stay stale in
+    /// addition to the cubical/cyclic pointers (§3.4 defers this case;
+    /// the `ext-failures` experiment measures it). Returns `false` if
+    /// `id` is not live.
+    pub fn fail_node(&mut self, id: CycloidId) -> bool {
+        self.remove_membership(id).is_some()
+    }
+
+    /// Repairs the leaf sets the §3.3 notification chains repair after
+    /// `id` joined or left: all members of `id`'s local cycle (inside leaf
+    /// sets), and all members of the `leaf_radius` nearest non-empty
+    /// cycles on each side (outside leaf sets — reached via the primary
+    /// notification that "is passed along in the joining node's
+    /// neighbouring remote cycle until all the nodes in that cycle finish
+    /// updating").
+    fn notify_after_membership_change(&mut self, id: CycloidId) {
+        self.notify_after_membership_change_except(id, None);
+    }
+
+    /// Like [`Self::notify_after_membership_change`], but skipping one
+    /// node whose leaf sets were already initialized by other means (the
+    /// protocol join derives them from `Z` and must not have them
+    /// overwritten by the oracle refresh).
+    fn notify_after_membership_change_except(&mut self, id: CycloidId, skip: Option<CycloidId>) {
+        let mut affected: BTreeSet<u64> = BTreeSet::new();
+        affected.insert(id.cubical);
+        let mut c = id.cubical;
+        for _ in 0..self.leaf_radius {
+            match self.prev_nonempty_cycle(c) {
+                Some(p) => {
+                    affected.insert(p);
+                    c = p;
+                }
+                None => break,
+            }
+        }
+        let mut c = id.cubical;
+        for _ in 0..self.leaf_radius {
+            match self.next_nonempty_cycle(c) {
+                Some(n) => {
+                    affected.insert(n);
+                    c = n;
+                }
+                None => break,
+            }
+        }
+        let mut to_refresh: Vec<CycloidId> = Vec::new();
+        for cubical in affected {
+            if let Some(members) = self.cycles.get(&cubical) {
+                to_refresh.extend(members.iter().map(|&k| CycloidId::new(k, cubical)));
+            }
+        }
+        for node in to_refresh {
+            if Some(node) != skip {
+                self.refresh_leaf_sets(node);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query-load accounting
+    // ------------------------------------------------------------------
+
+    /// Increments the query-load counter of `id` (called by the router for
+    /// every node a lookup visits).
+    pub(crate) fn count_query(&mut self, id: CycloidId) {
+        if let Some(state) = self.node_mut(id) {
+            state.query_load += 1;
+        }
+    }
+
+    /// Per-node query loads in linear-identifier order.
+    #[must_use]
+    pub fn query_loads(&self) -> Vec<u64> {
+        self.nodes.values().map(|s| s.query_load).collect()
+    }
+
+    /// Zeroes all query-load counters.
+    pub fn reset_query_loads(&mut self) {
+        for state in self.nodes.values_mut() {
+            state.query_load = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(k: u32, a: u64) -> CycloidId {
+        CycloidId::new(k, a)
+    }
+
+    #[test]
+    fn complete_network_has_full_space() {
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        assert_eq!(net.node_count(), 64);
+        assert_eq!(net.ids().count(), 64);
+    }
+
+    #[test]
+    fn with_nodes_builds_requested_count() {
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 2000, 1);
+        assert_eq!(net.node_count(), 2000);
+    }
+
+    #[test]
+    fn table2_cubical_neighbor_pattern() {
+        // Paper Table 2: node (4, 10110110) in a complete 8-dimensional
+        // Cycloid has cubical neighbour (3, 1010xxxx).
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(8));
+        let nb = net
+            .resolve_cubical_neighbor(id(4, 0b1011_0110))
+            .expect("complete network must resolve the cubical neighbour");
+        assert_eq!(nb.cyclic, 3);
+        assert_eq!(nb.cubical >> 4, 0b1010, "high bits must be 1010");
+    }
+
+    #[test]
+    fn table2_cyclic_neighbors() {
+        // First larger and smaller nodes with cyclic index 3 differing
+        // from 10110110 only below bit 4: 10110111 and 10110101.
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(8));
+        let (smaller, larger) = net.resolve_cyclic_neighbors(id(4, 0b1011_0110));
+        assert_eq!(larger, Some(id(3, 0b1011_0111)));
+        assert_eq!(smaller, Some(id(3, 0b1011_0101)));
+    }
+
+    #[test]
+    fn table2_inside_leafs_complete() {
+        // Inside leaf set of (4, 10110110) in the complete network: local
+        // cycle predecessor (3, 10110110) and successor (5, 10110110).
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(8));
+        let (left, right) = net.resolve_inside_leafs(id(4, 0b1011_0110));
+        assert_eq!(left, vec![id(3, 0b1011_0110)]);
+        assert_eq!(right, vec![id(5, 0b1011_0110)]);
+    }
+
+    #[test]
+    fn table2_outside_leafs_complete() {
+        // Outside leaf set: primaries (cyclic index 7) of cycles 10110101
+        // and 10110111.
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(8));
+        let (left, right) = net.resolve_outside_leafs(id(4, 0b1011_0110));
+        assert_eq!(left, vec![id(7, 0b1011_0101)]);
+        assert_eq!(right, vec![id(7, 0b1011_0111)]);
+    }
+
+    #[test]
+    fn cyclic_index_zero_has_no_routing_neighbors() {
+        // §3.1: "The node with a cyclic index k = 0 has no cubical
+        // neighbour and cyclic neighbours."
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(5));
+        assert_eq!(net.resolve_cubical_neighbor(id(0, 7)), None);
+        assert_eq!(net.resolve_cyclic_neighbors(id(0, 7)), (None, None));
+    }
+
+    #[test]
+    fn lone_node_on_cycle_points_inside_at_itself() {
+        let mut net = CycloidNetwork::new(CycloidConfig::seven_entry(5), 3);
+        net.join_id(id(2, 9));
+        net.join_id(id(1, 20));
+        let (l, r) = net.resolve_inside_leafs(id(2, 9));
+        assert_eq!(l, vec![id(2, 9)]);
+        assert_eq!(r, vec![id(2, 9)]);
+        // Outside leafs point to the only other cycle's primary both ways.
+        let (ol, or) = net.resolve_outside_leafs(id(2, 9));
+        assert_eq!(ol, vec![id(1, 20)]);
+        assert_eq!(or, vec![id(1, 20)]);
+    }
+
+    #[test]
+    fn degree_bound_holds_in_complete_network() {
+        let net = CycloidNetwork::complete(CycloidConfig::seven_entry(5));
+        for node_id in net.ids() {
+            let deg = net.node(node_id).unwrap().degree();
+            assert!(deg <= 7, "node {node_id} has degree {deg} > 7");
+        }
+    }
+
+    #[test]
+    fn eleven_entry_degree_bound() {
+        let net = CycloidNetwork::with_nodes(CycloidConfig::eleven_entry(6), 200, 5);
+        for node_id in net.ids() {
+            let deg = net.node(node_id).unwrap().degree();
+            assert!(deg <= 11, "node {node_id} has degree {deg} > 11");
+        }
+    }
+
+    #[test]
+    fn owner_is_global_argmin() {
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), 100, 7);
+        for raw in 0..500u64 {
+            let key = net.key_of(raw.wrapping_mul(0x9e37_79b9));
+            let owner = net.owner_of_key(key).unwrap();
+            let brute = net
+                .ids()
+                .min_by_key(|&n| KeyDistance::between(key, n, net.dim()))
+                .unwrap();
+            assert_eq!(owner, brute, "owner mismatch for key {key}");
+        }
+    }
+
+    #[test]
+    fn leave_updates_leaf_sets_of_cycle_peers() {
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        let leaver = id(2, 5);
+        assert!(net.leave(leaver));
+        assert!(!net.is_live(leaver));
+        // Predecessor (1,5) must now point past the leaver to (3,5).
+        let pred = net.node(id(1, 5)).unwrap();
+        assert_eq!(pred.inside_right, vec![id(3, 5)]);
+        // Successor (3,5) must point back to (1,5).
+        let succ = net.node(id(3, 5)).unwrap();
+        assert_eq!(succ.inside_left, vec![id(1, 5)]);
+    }
+
+    #[test]
+    fn primary_departure_updates_adjacent_cycles() {
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        let primary = net.primary_of(5).unwrap();
+        assert_eq!(primary, id(3, 5));
+        net.leave(primary);
+        // Every member of cycle 4 must now see (2,5) as the succeeding
+        // primary.
+        for k in 0..4 {
+            let state = net.node(id(k, 4)).unwrap();
+            assert_eq!(state.outside_right, vec![id(2, 5)], "member (k={k})");
+        }
+    }
+
+    #[test]
+    fn emptying_a_cycle_reroutes_outside_leafs() {
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        for k in 0..4 {
+            net.leave(id(k, 5));
+        }
+        // Cycle 5 is empty: cycle 4's members must skip to cycle 6.
+        let state = net.node(id(0, 4)).unwrap();
+        assert_eq!(state.outside_right[0].cubical, 6);
+        // And cycle 6's members must skip back to cycle 4.
+        let state = net.node(id(0, 6)).unwrap();
+        assert_eq!(state.outside_left[0].cubical, 4);
+    }
+
+    #[test]
+    fn leave_leaves_cubical_neighbors_stale() {
+        // Graceful departure must NOT repair other nodes' cubical/cyclic
+        // neighbours — that is stabilization's job (§3.3.2) and the very
+        // thing the timeout experiments measure.
+        let mut net = CycloidNetwork::complete(CycloidConfig::seven_entry(4));
+        // Find some node whose cubical neighbour is (1, 2).
+        let victim = id(1, 2);
+        let holder = net
+            .ids()
+            .find(|&n| net.node(n).unwrap().cubical_neighbor == Some(victim))
+            .expect("someone must point at the victim in a complete network");
+        net.leave(victim);
+        let still = net.node(holder).unwrap().cubical_neighbor;
+        assert_eq!(still, Some(victim), "stale pointer must remain");
+        // ... until stabilization repairs it.
+        net.stabilize_all();
+        let repaired = net.node(holder).unwrap().cubical_neighbor;
+        assert_ne!(repaired, Some(victim));
+    }
+
+    #[test]
+    fn join_random_fills_space_and_stops() {
+        let mut net = CycloidNetwork::new(CycloidConfig::seven_entry(3), 11);
+        let mut rng = dht_core::rng::stream(1, "join");
+        for _ in 0..24 {
+            assert!(net.join_random(&mut rng).is_some());
+        }
+        assert_eq!(net.node_count(), 24);
+        assert!(net.join_random(&mut rng).is_none(), "space is full");
+    }
+
+    #[test]
+    fn join_rejects_duplicate_id() {
+        let mut net = CycloidNetwork::new(CycloidConfig::seven_entry(4), 2);
+        assert!(net.join_id(id(1, 3)));
+        assert!(!net.join_id(id(1, 3)));
+    }
+
+    #[test]
+    fn query_load_counting_and_reset() {
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(4), 20, 9);
+        let some = net.ids().next().unwrap();
+        net.count_query(some);
+        net.count_query(some);
+        assert_eq!(net.query_loads().iter().sum::<u64>(), 2);
+        net.reset_query_loads();
+        assert_eq!(net.query_loads().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn nonempty_cycle_navigation_wraps() {
+        let mut net = CycloidNetwork::new(CycloidConfig::seven_entry(4), 4);
+        net.join_id(id(0, 2));
+        net.join_id(id(0, 14));
+        assert_eq!(net.next_nonempty_cycle(14), Some(2), "wraps forward");
+        assert_eq!(net.prev_nonempty_cycle(2), Some(14), "wraps backward");
+        assert_eq!(net.next_nonempty_cycle(2), Some(14));
+        assert_eq!(net.prev_nonempty_cycle(14), Some(2));
+    }
+}

@@ -1,0 +1,147 @@
+//! [`dht_core::Overlay`] adapter: lets the experiment harness drive a
+//! Cycloid network through the same interface as the baseline DHTs.
+
+use dht_core::lookup::LookupTrace;
+use dht_core::overlay::{NodeToken, Overlay};
+use rand::RngCore;
+
+use crate::id::CycloidId;
+use crate::network::CycloidNetwork;
+
+impl Overlay for CycloidNetwork {
+    fn name(&self) -> String {
+        format!("Cycloid({})", 3 + 4 * self.leaf_radius())
+    }
+
+    fn len(&self) -> usize {
+        self.node_count()
+    }
+
+    fn degree_bound(&self) -> Option<usize> {
+        Some(3 + 4 * self.leaf_radius())
+    }
+
+    fn node_tokens(&self) -> Vec<NodeToken> {
+        let dim = self.dim();
+        self.ids().map(|id| id.linear(dim)).collect()
+    }
+
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let tokens = self.node_tokens();
+        let i = (rng.next_u64() % tokens.len() as u64) as usize;
+        Some(tokens[i])
+    }
+
+    fn key_id(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key).linear(self.dim())
+    }
+
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
+        let key = self.key_of(raw_key);
+        self.owner_of_key(key).map(|id| id.linear(self.dim()))
+    }
+
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
+        let src = CycloidId::from_linear(src, self.dim());
+        self.route(src, raw_key)
+    }
+
+    fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random(rng).map(|id| id.linear(self.dim()))
+    }
+
+    fn leave(&mut self, node: NodeToken) -> bool {
+        let id = CycloidId::from_linear(node, self.dim());
+        CycloidNetwork::leave(self, id)
+    }
+
+    fn fail(&mut self, node: NodeToken) -> bool {
+        let id = CycloidId::from_linear(node, self.dim());
+        self.fail_node(id)
+    }
+
+    fn stabilize(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_node(&mut self, node: NodeToken) {
+        let id = CycloidId::from_linear(node, self.dim());
+        if self.is_live(id) {
+            self.refresh_node(id);
+        }
+    }
+
+    fn query_loads(&self) -> Vec<u64> {
+        CycloidNetwork::query_loads(self)
+    }
+
+    fn reset_query_loads(&mut self) {
+        CycloidNetwork::reset_query_loads(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CycloidConfig;
+    use dht_core::overlay::key_counts;
+    use dht_core::rng::stream;
+    use dht_core::workload;
+
+    #[test]
+    fn trait_roundtrip_basics() {
+        let mut net: Box<dyn Overlay> = Box::new(CycloidNetwork::with_nodes(
+            CycloidConfig::seven_entry(6),
+            100,
+            1,
+        ));
+        assert_eq!(net.name(), "Cycloid(7)");
+        assert_eq!(net.len(), 100);
+        assert_eq!(net.degree_bound(), Some(7));
+        let tokens = net.node_tokens();
+        assert_eq!(tokens.len(), 100);
+        let t = net.lookup(tokens[0], 12345);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(12345));
+    }
+
+    #[test]
+    fn eleven_entry_name_and_bound() {
+        let net = CycloidNetwork::with_nodes(CycloidConfig::eleven_entry(6), 50, 2);
+        assert_eq!(net.name(), "Cycloid(11)");
+        assert_eq!(Overlay::degree_bound(&net), Some(11));
+    }
+
+    #[test]
+    fn join_and_leave_through_trait() {
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), 50, 3);
+        let mut rng = stream(5, "trait");
+        let newcomer = Overlay::join(&mut net, &mut rng).expect("space not full");
+        assert_eq!(net.len(), 51);
+        assert!(Overlay::leave(&mut net, newcomer));
+        assert_eq!(net.len(), 50);
+        assert!(!Overlay::leave(&mut net, newcomer), "double leave rejected");
+    }
+
+    #[test]
+    fn key_counts_cover_all_keys() {
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 200, 4);
+        let keys = workload::key_population(5_000, &mut stream(6, "keys"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 5_000);
+        assert_eq!(counts.len(), 200);
+    }
+
+    #[test]
+    fn random_node_is_live() {
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), 30, 5);
+        let mut rng = stream(7, "pick");
+        for _ in 0..50 {
+            let t = net.random_node(&mut rng).unwrap();
+            assert!(net.node_tokens().contains(&t));
+        }
+    }
+}

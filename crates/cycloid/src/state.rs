@@ -1,0 +1,156 @@
+//! Per-node routing state: the routing table and the two leaf sets.
+//!
+//! Table 2 of the paper shows the seven-entry state of a node in an
+//! eight-dimensional Cycloid:
+//!
+//! | entry | example for node (4, 10110110) |
+//! |---|---|
+//! | cubical neighbour | (3, 1010xxxx) |
+//! | cyclic neighbour (larger) | (3, 1011011x)-class first larger |
+//! | cyclic neighbour (smaller) | first smaller |
+//! | inside leaf set | local-cycle predecessor and successor |
+//! | outside leaf set | primaries of the preceding and succeeding cycles |
+//!
+//! The 11-entry variant (§3.2, §4) widens each leaf set to two predecessors
+//! and two successors.
+
+use crate::id::CycloidId;
+
+/// Routing state of one Cycloid node.
+///
+/// All entries are *outgoing* pointers (§3.3.2: "a node only has outgoing
+/// connections"); they may go stale when the pointed-to node departs, which
+/// is exactly what the paper's timeout experiments measure.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// This node's identifier.
+    pub id: CycloidId,
+    /// Cubical neighbour: a node matching `(k-1, a_{d-1}…a_{k+1} ā_k x…x)`,
+    /// or `None` when `k == 0` or no such node is live.
+    pub cubical_neighbor: Option<CycloidId>,
+    /// First *larger* cyclic neighbour: smallest cubical index `>= a`
+    /// among nodes with cyclic index `k-1` differing from `a` only below
+    /// bit `k`.
+    pub cyclic_larger: Option<CycloidId>,
+    /// First *smaller* cyclic neighbour (mirror of `cyclic_larger`).
+    pub cyclic_smaller: Option<CycloidId>,
+    /// Inside leaf set, predecessor side: nearest live local-cycle
+    /// predecessors, nearest first. Points at self when the node is alone
+    /// on its cycle.
+    pub inside_left: Vec<CycloidId>,
+    /// Inside leaf set, successor side: nearest live local-cycle
+    /// successors, nearest first.
+    pub inside_right: Vec<CycloidId>,
+    /// Outside leaf set, preceding side: primaries of the nearest preceding
+    /// non-empty remote cycles, nearest first.
+    pub outside_left: Vec<CycloidId>,
+    /// Outside leaf set, succeeding side: primaries of the nearest
+    /// succeeding non-empty remote cycles, nearest first.
+    pub outside_right: Vec<CycloidId>,
+    /// Lookup messages this node has received since the last reset.
+    pub query_load: u64,
+}
+
+impl NodeState {
+    /// Fresh state with empty tables.
+    #[must_use]
+    pub fn new(id: CycloidId) -> Self {
+        Self {
+            id,
+            cubical_neighbor: None,
+            cyclic_larger: None,
+            cyclic_smaller: None,
+            inside_left: Vec::new(),
+            inside_right: Vec::new(),
+            outside_left: Vec::new(),
+            outside_right: Vec::new(),
+            query_load: 0,
+        }
+    }
+
+    /// All distinct routing-table entries (the three neighbours), live or
+    /// stale.
+    pub fn routing_entries(&self) -> impl Iterator<Item = CycloidId> + '_ {
+        self.cubical_neighbor
+            .into_iter()
+            .chain(self.cyclic_larger)
+            .chain(self.cyclic_smaller)
+    }
+
+    /// All leaf-set entries, inside first.
+    pub fn leaf_entries(&self) -> impl Iterator<Item = CycloidId> + '_ {
+        self.inside_left
+            .iter()
+            .chain(&self.inside_right)
+            .chain(&self.outside_left)
+            .chain(&self.outside_right)
+            .copied()
+    }
+
+    /// Every contact this node knows (routing table + both leaf sets),
+    /// deduplicated, excluding itself.
+    #[must_use]
+    pub fn known_contacts(&self) -> Vec<CycloidId> {
+        let mut v: Vec<CycloidId> = self.routing_entries().chain(self.leaf_entries()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.retain(|&c| c != self.id);
+        v
+    }
+
+    /// Number of distinct non-self entries currently held — the node's
+    /// degree. Bounded by 7 (leaf radius 1) or 11 (leaf radius 2).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.known_contacts().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(k: u32, a: u64) -> CycloidId {
+        CycloidId::new(k, a)
+    }
+
+    #[test]
+    fn fresh_state_is_empty() {
+        let s = NodeState::new(id(4, 0b1011_0110));
+        assert_eq!(s.degree(), 0);
+        assert_eq!(s.routing_entries().count(), 0);
+        assert_eq!(s.leaf_entries().count(), 0);
+    }
+
+    #[test]
+    fn known_contacts_dedup_and_exclude_self() {
+        let me = id(2, 5);
+        let other = id(1, 5);
+        let mut s = NodeState::new(me);
+        s.cubical_neighbor = Some(other);
+        s.cyclic_larger = Some(other);
+        s.inside_left = vec![me]; // alone on cycle: points at self
+        s.inside_right = vec![me];
+        s.outside_left = vec![id(0, 4)];
+        s.outside_right = vec![id(0, 6)];
+        let contacts = s.known_contacts();
+        assert!(!contacts.contains(&me), "self must be excluded");
+        assert_eq!(contacts.len(), 3, "duplicates must collapse: {contacts:?}");
+    }
+
+    #[test]
+    fn seven_entry_bound() {
+        // Radius-1 leaf sets + 3 routing entries can never exceed 7.
+        let me = id(3, 9);
+        let mut s = NodeState::new(me);
+        s.cubical_neighbor = Some(id(2, 1));
+        s.cyclic_larger = Some(id(2, 9));
+        s.cyclic_smaller = Some(id(2, 8));
+        s.inside_left = vec![id(1, 9)];
+        s.inside_right = vec![id(4, 9)];
+        s.outside_left = vec![id(7, 8)];
+        s.outside_right = vec![id(7, 10)];
+        assert!(s.degree() <= 7);
+        assert_eq!(s.degree(), 7);
+    }
+}

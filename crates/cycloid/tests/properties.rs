@@ -1,0 +1,199 @@
+//! Property-based tests of Cycloid's identifier space, ownership metric,
+//! and routing — the invariants §3 states and §4 depends on.
+
+use cycloid::id::{msdb, prefix_len};
+use cycloid::{CycloidConfig, CycloidId, CycloidNetwork, Dim, KeyDistance};
+use dht_core::lookup::LookupOutcome;
+use dht_core::rng::stream;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn dim_strategy() -> impl Strategy<Value = u32> {
+    3u32..=8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_roundtrip_everywhere(d in dim_strategy(), raw in any::<u64>()) {
+        let dim = Dim::new(d);
+        let id = CycloidId::from_hash(raw, dim);
+        prop_assert!(id.cyclic < d);
+        prop_assert!(id.cubical < dim.cubical_space());
+        let lin = id.linear(dim);
+        prop_assert_eq!(CycloidId::from_linear(lin, dim), id);
+        // The paper's split: cyclic = h mod d, cubical = h div d.
+        prop_assert_eq!(u64::from(id.cyclic), lin % u64::from(d));
+        prop_assert_eq!(id.cubical, lin / u64::from(d));
+    }
+
+    #[test]
+    fn msdb_matches_prefix_len(d in dim_strategy(), a in any::<u64>(), b in any::<u64>()) {
+        let dim = Dim::new(d);
+        let mask = dim.cubical_space() - 1;
+        let (a, b) = (a & mask, b & mask);
+        match msdb(a, b) {
+            None => prop_assert_eq!(a, b),
+            Some(m) => {
+                prop_assert!(m < d);
+                prop_assert_eq!(prefix_len(a, b, dim), d - 1 - m);
+                // Bits above m agree, bit m differs.
+                prop_assert_eq!(a >> (m + 1), b >> (m + 1));
+                prop_assert_ne!((a >> m) & 1, (b >> m) & 1);
+            }
+        }
+    }
+
+    #[test]
+    fn key_distance_identity_and_symmetric_uniqueness(
+        d in dim_strategy(),
+        key_raw in any::<u64>(),
+        n1 in any::<u64>(),
+        n2 in any::<u64>(),
+    ) {
+        let dim = Dim::new(d);
+        let key = CycloidId::from_hash(key_raw, dim);
+        let a = CycloidId::from_hash(n1, dim);
+        let b = CycloidId::from_hash(n2, dim);
+        prop_assert_eq!(KeyDistance::between(key, key, dim), KeyDistance::zero());
+        // The metric separates distinct nodes (unique owners).
+        if a != b {
+            prop_assert_ne!(
+                KeyDistance::between(key, a, dim),
+                KeyDistance::between(key, b, dim)
+            );
+        }
+    }
+
+    #[test]
+    fn owner_matches_brute_force(seed in any::<u64>(), count in 2usize..80) {
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), count, seed);
+        let mut rng = stream(seed, "owner-prop");
+        for _ in 0..10 {
+            let raw: u64 = rng.gen();
+            let key = net.key_of(raw);
+            let fast = net.owner_of_key(key).unwrap();
+            let brute = net
+                .ids()
+                .min_by_key(|&n| KeyDistance::between(key, n, net.dim()))
+                .unwrap();
+            prop_assert_eq!(fast, brute);
+            // And routing from an arbitrary source terminates there.
+            let src = net.ids().next().unwrap();
+            let trace = net.route(src, raw);
+            prop_assert_eq!(trace.outcome, LookupOutcome::Found);
+            prop_assert_eq!(trace.terminal, brute.linear(net.dim()));
+        }
+    }
+
+    #[test]
+    fn degree_never_exceeds_bound(seed in any::<u64>(), count in 1usize..120, radius in 1usize..=2) {
+        let config = CycloidConfig { dimension: 7, leaf_radius: radius };
+        let net = CycloidNetwork::with_nodes(config, count, seed);
+        let bound = 3 + 4 * radius;
+        for id in net.ids() {
+            prop_assert!(net.node(id).unwrap().degree() <= bound);
+        }
+    }
+
+    #[test]
+    fn path_length_bounded_by_hop_budget_margin(seed in any::<u64>()) {
+        // O(d): every lookup in a stabilized 7-dimensional network stays
+        // far below the safety budget.
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(7), 300, seed);
+        let ids: Vec<CycloidId> = net.ids().collect();
+        let mut rng = stream(seed, "plen-prop");
+        for i in 0..20 {
+            let t = net.route(ids[i % ids.len()], rng.gen());
+            prop_assert!(t.outcome.is_success());
+            prop_assert!(t.path_len() <= 4 * 7, "path {} exceeds 4d", t.path_len());
+            prop_assert_eq!(t.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn protocol_join_equals_oracle_join(seed in any::<u64>(), count in 3usize..90, radius in 1usize..=2) {
+        // §3.3.1: initializing the newcomer's leaf sets from Z's state
+        // must produce exactly what a global-knowledge resolution gives,
+        // and the resulting network must match one built with the oracle
+        // join, node for node.
+        let config = CycloidConfig { dimension: 7, leaf_radius: radius };
+        let mut by_protocol = CycloidNetwork::with_nodes(config, count, seed);
+        let mut by_oracle = by_protocol.clone();
+        let mut rng = stream(seed, "pj");
+        // Find a free identifier.
+        let dim = by_protocol.dim();
+        let newcomer = loop {
+            let cand = CycloidId::from_hash(rng.gen(), dim);
+            if by_protocol.node(cand).is_none() {
+                break cand;
+            }
+        };
+        let ids: Vec<CycloidId> = by_protocol.ids().collect();
+        let bootstrap = ids[(rng.gen::<u64>() % ids.len() as u64) as usize];
+        prop_assert!(by_protocol.join_via_protocol(bootstrap, newcomer));
+        prop_assert!(by_oracle.join_id(newcomer));
+        // The newcomer's protocol-derived leaf sets match the oracle's.
+        for id in by_oracle.ids().collect::<Vec<_>>() {
+            let a = by_protocol.node(id).unwrap();
+            let b = by_oracle.node(id).unwrap();
+            prop_assert_eq!(&a.inside_left, &b.inside_left, "inside-left of {}", id);
+            prop_assert_eq!(&a.inside_right, &b.inside_right, "inside-right of {}", id);
+            prop_assert_eq!(&a.outside_left, &b.outside_left, "outside-left of {}", id);
+            prop_assert_eq!(&a.outside_right, &b.outside_right, "outside-right of {}", id);
+        }
+        // Lookups keep resolving after the protocol join.
+        for i in 0..10 {
+            let src = ids[i % ids.len()];
+            let t = by_protocol.route(src, rng.gen());
+            prop_assert_eq!(t.outcome, LookupOutcome::Found);
+        }
+    }
+
+    #[test]
+    fn protocol_join_leaves_query_loads_untouched(seed in any::<u64>()) {
+        // The join message is control traffic, not a lookup: §4.2's
+        // query-load counters must not move.
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(7), 60, seed);
+        net.reset_query_loads();
+        let mut rng = stream(seed, "pjq");
+        let dim = net.dim();
+        let newcomer = loop {
+            let cand = CycloidId::from_hash(rng.gen(), dim);
+            if net.node(cand).is_none() {
+                break cand;
+            }
+        };
+        let bootstrap = net.ids().next().unwrap();
+        prop_assert!(net.join_via_protocol(bootstrap, newcomer));
+        prop_assert_eq!(net.query_loads().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn routing_state_is_self_consistent(seed in any::<u64>(), count in 5usize..100) {
+        // Every stored entry must point at a live node satisfying its
+        // defining pattern.
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), count, seed);
+        for id in net.ids() {
+            let state = net.node(id).unwrap();
+            if let Some(cb) = state.cubical_neighbor {
+                prop_assert!(net.is_live(cb));
+                prop_assert_eq!(cb.cyclic, id.cyclic - 1);
+                let k = id.cyclic;
+                prop_assert_eq!(cb.cubical >> (k + 1), id.cubical >> (k + 1));
+                prop_assert_ne!((cb.cubical >> k) & 1, (id.cubical >> k) & 1);
+            }
+            for cy in [state.cyclic_larger, state.cyclic_smaller].into_iter().flatten() {
+                prop_assert!(net.is_live(cy));
+                prop_assert_eq!(cy.cyclic, id.cyclic - 1);
+                // Differs from the node only below bit k.
+                let k = id.cyclic;
+                prop_assert_eq!(cy.cubical >> k, id.cubical >> k);
+            }
+            for leaf in state.leaf_entries() {
+                prop_assert!(net.is_live(leaf), "leaf {leaf} of {id} is dead");
+            }
+        }
+    }
+}

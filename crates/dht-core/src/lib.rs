@@ -1,0 +1,35 @@
+//! Shared substrate for the Cycloid reproduction suite.
+//!
+//! This crate defines everything the four overlay implementations
+//! (`cycloid`, `chord`, `koorde`, `viceroy`) and the experiment harness have
+//! in common:
+//!
+//! * [`hash`] — the consistent-hashing primitive used to map node names and
+//!   object keys onto identifier spaces,
+//! * [`rng`] — deterministic, seedable randomness so every experiment is
+//!   reproducible bit-for-bit,
+//! * [`lookup`] — the per-lookup trace (hops, per-hop phase tags, timeouts,
+//!   success) that every overlay reports and every figure of the paper is
+//!   computed from,
+//! * [`overlay`] — the [`overlay::Overlay`] trait: the uniform simulation
+//!   interface (join / graceful leave / lookup / stabilize / query loads),
+//! * [`ring`] — modular-ring interval and distance arithmetic shared by the
+//!   ring-based overlays,
+//! * [`stats`] — mean and 1st/99th-percentile summaries exactly as the
+//!   paper plots them,
+//! * [`workload`] — lookup and key-placement workload generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod lookup;
+pub mod overlay;
+pub mod ring;
+pub mod rng;
+pub mod stats;
+pub mod workload;
+
+pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
+pub use overlay::{NodeToken, Overlay};
+pub use stats::Summary;

@@ -1,0 +1,276 @@
+//! Per-lookup traces: the raw material every figure in the paper is
+//! computed from.
+//!
+//! A lookup walks node-to-node through an overlay. The overlay records one
+//! [`HopPhase`] per forwarding step, a timeout count (each attempt to
+//! contact a departed node, §4.3: "the number of timeouts experienced by a
+//! lookup is equal to the number of departed nodes encountered"), and the
+//! final [`LookupOutcome`].
+
+/// The routing phase a single hop was taken in.
+///
+/// Cycloid and Viceroy both route in three phases (§3.2, §2.4); the paper's
+/// Fig. 7 breaks lookup cost down by phase. Koorde hops are either de Bruijn
+/// hops or successor hops (Fig. 7(c), Fig. 14). Chord hops are finger or
+/// successor hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopPhase {
+    /// Cycloid/Viceroy phase 1: raising the cyclic index / climbing levels.
+    Ascending,
+    /// Cycloid/Viceroy phase 2: correcting cubical bits / descending levels.
+    Descending,
+    /// Cycloid phase 3 / Viceroy phase 3: closing in along cycle or ring
+    /// links.
+    TraverseCycle,
+    /// Koorde: a hop through the node's de Bruijn pointer.
+    DeBruijn,
+    /// Koorde/Chord: a hop to a successor (or successor-list backup).
+    Successor,
+    /// Chord: a hop through a finger-table entry.
+    Finger,
+}
+
+impl HopPhase {
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HopPhase::Ascending => "ascending",
+            HopPhase::Descending => "descending",
+            HopPhase::TraverseCycle => "traverse",
+            HopPhase::DeBruijn => "debruijn",
+            HopPhase::Successor => "successor",
+            HopPhase::Finger => "finger",
+        }
+    }
+}
+
+/// How a lookup ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The lookup terminated at the node that is responsible for the key.
+    Found,
+    /// The lookup terminated at a node that is *not* responsible for the
+    /// key (routing converged to the wrong place — §4.3 counts these for
+    /// Koorde as "lookup failures").
+    WrongOwner,
+    /// Routing could not make progress (every candidate next hop was dead
+    /// or farther from the target).
+    Stuck,
+    /// The hop budget was exhausted — treated as a failure; a correct
+    /// overlay should never produce this.
+    HopBudgetExhausted,
+}
+
+impl LookupOutcome {
+    /// `true` iff the lookup resolved to the correct storing node.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        matches!(self, LookupOutcome::Found)
+    }
+}
+
+/// The full trace of one lookup request.
+#[derive(Debug, Clone)]
+pub struct LookupTrace {
+    /// One phase tag per forwarding hop, in order. The paper's "path
+    /// length" is `hops.len()`.
+    pub hops: Vec<HopPhase>,
+    /// Number of departed nodes contacted during routing (§4.3).
+    pub timeouts: u32,
+    /// How the lookup ended.
+    pub outcome: LookupOutcome,
+    /// Opaque token of the node the lookup terminated at.
+    pub terminal: u64,
+}
+
+impl LookupTrace {
+    /// A zero-hop trace: the source itself stores the key.
+    #[must_use]
+    pub fn trivial(terminal: u64) -> Self {
+        Self {
+            hops: Vec::new(),
+            timeouts: 0,
+            outcome: LookupOutcome::Found,
+            terminal,
+        }
+    }
+
+    /// Path length in hops (the y-axis of Figs. 5, 6, 11, 12, 13).
+    #[must_use]
+    pub fn path_len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Number of hops tagged with `phase` (Figs. 7, 14).
+    #[must_use]
+    pub fn hops_in_phase(&self, phase: HopPhase) -> usize {
+        self.hops.iter().filter(|&&p| p == phase).count()
+    }
+}
+
+/// Accumulates hop counts per phase over many lookups and reports each
+/// phase's share of the total path length (Fig. 7's stacked bars).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    counts: Vec<(HopPhase, u64)>,
+    total_hops: u64,
+    lookups: u64,
+}
+
+impl PhaseBreakdown {
+    /// Creates an empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one lookup trace.
+    pub fn record(&mut self, trace: &LookupTrace) {
+        self.lookups += 1;
+        for &hop in &trace.hops {
+            self.total_hops += 1;
+            if let Some(entry) = self.counts.iter_mut().find(|(p, _)| *p == hop) {
+                entry.1 += 1;
+            } else {
+                self.counts.push((hop, 1));
+            }
+        }
+    }
+
+    /// Mean number of hops per lookup spent in `phase`.
+    #[must_use]
+    pub fn mean_hops(&self, phase: HopPhase) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        let c = self
+            .counts
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map_or(0, |(_, c)| *c);
+        c as f64 / self.lookups as f64
+    }
+
+    /// Fraction of all hops spent in `phase` (0..=1).
+    #[must_use]
+    pub fn share(&self, phase: HopPhase) -> f64 {
+        if self.total_hops == 0 {
+            return 0.0;
+        }
+        let c = self
+            .counts
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map_or(0, |(_, c)| *c);
+        c as f64 / self.total_hops as f64
+    }
+
+    /// All phases observed, with their hop counts, ordered by first
+    /// appearance.
+    #[must_use]
+    pub fn phases(&self) -> &[(HopPhase, u64)] {
+        &self.counts
+    }
+
+    /// Total lookups recorded.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Mean total path length per lookup.
+    #[must_use]
+    pub fn mean_path_len(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(hops: Vec<HopPhase>) -> LookupTrace {
+        LookupTrace {
+            hops,
+            timeouts: 0,
+            outcome: LookupOutcome::Found,
+            terminal: 0,
+        }
+    }
+
+    #[test]
+    fn trivial_trace_is_zero_hop_success() {
+        let t = LookupTrace::trivial(9);
+        assert_eq!(t.path_len(), 0);
+        assert!(t.outcome.is_success());
+        assert_eq!(t.terminal, 9);
+    }
+
+    #[test]
+    fn hops_in_phase_counts() {
+        let t = trace(vec![
+            HopPhase::Ascending,
+            HopPhase::Descending,
+            HopPhase::Descending,
+            HopPhase::TraverseCycle,
+        ]);
+        assert_eq!(t.path_len(), 4);
+        assert_eq!(t.hops_in_phase(HopPhase::Descending), 2);
+        assert_eq!(t.hops_in_phase(HopPhase::DeBruijn), 0);
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let mut b = PhaseBreakdown::new();
+        b.record(&trace(vec![HopPhase::Ascending, HopPhase::Descending]));
+        b.record(&trace(vec![
+            HopPhase::Descending,
+            HopPhase::TraverseCycle,
+            HopPhase::TraverseCycle,
+        ]));
+        let total = b.share(HopPhase::Ascending)
+            + b.share(HopPhase::Descending)
+            + b.share(HopPhase::TraverseCycle);
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(b.lookups(), 2);
+        assert!((b.mean_path_len() - 2.5).abs() < 1e-12);
+        assert!((b.mean_hops(HopPhase::Descending) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_empty_is_zero() {
+        let b = PhaseBreakdown::new();
+        assert_eq!(b.share(HopPhase::Ascending), 0.0);
+        assert_eq!(b.mean_path_len(), 0.0);
+    }
+
+    #[test]
+    fn outcome_success_classification() {
+        assert!(LookupOutcome::Found.is_success());
+        assert!(!LookupOutcome::WrongOwner.is_success());
+        assert!(!LookupOutcome::Stuck.is_success());
+        assert!(!LookupOutcome::HopBudgetExhausted.is_success());
+    }
+
+    #[test]
+    fn phase_labels_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = [
+            HopPhase::Ascending,
+            HopPhase::Descending,
+            HopPhase::TraverseCycle,
+            HopPhase::DeBruijn,
+            HopPhase::Successor,
+            HopPhase::Finger,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

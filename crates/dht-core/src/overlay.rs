@@ -1,0 +1,249 @@
+//! The uniform simulation interface every overlay implements.
+//!
+//! The paper evaluates four structured overlays (Cycloid, Viceroy, Koorde,
+//! Chord) under identical workloads. [`Overlay`] is the common surface the
+//! experiment harness drives: membership changes, key lookups with full
+//! traces, stabilization, and the bookkeeping the figures need (key
+//! ownership, per-node query loads).
+
+use rand::RngCore;
+
+use crate::lookup::LookupTrace;
+
+/// Opaque, overlay-assigned identity of a live node.
+///
+/// Each overlay maps its native identifier (Cycloid's `(k, a)` pair,
+/// Chord/Koorde's ring point, Viceroy's fixed-point real) into a unique
+/// `u64`. Tokens are only meaningful to the overlay that issued them.
+pub type NodeToken = u64;
+
+/// A structured P2P overlay under simulation.
+///
+/// Implementations are *simulators in the paper's sense*: the whole
+/// membership lives in one process, lookups are iterative walks over each
+/// node's private routing state, and a "timeout" is an attempt to use a
+/// routing-table entry pointing at a departed node.
+pub trait Overlay {
+    /// Human-readable name used in reports ("Cycloid(7)", "Koorde", ...).
+    fn name(&self) -> String;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize;
+
+    /// `true` iff no node is live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Upper bound on routing-state entries per node (Table 1's
+    /// "routing table size" column). `None` for degrees that grow with the
+    /// network, like Chord's `O(log n)`.
+    fn degree_bound(&self) -> Option<usize>;
+
+    /// Tokens of all live nodes, in an overlay-chosen deterministic order.
+    fn node_tokens(&self) -> Vec<NodeToken>;
+
+    /// Token of a uniformly random live node.
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken>;
+
+    /// Hashes an application key into this overlay's identifier space and
+    /// returns the identifier (useful for deterministic workloads).
+    fn key_id(&self, raw_key: u64) -> u64;
+
+    /// The live node responsible for `raw_key`, computed from global
+    /// knowledge (the ground truth lookups are checked against).
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken>;
+
+    /// Performs one lookup for `raw_key` starting at node `src`, walking
+    /// the overlay hop by hop using only per-node routing state. Updates
+    /// per-node query-load counters.
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace;
+
+    /// A new node joins, bootstrapped per the overlay's join protocol.
+    /// Returns its token, or `None` if the identifier space is full.
+    fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken>;
+
+    /// Graceful departure of `node`: the node notifies exactly the peers
+    /// its protocol says it must (leaf sets for Cycloid, successors and
+    /// predecessor for Koorde/Chord, all related nodes for Viceroy), then
+    /// leaves. Pointers the protocol does *not* repair go stale until
+    /// [`Overlay::stabilize`]. Returns `false` if the token is unknown.
+    fn leave(&mut self, node: NodeToken) -> bool;
+
+    /// Ungraceful failure of `node`: it vanishes **without notifying
+    /// anyone**, so even the pointers graceful departure would repair
+    /// (leaf sets, ring successors) go stale until stabilization. The
+    /// paper defers this case ("nodes must notify others before leaving",
+    /// §3.4) and flags it as the constant-degree DHTs' weakness (§5);
+    /// implementations override this to model it, the default falls back
+    /// to a graceful leave.
+    fn fail(&mut self, node: NodeToken) -> bool {
+        self.leave(node)
+    }
+
+    /// One full stabilization round: every node refreshes the routing
+    /// entries its stabilizer is responsible for (§3.3.2: "updating cubical
+    /// and cyclic neighbors are the responsibility of system stabilization,
+    /// as in Chord").
+    fn stabilize(&mut self);
+
+    /// One node's stabilization routine (§4.4 runs these "at intervals
+    /// that are uniformly distributed in the 30 s interval"). The default
+    /// ignores unknown tokens.
+    fn stabilize_node(&mut self, node: NodeToken) {
+        let _ = node;
+        self.stabilize();
+    }
+
+    /// Per-node query loads: number of lookup messages each live node has
+    /// received (as source, intermediate, or terminal) since the last
+    /// [`Overlay::reset_query_loads`]. Order matches
+    /// [`Overlay::node_tokens`].
+    fn query_loads(&self) -> Vec<u64>;
+
+    /// Zeroes all query-load counters.
+    fn reset_query_loads(&mut self);
+}
+
+impl<T: Overlay + ?Sized> Overlay for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn degree_bound(&self) -> Option<usize> {
+        (**self).degree_bound()
+    }
+    fn node_tokens(&self) -> Vec<NodeToken> {
+        (**self).node_tokens()
+    }
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        (**self).random_node(rng)
+    }
+    fn key_id(&self, raw_key: u64) -> u64 {
+        (**self).key_id(raw_key)
+    }
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
+        (**self).owner_of(raw_key)
+    }
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
+        (**self).lookup(src, raw_key)
+    }
+    fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        (**self).join(rng)
+    }
+    fn leave(&mut self, node: NodeToken) -> bool {
+        (**self).leave(node)
+    }
+    fn fail(&mut self, node: NodeToken) -> bool {
+        (**self).fail(node)
+    }
+    fn stabilize(&mut self) {
+        (**self).stabilize();
+    }
+    fn stabilize_node(&mut self, node: NodeToken) {
+        (**self).stabilize_node(node);
+    }
+    fn query_loads(&self) -> Vec<u64> {
+        (**self).query_loads()
+    }
+    fn reset_query_loads(&mut self) {
+        (**self).reset_query_loads();
+    }
+}
+
+/// Distributes `raw_keys` over the overlay's live nodes by ownership and
+/// returns the per-node key counts in `node_tokens()` order — the data
+/// behind Figs. 8 and 9.
+pub fn key_counts<O: Overlay + ?Sized>(overlay: &O, raw_keys: &[u64]) -> Vec<u64> {
+    let tokens = overlay.node_tokens();
+    let index: std::collections::HashMap<NodeToken, usize> =
+        tokens.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut counts = vec![0u64; tokens.len()];
+    for &k in raw_keys {
+        if let Some(owner) = overlay.owner_of(k) {
+            counts[index[&owner]] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::{LookupOutcome, LookupTrace};
+
+    /// A degenerate single-node overlay used to exercise the trait's
+    /// default methods and `key_counts`.
+    struct OneNode {
+        queries: u64,
+    }
+
+    impl Overlay for OneNode {
+        fn name(&self) -> String {
+            "OneNode".into()
+        }
+        fn len(&self) -> usize {
+            1
+        }
+        fn degree_bound(&self) -> Option<usize> {
+            Some(0)
+        }
+        fn node_tokens(&self) -> Vec<NodeToken> {
+            vec![7]
+        }
+        fn random_node(&self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+            Some(7)
+        }
+        fn key_id(&self, raw_key: u64) -> u64 {
+            raw_key
+        }
+        fn owner_of(&self, _raw_key: u64) -> Option<NodeToken> {
+            Some(7)
+        }
+        fn lookup(&mut self, _src: NodeToken, _raw_key: u64) -> LookupTrace {
+            self.queries += 1;
+            LookupTrace::trivial(7)
+        }
+        fn join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+            None
+        }
+        fn leave(&mut self, _node: NodeToken) -> bool {
+            false
+        }
+        fn stabilize(&mut self) {}
+        fn query_loads(&self) -> Vec<u64> {
+            vec![self.queries]
+        }
+        fn reset_query_loads(&mut self) {
+            self.queries = 0;
+        }
+    }
+
+    #[test]
+    fn default_is_empty_uses_len() {
+        let o = OneNode { queries: 0 };
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn key_counts_assigns_everything_to_owner() {
+        let o = OneNode { queries: 0 };
+        let counts = key_counts(&o, &[1, 2, 3, 4, 5]);
+        assert_eq!(counts, vec![5]);
+    }
+
+    #[test]
+    fn lookup_counts_queries_and_reset_clears() {
+        let mut o = OneNode { queries: 0 };
+        let t = o.lookup(7, 99);
+        assert_eq!(t.outcome, LookupOutcome::Found);
+        assert_eq!(o.query_loads(), vec![1]);
+        o.reset_query_loads();
+        assert_eq!(o.query_loads(), vec![0]);
+    }
+}

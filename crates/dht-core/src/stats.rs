@@ -1,0 +1,154 @@
+//! Summary statistics in exactly the form the paper reports them.
+//!
+//! Every distributional figure (key counts, query loads, timeouts) plots
+//! "the mean, the 1st and 99th percentiles" (§4.2–§4.4), so [`Summary`]
+//! carries precisely those plus min/max/std for the extended reports.
+
+/// Mean, standard deviation, and order statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 1st percentile (paper's lower whisker).
+    pub p01: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile (paper's upper whisker).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample of `f64` values. Returns an all-zero summary for
+    /// an empty sample.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                p01: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p01: percentile_sorted(&sorted, 0.01),
+            p50: percentile_sorted(&sorted, 0.50),
+            p99: percentile_sorted(&sorted, 0.99),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Summarizes a sample of unsigned counters (key counts, query loads,
+    /// timeout counts).
+    #[must_use]
+    pub fn of_counts(values: &[u64]) -> Self {
+        let as_f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&as_f)
+    }
+
+    /// Summarizes a sample of `usize` values (path lengths).
+    #[must_use]
+    pub fn of_lens(values: &[usize]) -> Self {
+        let as_f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&as_f)
+    }
+}
+
+/// Percentile by the nearest-rank method over a pre-sorted slice.
+///
+/// Nearest-rank matches how the paper's whiskers behave for the discrete
+/// count data it plots (e.g. "(0, 4)" timeout percentiles in Table 4 are
+/// attainable values, not interpolations).
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zeroes() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.p01, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.01), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100.0);
+    }
+
+    #[test]
+    fn of_counts_matches_of() {
+        let a = Summary::of_counts(&[1, 2, 3]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        // Nearest-rank percentiles must be actual sample values.
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = Summary::of(&vals);
+        assert!(vals.contains(&s.p01));
+        assert!(vals.contains(&s.p50));
+        assert!(vals.contains(&s.p99));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_bad_quantile() {
+        let _ = percentile_sorted(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the substrate invariants everything else
+//! builds on: hashing, ring arithmetic, and the statistics helpers.
+
+use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::ring::{clockwise_dist, in_interval_co, in_interval_oc, in_interval_oo, ring_dist};
+use dht_core::stats::{percentile_sorted, Summary};
+use proptest::prelude::*;
+
+fn ring_args() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+    // modulus in [2, 2^32], points reduced into it
+    (2u64..=1u64 << 32)
+        .prop_flat_map(|m| (Just(m), 0..m, 0..m, 0..m).prop_map(|(m, a, b, c)| (m, a, b, c)))
+}
+
+proptest! {
+    #[test]
+    fn splitmix_is_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(splitmix64(a) == splitmix64(b), a == b);
+    }
+
+    #[test]
+    fn reduce_in_range(h in any::<u64>(), space in 1u64..=1 << 48) {
+        prop_assert!(reduce(h, space) < space);
+    }
+
+    #[test]
+    fn reduce_monotone(h1 in any::<u64>(), h2 in any::<u64>(), space in 1u64..=1 << 48) {
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        prop_assert!(reduce(lo, space) <= reduce(hi, space));
+    }
+
+    #[test]
+    fn clockwise_distances_sum_to_modulus((m, a, b, _) in ring_args()) {
+        let ab = clockwise_dist(a, b, m);
+        let ba = clockwise_dist(b, a, m);
+        if a == b {
+            prop_assert_eq!(ab + ba, 0);
+        } else {
+            prop_assert_eq!(ab + ba, m);
+        }
+    }
+
+    #[test]
+    fn ring_dist_triangle_inequality((m, a, b, c) in ring_args()) {
+        prop_assert!(ring_dist(a, c, m) <= ring_dist(a, b, m) + ring_dist(b, c, m));
+    }
+
+    #[test]
+    fn oc_and_oo_agree_except_endpoint((m, x, from, to) in ring_args()) {
+        let oc = in_interval_oc(x, from, to, m);
+        let oo = in_interval_oo(x, from, to, m);
+        if x == to {
+            prop_assert!(!oo);
+        } else {
+            prop_assert_eq!(oc, oo);
+        }
+    }
+
+    #[test]
+    fn every_point_is_in_exactly_one_side((m, x, from, to) in ring_args()) {
+        // For from != to, the ring splits into (from, to] and (to, from].
+        prop_assume!(from != to);
+        let first = in_interval_oc(x, from, to, m);
+        let second = in_interval_oc(x, to, from, m);
+        if x == from {
+            prop_assert!(!first && second);
+        } else if x == to {
+            prop_assert!(first && !second);
+        } else {
+            prop_assert!(first ^ second, "point must be on exactly one side");
+        }
+    }
+
+    #[test]
+    fn co_interval_shifts_oc_by_one((m, x, from, to) in ring_args()) {
+        // [from, to) == {from} ∪ (from, to) for from != to.
+        prop_assume!(from != to);
+        let co = in_interval_co(x, from, to, m);
+        if x == from {
+            prop_assert!(co);
+        } else {
+            prop_assert_eq!(co, in_interval_oo(x, from, to, m));
+        }
+    }
+
+    #[test]
+    fn summary_order_statistics_are_ordered(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let s = Summary::of_counts(&values);
+        prop_assert!(s.min <= s.p01);
+        prop_assert!(s.p01 <= s.p50);
+        prop_assert!(s.p50 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    #[test]
+    fn percentile_is_a_sample_value(values in prop::collection::vec(0u64..1_000, 1..100), q in 0.0f64..=1.0) {
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = percentile_sorted(&sorted, q);
+        prop_assert!(sorted.contains(&p));
+    }
+
+    #[test]
+    fn id_allocator_streams_are_collision_free(seed in any::<u64>()) {
+        let mut alloc = IdAllocator::new(seed);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            prop_assert!(seen.insert(alloc.next_raw()));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The §4.4 continuous-churn simulation.
+//!
+//! "Key lookups are generated according to a Poisson process at a rate of
+//! one per second. Joins and voluntary leaves are modeled by a Poisson
+//! process with a mean rate of R... each node invokes the stabilization
+//! protocol once every 30 s and each node's stabilization routine is at
+//! intervals that are uniformly distributed in the 30 s interval. The
+//! network starts with 2048 nodes."
+
+use dht_core::lookup::LookupTrace;
+use dht_core::overlay::Overlay;
+use rand::{Rng, RngCore};
+
+use crate::event::{exp_delay, EventQueue, SECOND};
+
+/// Parameters of one churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnParams {
+    /// Lookup arrival rate per second (the paper uses 1.0).
+    pub lookup_rate: f64,
+    /// Join rate per second == leave rate per second (the paper's `R`).
+    pub churn_rate: f64,
+    /// Stabilization period per node in seconds (the paper uses 30).
+    pub stabilization_period_secs: u64,
+    /// Number of lookups to observe before stopping.
+    pub lookups: usize,
+    /// Warm-up lookups discarded before measurement starts.
+    pub warmup_lookups: usize,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        Self {
+            lookup_rate: 1.0,
+            churn_rate: 0.05,
+            stabilization_period_secs: 30,
+            lookups: 10_000,
+            warmup_lookups: 200,
+        }
+    }
+}
+
+/// Aggregate result of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// Path length of every measured lookup.
+    pub path_lens: Vec<usize>,
+    /// Timeout count of every measured lookup.
+    pub timeouts: Vec<u64>,
+    /// Lookups that did not resolve at the key's owner.
+    pub failures: usize,
+    /// Total joins executed.
+    pub joins: usize,
+    /// Total leaves executed.
+    pub leaves: usize,
+    /// Final network size.
+    pub final_size: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Lookup,
+    Join,
+    Leave,
+    /// Stabilization tick for one bucket of nodes.
+    StabilizeBucket(u64),
+}
+
+/// Runs the churn simulation on `overlay`, which should already contain
+/// the starting population.
+///
+/// Per-node stabilization at uniformly distributed offsets is modelled by
+/// splitting the period into per-second buckets: every second, the nodes
+/// whose token hashes into that bucket run their stabilization routine —
+/// statistically identical to each node keeping its own 30 s timer with a
+/// uniform phase.
+pub fn run_churn(
+    overlay: &mut dyn Overlay,
+    params: ChurnParams,
+    rng: &mut impl RngCore,
+) -> ChurnOutcome {
+    assert!(overlay.len() > 1, "churn needs a populated overlay");
+    let period = params.stabilization_period_secs.max(1);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
+    if params.churn_rate > 0.0 {
+        queue.schedule(exp_delay(params.churn_rate, rng), Event::Join);
+        queue.schedule(exp_delay(params.churn_rate, rng), Event::Leave);
+    }
+    for bucket in 0..period {
+        queue.schedule((bucket + 1) * SECOND, Event::StabilizeBucket(bucket));
+    }
+
+    let mut outcome = ChurnOutcome {
+        path_lens: Vec::with_capacity(params.lookups),
+        timeouts: Vec::with_capacity(params.lookups),
+        failures: 0,
+        joins: 0,
+        leaves: 0,
+        final_size: 0,
+    };
+    let mut seen_lookups = 0usize;
+
+    while let Some((_, event)) = queue.pop() {
+        match event {
+            Event::Lookup => {
+                seen_lookups += 1;
+                if let Some(src) = overlay.random_node(rng) {
+                    let raw: u64 = rng.gen();
+                    let trace: LookupTrace = overlay.lookup(src, raw);
+                    if seen_lookups > params.warmup_lookups {
+                        outcome.path_lens.push(trace.path_len());
+                        outcome.timeouts.push(u64::from(trace.timeouts));
+                        if !trace.outcome.is_success() {
+                            outcome.failures += 1;
+                        }
+                    }
+                }
+                if seen_lookups < params.warmup_lookups + params.lookups {
+                    queue.schedule_in(exp_delay(params.lookup_rate, rng), Event::Lookup);
+                }
+            }
+            Event::Join => {
+                if overlay.join(rng).is_some() {
+                    outcome.joins += 1;
+                }
+                queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
+            }
+            Event::Leave => {
+                // Keep at least a handful of nodes alive.
+                if overlay.len() > 8 {
+                    if let Some(node) = overlay.random_node(rng) {
+                        if overlay.leave(node) {
+                            outcome.leaves += 1;
+                        }
+                    }
+                }
+                queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Leave);
+            }
+            Event::StabilizeBucket(bucket) => {
+                for token in overlay.node_tokens() {
+                    if dht_core::hash::splitmix64(token) % period == bucket {
+                        overlay.stabilize_node(token);
+                    }
+                }
+                queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
+            }
+        }
+        if outcome.path_lens.len() >= params.lookups {
+            break;
+        }
+    }
+
+    outcome.final_size = overlay.len();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build_overlay, OverlayKind};
+    use dht_core::rng::stream;
+
+    fn small_params(rate: f64) -> ChurnParams {
+        ChurnParams {
+            lookup_rate: 1.0,
+            churn_rate: rate,
+            stabilization_period_secs: 30,
+            lookups: 300,
+            warmup_lookups: 20,
+        }
+    }
+
+    #[test]
+    fn churn_run_produces_measurements() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 256, 1);
+        let mut rng = stream(2, "churn-test");
+        let out = run_churn(net.as_mut(), small_params(0.2), &mut rng);
+        assert_eq!(out.path_lens.len(), 300);
+        assert_eq!(out.timeouts.len(), 300);
+        assert!(out.joins > 0, "joins should occur at R=0.2");
+        assert!(out.leaves > 0, "leaves should occur at R=0.2");
+        assert_eq!(out.failures, 0, "Cycloid under churn must not fail");
+    }
+
+    #[test]
+    fn zero_churn_is_steady_state() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 128, 3);
+        let mut rng = stream(4, "steady");
+        let out = run_churn(net.as_mut(), small_params(0.0), &mut rng);
+        assert_eq!(out.joins, 0);
+        assert_eq!(out.leaves, 0);
+        assert_eq!(out.final_size, 128);
+        assert!(out.timeouts.iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = build_overlay(OverlayKind::Koorde, 128, seed);
+            let mut rng = stream(seed, "det");
+            run_churn(net.as_mut(), small_params(0.1), &mut rng).path_lens
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn viceroy_under_churn_never_times_out() {
+        let mut net = build_overlay(OverlayKind::Viceroy, 256, 5);
+        let mut rng = stream(6, "vchurn");
+        let out = run_churn(net.as_mut(), small_params(0.4), &mut rng);
+        assert!(out.timeouts.iter().all(|&t| t == 0));
+        assert_eq!(out.failures, 0);
+    }
+}

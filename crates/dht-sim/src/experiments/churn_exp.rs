@@ -1,0 +1,160 @@
+//! Figure 12 and Table 5: lookups during continuous node joins and leaves.
+//!
+//! §4.4: lookups arrive at one per second (Poisson); joins and voluntary
+//! leaves each arrive at rate `R` ranging from 0.05 to 0.40 per second;
+//! every node stabilizes once per 30 s at a uniformly distributed offset;
+//! the network starts with 2048 nodes.
+
+use crossbeam::thread;
+use dht_core::rng::stream_indexed;
+use dht_core::stats::Summary;
+
+use crate::churn::{run_churn, ChurnOutcome, ChurnParams};
+use crate::factory::{build_overlay, OverlayKind};
+
+/// Parameters of the churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnExpParams {
+    /// Overlays to measure.
+    pub kinds: Vec<OverlayKind>,
+    /// Starting network size (2048 in the paper).
+    pub nodes: usize,
+    /// Churn rates `R` to sweep (node joins *and* leaves per second).
+    pub rates: Vec<f64>,
+    /// Measured lookups per run (10,000 in the paper's setup).
+    pub lookups: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ChurnExpParams {
+    /// Paper-scale parameters.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            kinds: crate::factory::PAPER_KINDS.to_vec(),
+            nodes: 2048,
+            rates: vec![0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40],
+            lookups: 10_000,
+            seed,
+        }
+    }
+
+    /// Reduced workload for smoke tests.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            kinds: vec![OverlayKind::Cycloid7, OverlayKind::Koorde],
+            nodes: 256,
+            rates: vec![0.10, 0.40],
+            lookups: 400,
+            seed,
+        }
+    }
+}
+
+/// One row: one overlay at one churn rate.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Overlay display name.
+    pub label: String,
+    /// Churn rate `R`.
+    pub rate: f64,
+    /// Path-length distribution (Fig. 12's y-value is the mean).
+    pub path: Summary,
+    /// Per-lookup timeout distribution (Table 5).
+    pub timeouts: Summary,
+    /// Failed lookups (the paper observes none in every test case).
+    pub failures: usize,
+    /// Joins/leaves executed and final size, for the report.
+    pub joins: usize,
+    /// Leaves executed.
+    pub leaves: usize,
+    /// Network size at the end of the run.
+    pub final_size: usize,
+}
+
+/// Runs the sweep; rows ordered by rate then kind.
+#[must_use]
+pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
+    let mut cells = Vec::new();
+    let mut idx = 0usize;
+    for &rate in &params.rates {
+        for &kind in &params.kinds {
+            cells.push((idx, kind, rate));
+            idx += 1;
+        }
+    }
+    let mut rows: Vec<Option<ChurnRow>> = vec![None; cells.len()];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(i, kind, rate) in &cells {
+            let params = &params;
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let mut net = build_overlay(kind, params.nodes, params.seed ^ (i as u64) << 40);
+                    let mut rng = stream_indexed(params.seed, "churn-run", i as u64);
+                    let churn_params = ChurnParams {
+                        lookup_rate: 1.0,
+                        churn_rate: rate,
+                        stabilization_period_secs: 30,
+                        lookups: params.lookups,
+                        warmup_lookups: params.lookups / 50,
+                    };
+                    let out: ChurnOutcome = run_churn(net.as_mut(), churn_params, &mut rng);
+                    ChurnRow {
+                        label: net.name(),
+                        rate,
+                        path: Summary::of_lens(&out.path_lens),
+                        timeouts: Summary::of_counts(&out.timeouts),
+                        failures: out.failures,
+                        joins: out.joins,
+                        leaves: out.leaves,
+                        final_size: out.final_size,
+                    }
+                }),
+            ));
+        }
+        for (i, handle) in handles {
+            rows[i] = Some(handle.join().expect("measurement thread panicked"));
+        }
+    })
+    .expect("thread scope failed");
+    rows.into_iter()
+        .map(|r| r.expect("all cells filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_sweep_completes_without_failures() {
+        // §4.4: "There are no failures in all test cases."
+        let rows = measure(&ChurnExpParams::quick(3));
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.failures, 0, "{} at R={}", row.label, row.rate);
+            assert_eq!(row.path.n, 400);
+            assert!(row.joins > 0 && row.leaves > 0);
+        }
+    }
+
+    #[test]
+    fn stabilization_keeps_timeouts_low() {
+        // Table 5's shape: with 30 s stabilization, mean timeouts stay far
+        // below the unstabilized Table 4 numbers.
+        let rows = measure(&ChurnExpParams::quick(5));
+        for row in &rows {
+            assert!(
+                row.timeouts.mean < 1.0,
+                "{} at R={}: mean timeouts {} too high",
+                row.label,
+                row.rate,
+                row.timeouts.mean
+            );
+        }
+    }
+}

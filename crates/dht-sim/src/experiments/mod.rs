@@ -1,0 +1,104 @@
+//! One driver per table/figure of the paper's evaluation (§4).
+//!
+//! Every driver returns plain row structs so the `repro` binary, the
+//! Criterion benches, and the integration tests can all consume the same
+//! data. Each driver has paper-scale defaults and a `quick()` parameter
+//! set for fast smoke runs.
+
+pub mod churn_exp;
+pub mod hotspot;
+pub mod key_distribution;
+pub mod maintenance;
+pub mod mass_departure;
+pub mod path_length;
+pub mod query_load;
+pub mod sparsity;
+pub mod static_tables;
+pub mod ungraceful;
+
+use dht_core::lookup::PhaseBreakdown;
+use dht_core::overlay::Overlay;
+use dht_core::stats::Summary;
+use dht_core::workload::LookupRequest;
+
+/// Aggregate statistics of one batch of lookups on one overlay.
+#[derive(Debug, Clone)]
+pub struct LookupAggregate {
+    /// Overlay display name.
+    pub label: String,
+    /// Node count when the batch started.
+    pub n_start: usize,
+    /// Path-length distribution.
+    pub path: Summary,
+    /// Per-lookup timeout distribution.
+    pub timeouts: Summary,
+    /// Lookups that did not terminate at the key's owner.
+    pub failures: usize,
+    /// Per-phase hop accounting.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// Runs a batch of lookup requests and aggregates the traces.
+pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> LookupAggregate {
+    let n_start = overlay.len();
+    let mut paths = Vec::with_capacity(reqs.len());
+    let mut timeouts = Vec::with_capacity(reqs.len());
+    let mut failures = 0usize;
+    let mut breakdown = PhaseBreakdown::new();
+    for req in reqs {
+        let trace = overlay.lookup(req.src, req.raw_key);
+        paths.push(trace.path_len());
+        timeouts.push(u64::from(trace.timeouts));
+        if !trace.outcome.is_success() {
+            failures += 1;
+        }
+        breakdown.record(&trace);
+    }
+    LookupAggregate {
+        label: overlay.name(),
+        n_start,
+        path: Summary::of_lens(&paths),
+        timeouts: Summary::of_counts(&timeouts),
+        failures,
+        breakdown,
+    }
+}
+
+/// The paper's network sizes: `n = d * 2^d` for `d = 3..=8`
+/// (24, 64, 160, 384, 896, 2048 nodes).
+#[must_use]
+pub fn paper_sizes() -> Vec<(u32, usize)> {
+    (3..=8u32)
+        .map(|d| (d, (u64::from(d) << d) as usize))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build_overlay, OverlayKind};
+    use dht_core::rng::stream;
+    use dht_core::workload::random_pairs;
+
+    #[test]
+    fn paper_sizes_match_formula() {
+        let sizes = paper_sizes();
+        assert_eq!(
+            sizes,
+            vec![(3, 24), (4, 64), (5, 160), (6, 384), (7, 896), (8, 2048)]
+        );
+    }
+
+    #[test]
+    fn run_requests_aggregates() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 64, 1);
+        let reqs = random_pairs(net.as_ref(), 200, &mut stream(2, "agg"));
+        let agg = run_requests(net.as_mut(), &reqs);
+        assert_eq!(agg.label, "Cycloid(7)");
+        assert_eq!(agg.n_start, 64);
+        assert_eq!(agg.path.n, 200);
+        assert_eq!(agg.failures, 0);
+        assert_eq!(agg.breakdown.lookups(), 200);
+        assert!(agg.path.mean > 0.0);
+    }
+}

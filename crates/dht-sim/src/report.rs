@@ -1,0 +1,145 @@
+//! Fixed-width table and CSV rendering for the `repro` binary.
+
+use dht_core::stats::Summary;
+
+/// A simple text table builder with fixed-width columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated; cells containing commas are
+    /// quoted).
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with three significant decimals.
+#[must_use]
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a [`Summary`] the way the paper reports distributions:
+/// `mean (p01, p99)`.
+#[must_use]
+pub fn mean_p01_p99(s: &Summary) -> String {
+    format!("{:.2} ({:.0}, {:.0})", s.mean, s.p01, s.p99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["x-long-cell".into(), "y".into(), "z".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a,b".into(), "plain".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"a,b\",plain"));
+    }
+
+    #[test]
+    fn summary_formatting() {
+        let s = Summary::of(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mean_p01_p99(&s), "2.00 (0, 4)");
+    }
+}

@@ -1,0 +1,701 @@
+//! The simulated Koorde ring: membership, de Bruijn pointer resolution,
+//! the imaginary-node routing walk, join/leave, and stabilization.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::ring::{in_interval_co, in_interval_oc};
+
+use crate::node::KoordeNode;
+
+/// How a lookup picks its starting imaginary node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImaginaryStart {
+    /// `i = m`, `kshift = k`: the textbook walk, which always performs
+    /// `bits` de Bruijn hops. The Cycloid paper's Koorde paths are "close
+    /// to d" (= `bits`), matching this variant.
+    Basic,
+    /// The Koorde paper's optimization: start at the imaginary node in
+    /// `(m, successor]` whose low bits already match the key's high bits,
+    /// skipping the matched de Bruijn hops (`O(log n)` hops in sparse
+    /// rings). Used by the ablation bench.
+    BestFit,
+}
+
+/// Configuration of a Koorde deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KoordeConfig {
+    /// Identifier bits: the ring has `2^bits` positions and the complete
+    /// de Bruijn graph has degree 2.
+    pub bits: u32,
+    /// Successor-list length (3 in the paper's setup).
+    pub successor_list: usize,
+    /// Number of de Bruijn-predecessor backups (3 in the paper's setup).
+    pub debruijn_backups: usize,
+    /// Imaginary-node start strategy.
+    pub start: ImaginaryStart,
+}
+
+impl KoordeConfig {
+    /// The paper's seven-entry setup on a `2^bits` ring.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "Koorde bits must be in [1, 63]");
+        Self {
+            bits,
+            successor_list: 3,
+            debruijn_backups: 3,
+            start: ImaginaryStart::Basic,
+        }
+    }
+
+    /// Same, with the best-fit imaginary start.
+    #[must_use]
+    pub fn with_best_fit(bits: u32) -> Self {
+        Self {
+            start: ImaginaryStart::BestFit,
+            ..Self::new(bits)
+        }
+    }
+
+    /// Ring size `2^bits`.
+    #[must_use]
+    pub fn space(&self) -> u64 {
+        1u64 << self.bits
+    }
+}
+
+/// A simulated Koorde network.
+#[derive(Debug, Clone)]
+pub struct KoordeNetwork {
+    config: KoordeConfig,
+    nodes: BTreeMap<u64, KoordeNode>,
+    alloc: IdAllocator,
+    /// Lookups that failed because a de Bruijn pointer and all backups
+    /// were dead (§4.3's failure count).
+    failures: u64,
+}
+
+impl KoordeNetwork {
+    /// Creates an empty ring.
+    #[must_use]
+    pub fn new(config: KoordeConfig, seed: u64) -> Self {
+        Self {
+            config,
+            nodes: BTreeMap::new(),
+            alloc: IdAllocator::new(seed),
+            failures: 0,
+        }
+    }
+
+    /// Builds a stabilized ring of `count` uniformly placed nodes.
+    #[must_use]
+    pub fn with_nodes(config: KoordeConfig, count: usize, seed: u64) -> Self {
+        let mut net = Self::new(config, seed);
+        assert!(
+            count as u64 <= config.space(),
+            "{count} nodes exceed the 2^{} ring",
+            config.bits
+        );
+        while net.nodes.len() < count {
+            let id = net.alloc.next_in(config.space());
+            if !net.nodes.contains_key(&id) {
+                net.insert_raw(id);
+            }
+        }
+        net.stabilize_all();
+        net
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> KoordeConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff `id` is live.
+    #[must_use]
+    pub fn is_live(&self, id: u64) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Live node identifiers in ring order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Shared read access to one node.
+    #[must_use]
+    pub fn node(&self, id: u64) -> Option<&KoordeNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Total failed lookups so far (de Bruijn pointer and all backups
+    /// dead).
+    #[must_use]
+    pub fn failure_count(&self) -> u64 {
+        self.failures
+    }
+
+    /// Maps a raw key onto the ring.
+    #[must_use]
+    pub fn key_of(&self, raw_key: u64) -> u64 {
+        reduce(splitmix64(raw_key), self.config.space())
+    }
+
+    /// Ground truth: live successor of ring point `x`.
+    #[must_use]
+    pub fn successor_of_point(&self, x: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(x..)
+            .next()
+            .or_else(|| self.nodes.range(..).next())
+            .map(|(&id, _)| id)
+    }
+
+    /// Ground truth: live node at or immediately preceding ring point `x`
+    /// ("the node immediately precedes `2m`": a node exactly at `x` is its
+    /// own de Bruijn image).
+    #[must_use]
+    pub fn at_or_before_point(&self, x: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(..=x)
+            .next_back()
+            .or_else(|| self.nodes.range(..).next_back())
+            .map(|(&id, _)| id)
+    }
+
+    /// Ground truth: live node strictly preceding ring point `x`.
+    #[must_use]
+    pub fn before_point(&self, x: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(..x)
+            .next_back()
+            .or_else(|| self.nodes.range(..).next_back())
+            .map(|(&id, _)| id)
+    }
+
+    fn insert_raw(&mut self, id: u64) {
+        let node = KoordeNode::new(id, self.config.successor_list, self.config.debruijn_backups);
+        let prev = self.nodes.insert(id, node);
+        assert!(prev.is_none(), "identifier {id} already occupied");
+    }
+
+    /// Recomputes every pointer of one node from the live membership.
+    pub fn refresh_node(&mut self, id: u64) {
+        let space = self.config.space();
+        self.refresh_ring_pointers(id);
+        let db_point = (2 * id) % space;
+        let debruijn = self.at_or_before_point(db_point).expect("non-empty ring");
+        let mut preds = Vec::with_capacity(self.config.debruijn_backups);
+        let mut cursor = debruijn;
+        for _ in 0..self.config.debruijn_backups {
+            let p = self.before_point(cursor).expect("non-empty ring");
+            preds.push(p);
+            cursor = p;
+        }
+        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        node.debruijn = debruijn;
+        node.debruijn_preds = preds;
+    }
+
+    /// Refreshes only the ring pointers (predecessor + successor list).
+    fn refresh_ring_pointers(&mut self, id: u64) {
+        let space = self.config.space();
+        let r = self.config.successor_list;
+        let pred = self.before_point(id).expect("refresh on empty ring");
+        let mut succs = Vec::with_capacity(r);
+        let mut cursor = id;
+        for _ in 0..r {
+            let s = self
+                .successor_of_point((cursor + 1) % space)
+                .expect("non-empty ring");
+            succs.push(s);
+            cursor = s;
+        }
+        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        node.predecessor = pred;
+        node.successors = succs;
+    }
+
+    /// Full stabilization: every node refreshes ring and de Bruijn
+    /// pointers ("stabilization updates the first de Bruijn node of each
+    /// node and the de Bruijn node's predecessors in time", §4.4).
+    pub fn stabilize_all(&mut self) {
+        let ids: Vec<u64> = self.ids().collect();
+        for id in ids {
+            self.refresh_node(id);
+        }
+    }
+
+    /// Ring neighbourhood that join/leave notifications repair.
+    fn ring_neighbors_of(&self, id: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        // `id + 1`: at join time the node itself is already in the map, and
+        // its *successor* is the neighbour that must learn about it.
+        if let Some(s) = self.successor_of_point((id + 1) % self.config.space()) {
+            out.push(s);
+        }
+        let mut cursor = id;
+        for _ in 0..self.config.successor_list {
+            match self.before_point(cursor) {
+                Some(p) if !out.contains(&p) => {
+                    out.push(p);
+                    cursor = p;
+                }
+                Some(p) => cursor = p,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Protocol join: the newcomer builds its own state and notifies its
+    /// ring neighbourhood; de Bruijn pointers elsewhere stay stale.
+    pub fn join_id(&mut self, id: u64) -> bool {
+        if self.is_live(id) {
+            return false;
+        }
+        self.insert_raw(id);
+        self.refresh_node(id);
+        for nb in self.ring_neighbors_of(id) {
+            if nb != id {
+                self.refresh_ring_pointers(nb);
+            }
+        }
+        true
+    }
+
+    /// Join with a freshly hashed identifier.
+    pub fn join_random(&mut self) -> Option<u64> {
+        if self.nodes.len() as u64 >= self.config.space() {
+            return None;
+        }
+        loop {
+            let id = self.alloc.next_in(self.config.space());
+            if self.join_id(id) {
+                return Some(id);
+            }
+        }
+    }
+
+    /// Graceful departure (§4.3): "when a node leaves, it notifies its
+    /// successors and predecessor... The nodes who take the leaving node
+    /// as their first de Bruijn node or their first de Bruijn node's
+    /// predecessor will not be notified" — those go stale until
+    /// stabilization.
+    pub fn leave(&mut self, id: u64) -> bool {
+        if self.nodes.remove(&id).is_none() {
+            return false;
+        }
+        if self.nodes.is_empty() {
+            return true;
+        }
+        for nb in self.ring_neighbors_of(id) {
+            self.refresh_ring_pointers(nb);
+        }
+        true
+    }
+
+    /// Ungraceful failure: the node vanishes without the leave
+    /// notifications, so even ring successors and predecessors stay stale
+    /// until stabilization.
+    pub fn fail_node(&mut self, id: u64) -> bool {
+        self.nodes.remove(&id).is_some()
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * self.config.bits as usize + 128
+    }
+
+    /// Picks the starting imaginary node and pre-shifted key for a lookup
+    /// from `m` (whose live successor is `succ`) towards `key`.
+    fn imaginary_start(&self, m: u64, succ: u64, key: u64) -> (u64, u64) {
+        let bits = self.config.bits;
+        let space = self.config.space();
+        match self.config.start {
+            ImaginaryStart::Basic => (m, key),
+            ImaginaryStart::BestFit => {
+                // Largest s such that some i0 in (m, succ] has its low s
+                // bits equal to the key's top s bits; the walk then needs
+                // only bits - s de Bruijn hops.
+                for s in (1..=bits).rev() {
+                    let p = key >> (bits - s);
+                    let modulus = 1u64 << s;
+                    let base = (m + 1) % space;
+                    let offset = (p + modulus - (base % modulus)) % modulus;
+                    let cand = (base + offset) % space;
+                    if in_interval_co(cand, m, succ, space) {
+                        let kshift = (key << s) % space;
+                        return (cand, kshift);
+                    }
+                }
+                (m, key)
+            }
+        }
+    }
+
+    /// One lookup from `src` for ring key `key`: the Kaashoek–Karger
+    /// imaginary-node walk. De Bruijn hops are tagged
+    /// [`HopPhase::DeBruijn`], ring fix-ups [`HopPhase::Successor`]
+    /// (Fig. 7(c), Fig. 14's breakdown). A dead contact costs a timeout;
+    /// a de Bruijn pointer whose backups are all dead fails the lookup.
+    pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
+        assert!(self.is_live(src), "lookup source {src} is not live");
+        let space = self.config.space();
+        let mut cur = src;
+        let mut hops = Vec::new();
+        let mut timeouts = 0u32;
+        self.count_query(cur);
+
+        // Imaginary-node state.
+        let src_node = &self.nodes[&src];
+        let (mut i, mut kshift) = self.imaginary_start(src, src_node.successor(), key);
+
+        let outcome = loop {
+            if hops.len() >= self.hop_budget() {
+                break LookupOutcome::HopBudgetExhausted;
+            }
+            let node = self.nodes.get(&cur).expect("current node is live");
+            if in_interval_oc(key, node.predecessor, cur, space) {
+                break match self.successor_of_point(key) {
+                    Some(owner) if owner == cur => LookupOutcome::Found,
+                    Some(_) => LookupOutcome::WrongOwner,
+                    None => LookupOutcome::Stuck,
+                };
+            }
+            let take_debruijn = !in_interval_oc(key, cur, node.successor(), space)
+                && in_interval_co(i, cur, node.successor(), space);
+            if take_debruijn {
+                // Walk down the de Bruijn edge, shifting one key bit into
+                // the imaginary node.
+                let mut next = None;
+                let mut dead_seen: HashSet<u64> = HashSet::new();
+                for cand in
+                    std::iter::once(node.debruijn).chain(node.debruijn_preds.iter().copied())
+                {
+                    if cand == cur {
+                        // Self-pointing de Bruijn edge (tiny rings): treat
+                        // like a missing edge and fall through to backups.
+                        continue;
+                    }
+                    if !self.is_live(cand) {
+                        if dead_seen.insert(cand) {
+                            timeouts += 1;
+                        }
+                        continue;
+                    }
+                    next = Some(cand);
+                    break;
+                }
+                match next {
+                    Some(cand) => {
+                        // Repair-on-use: once a backup answered for a dead
+                        // de Bruijn pointer, adopt it as the new pointer so
+                        // each stale pointer times out at most once (the
+                        // accounting the paper's Koorde timeout counts
+                        // reflect; see EXPERIMENTS.md).
+                        if !dead_seen.is_empty() {
+                            if let Some(n) = self.nodes.get_mut(&cur) {
+                                n.debruijn = cand;
+                            }
+                        }
+                        let top = (kshift >> (self.config.bits - 1)) & 1;
+                        i = ((i << 1) | top) % space;
+                        kshift = (kshift << 1) % space;
+                        hops.push(HopPhase::DeBruijn);
+                        cur = cand;
+                        self.count_query(cur);
+                    }
+                    None => {
+                        // De Bruijn pointer and all backups dead: the
+                        // lookup fails (§4.3).
+                        self.failures += 1;
+                        break LookupOutcome::Stuck;
+                    }
+                }
+            } else {
+                // Ring fix-up (or final approach) through the successor
+                // list.
+                let mut next = None;
+                let mut dead_seen: HashSet<u64> = HashSet::new();
+                for &cand in &node.successors {
+                    if cand == cur {
+                        continue;
+                    }
+                    if !self.is_live(cand) {
+                        if dead_seen.insert(cand) {
+                            timeouts += 1;
+                        }
+                        continue;
+                    }
+                    next = Some(cand);
+                    break;
+                }
+                match next {
+                    Some(cand) => {
+                        hops.push(HopPhase::Successor);
+                        cur = cand;
+                        self.count_query(cur);
+                    }
+                    None => {
+                        self.failures += 1;
+                        break LookupOutcome::Stuck;
+                    }
+                }
+            }
+        };
+
+        LookupTrace {
+            hops,
+            timeouts,
+            outcome,
+            terminal: cur,
+        }
+    }
+
+    /// Lookup by raw (pre-hash) key.
+    pub fn route(&mut self, src: u64, raw_key: u64) -> LookupTrace {
+        let key = self.key_of(raw_key);
+        self.route_to_point(src, key)
+    }
+
+    pub(crate) fn count_query(&mut self, id: u64) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.query_load += 1;
+        }
+    }
+
+    /// Per-node query loads in ring order.
+    #[must_use]
+    pub fn query_loads(&self) -> Vec<u64> {
+        self.nodes.values().map(|n| n.query_load).collect()
+    }
+
+    /// Zeroes all query-load counters.
+    pub fn reset_query_loads(&mut self) {
+        for n in self.nodes.values_mut() {
+            n.query_load = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::rng::stream;
+    use rand::Rng;
+
+    #[test]
+    fn debruijn_pointer_is_pred_of_double() {
+        let net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 500, 1);
+        for id in net.ids() {
+            let n = net.node(id).unwrap();
+            let expected = net.at_or_before_point((2 * id) % 2048).unwrap();
+            assert_eq!(n.debruijn, expected);
+        }
+    }
+
+    #[test]
+    fn all_lookups_resolve_in_stable_ring() {
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 300, 2);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(3, "koorde");
+        for i in 0..2000 {
+            let src = ids[i % ids.len()];
+            let raw: u64 = rng.gen();
+            let key = net.key_of(raw);
+            let t = net.route(src, raw);
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            assert_eq!(t.timeouts, 0);
+            assert_eq!(Some(t.terminal), net.successor_of_point(key));
+        }
+        assert_eq!(net.failure_count(), 0);
+    }
+
+    #[test]
+    fn dense_ring_path_close_to_bits() {
+        // §4.1: in a dense network Koorde's path length is "close to d"
+        // (the ring bit-width), with successor hops around 30% of it.
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 2048, 4);
+        assert_eq!(net.node_count(), 2048, "dense: every slot occupied");
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(5, "dense");
+        let mut total = 0usize;
+        let mut db = 0usize;
+        let trials = 2000;
+        for i in 0..trials {
+            let t = net.route(ids[i % ids.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+            total += t.path_len();
+            db += t.hops_in_phase(HopPhase::DeBruijn);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (8.0..=18.0).contains(&mean),
+            "dense Koorde(2^11) mean path {mean} should be near 11"
+        );
+        let succ_share = 1.0 - db as f64 / total as f64;
+        assert!(
+            succ_share < 0.5,
+            "successor share {succ_share} should be a minority when dense"
+        );
+    }
+
+    #[test]
+    fn sparse_ring_takes_more_successor_hops() {
+        // Fig. 13/14: Koorde's lookup efficiency degrades with sparsity —
+        // the successor share of the path grows.
+        let share = |count: usize| -> f64 {
+            let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), count, 6);
+            let ids: Vec<u64> = net.ids().collect();
+            let mut rng = stream(7, "sparse");
+            let mut total = 0usize;
+            let mut succ = 0usize;
+            for i in 0..1500 {
+                let t = net.route(ids[i % ids.len()], rng.gen());
+                assert_eq!(t.outcome, LookupOutcome::Found);
+                total += t.path_len();
+                succ += t.hops_in_phase(HopPhase::Successor);
+            }
+            succ as f64 / total as f64
+        };
+        let dense = share(2048);
+        let sparse = share(409); // 80% sparsity
+        assert!(
+            sparse > dense,
+            "successor share must grow with sparsity: dense {dense}, sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn best_fit_start_shortens_paths() {
+        let mean_path = |config: KoordeConfig| -> f64 {
+            let mut net = KoordeNetwork::with_nodes(config, 512, 8);
+            let ids: Vec<u64> = net.ids().collect();
+            let mut rng = stream(9, "fit");
+            let mut total = 0usize;
+            for i in 0..1500 {
+                let t = net.route(ids[i % ids.len()], rng.gen());
+                assert_eq!(t.outcome, LookupOutcome::Found);
+                total += t.path_len();
+            }
+            total as f64 / 1500.0
+        };
+        let basic = mean_path(KoordeConfig::new(14));
+        let fitted = mean_path(KoordeConfig::with_best_fit(14));
+        assert!(
+            fitted < basic,
+            "best-fit start {fitted} must beat basic {basic}"
+        );
+    }
+
+    #[test]
+    fn moderate_departures_keep_lookups_correct() {
+        // §4.3: "when the failed node percentage is as low as 0.2, all the
+        // queries can be solved successfully".
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 2048, 10);
+        let mut rng = stream(11, "kfail");
+        let ids: Vec<u64> = net.ids().collect();
+        for &id in &ids {
+            if rng.gen_bool(0.2) {
+                net.leave(id);
+            }
+        }
+        let live: Vec<u64> = net.ids().collect();
+        let mut failures = 0usize;
+        for i in 0..1000 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            if !t.outcome.is_success() {
+                failures += 1;
+            }
+        }
+        // All-four-backups-dead events are possible but must stay rare at
+        // p = 0.2 (the paper observed none in its run).
+        assert!(failures <= 30, "too many failures at p=0.2: {failures}");
+    }
+
+    #[test]
+    fn heavy_departures_cause_failures() {
+        // §4.3: failures appear when p >= 0.3-0.5 (de Bruijn pointer and
+        // all backups dead).
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 2048, 12);
+        let mut rng = stream(13, "kheavy");
+        let ids: Vec<u64> = net.ids().collect();
+        for &id in &ids {
+            if rng.gen_bool(0.5) {
+                net.leave(id);
+            }
+        }
+        let live: Vec<u64> = net.ids().collect();
+        let mut failures = 0usize;
+        for i in 0..2000 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            if !t.outcome.is_success() {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 0,
+            "p=0.5 must produce some lookup failures (got none)"
+        );
+        assert_eq!(net.failure_count() as usize, failures);
+    }
+
+    #[test]
+    fn stabilization_restores_correctness() {
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 2048, 14);
+        let mut rng = stream(15, "kstab");
+        let ids: Vec<u64> = net.ids().collect();
+        for &id in &ids {
+            if rng.gen_bool(0.5) {
+                net.leave(id);
+            }
+        }
+        net.stabilize_all();
+        let live: Vec<u64> = net.ids().collect();
+        for i in 0..500 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+            assert_eq!(t.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut net = KoordeNetwork::new(KoordeConfig::new(8), 16);
+        net.join_id(99);
+        let t = net.route_to_point(99, 5);
+        assert_eq!(t.outcome, LookupOutcome::Found);
+        assert_eq!(t.path_len(), 0);
+    }
+
+    #[test]
+    fn degree_bounded_by_seven() {
+        let net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 700, 17);
+        for id in net.ids() {
+            let deg = net.node(id).unwrap().degree();
+            assert!(deg <= 7, "node {id} degree {deg} > 7");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-node Koorde state.
+
+/// Routing state of one Koorde node (the paper's seven-entry setup:
+/// "one de Bruijn node, three successors and three immediate predecessors
+/// of the de Bruijn node", §4).
+#[derive(Debug, Clone)]
+pub struct KoordeNode {
+    /// This node's ring identifier.
+    pub id: u64,
+    /// Immediate predecessor on the ring.
+    pub predecessor: u64,
+    /// Successor list, nearest first.
+    pub successors: Vec<u64>,
+    /// First de Bruijn node: the node immediately preceding ring point
+    /// `2 * id`.
+    pub debruijn: u64,
+    /// Immediate predecessors of the de Bruijn node, nearest first — the
+    /// backups taken when `debruijn` has departed.
+    pub debruijn_preds: Vec<u64>,
+    /// Lookup messages received since the last reset.
+    pub query_load: u64,
+}
+
+impl KoordeNode {
+    /// Fresh state; pointers initially self-referential.
+    #[must_use]
+    pub fn new(id: u64, succ_list_len: usize, backup_len: usize) -> Self {
+        Self {
+            id,
+            predecessor: id,
+            successors: vec![id; succ_list_len],
+            debruijn: id,
+            debruijn_preds: vec![id; backup_len],
+            query_load: 0,
+        }
+    }
+
+    /// The primary successor.
+    #[must_use]
+    pub fn successor(&self) -> u64 {
+        self.successors[0]
+    }
+
+    /// Distinct non-self contacts (actual degree, bounded by 7 in the
+    /// paper's configuration).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        let mut all: Vec<u64> = self
+            .successors
+            .iter()
+            .chain(self.debruijn_preds.iter())
+            .copied()
+            .chain([self.debruijn])
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.retain(|&x| x != self.id);
+        all.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_node_state() {
+        let n = KoordeNode::new(9, 3, 3);
+        assert_eq!(n.successor(), 9);
+        assert_eq!(n.degree(), 0);
+    }
+
+    #[test]
+    fn degree_is_bounded_by_seven() {
+        let mut n = KoordeNode::new(0, 3, 3);
+        n.successors = vec![1, 2, 3];
+        n.debruijn = 10;
+        n.debruijn_preds = vec![9, 8, 7];
+        assert_eq!(n.degree(), 7);
+    }
+}

@@ -1,0 +1,113 @@
+//! [`dht_core::Overlay`] adapter for the Koorde baseline.
+
+use dht_core::lookup::LookupTrace;
+use dht_core::overlay::{NodeToken, Overlay};
+use rand::RngCore;
+
+use crate::network::KoordeNetwork;
+
+impl Overlay for KoordeNetwork {
+    fn name(&self) -> String {
+        "Koorde".to_string()
+    }
+
+    fn len(&self) -> usize {
+        self.node_count()
+    }
+
+    fn degree_bound(&self) -> Option<usize> {
+        Some(self.config().successor_list + self.config().debruijn_backups + 1)
+    }
+
+    fn node_tokens(&self) -> Vec<NodeToken> {
+        self.ids().collect()
+    }
+
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let tokens = self.node_tokens();
+        Some(tokens[(rng.next_u64() % tokens.len() as u64) as usize])
+    }
+
+    fn key_id(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
+        self.successor_of_point(self.key_of(raw_key))
+    }
+
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
+        self.route(src, raw_key)
+    }
+
+    fn join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random()
+    }
+
+    fn leave(&mut self, node: NodeToken) -> bool {
+        KoordeNetwork::leave(self, node)
+    }
+
+    fn fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_node(&mut self, node: NodeToken) {
+        if self.is_live(node) {
+            self.refresh_node(node);
+        }
+    }
+
+    fn query_loads(&self) -> Vec<u64> {
+        KoordeNetwork::query_loads(self)
+    }
+
+    fn reset_query_loads(&mut self) {
+        KoordeNetwork::reset_query_loads(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::KoordeConfig;
+    use dht_core::overlay::key_counts;
+    use dht_core::rng::stream;
+    use dht_core::workload;
+
+    #[test]
+    fn trait_roundtrip() {
+        let mut net: Box<dyn Overlay> =
+            Box::new(KoordeNetwork::with_nodes(KoordeConfig::new(11), 150, 1));
+        assert_eq!(net.name(), "Koorde");
+        assert_eq!(net.degree_bound(), Some(7));
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[3], 888);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(888));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        let net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 120, 2);
+        let keys = workload::key_population(3_000, &mut stream(3, "kk"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 3_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 64, 4);
+        let mut rng = stream(5, "kt");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
+    }
+}

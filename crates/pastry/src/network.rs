@@ -1,0 +1,696 @@
+//! The simulated Pastry network: digit arithmetic, routing-table and
+//! leaf-set resolution, prefix routing, join/leave, and stabilization.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::ring::{clockwise_dist, ring_dist};
+
+/// Configuration of a Pastry deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastryConfig {
+    /// Total identifier bits; the ring has `2^bits` positions.
+    pub bits: u32,
+    /// Bits per digit (`b`; base `2^b` digits). Pastry's default is 4;
+    /// the simulations use 2 to keep tables reasonable at small scales.
+    pub digit_bits: u32,
+    /// Leaf-set size `|L|` (half numerically smaller, half larger).
+    pub leaf_set: usize,
+}
+
+impl PastryConfig {
+    /// Standard configuration: base-4 digits (`b = 2`), `|L| = 8`.
+    ///
+    /// # Panics
+    /// Panics unless `digit_bits` divides `bits`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        let config = Self {
+            bits,
+            digit_bits: 2,
+            leaf_set: 8,
+        };
+        config.validate();
+        config
+    }
+
+    fn validate(&self) {
+        assert!(self.bits >= 1 && self.bits <= 63, "bits must be in [1, 63]");
+        assert!(
+            self.digit_bits >= 1 && self.bits.is_multiple_of(self.digit_bits),
+            "digit_bits must divide bits"
+        );
+        assert!(
+            self.leaf_set >= 2 && self.leaf_set.is_multiple_of(2),
+            "leaf set must be even"
+        );
+    }
+
+    /// Ring size `2^bits`.
+    #[must_use]
+    pub fn space(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Number of digits per identifier.
+    #[must_use]
+    pub fn digits(&self) -> u32 {
+        self.bits / self.digit_bits
+    }
+
+    /// Digit alphabet size `2^b`.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        1 << self.digit_bits
+    }
+
+    /// Extracts digit `row` (0 = most significant) of `id`.
+    #[must_use]
+    pub fn digit(&self, id: u64, row: u32) -> u32 {
+        debug_assert!(row < self.digits());
+        let shift = self.bits - (row + 1) * self.digit_bits;
+        ((id >> shift) & u64::from(self.base() - 1)) as u32
+    }
+
+    /// Length of the common digit prefix of two identifiers.
+    #[must_use]
+    pub fn shared_prefix(&self, a: u64, b: u64) -> u32 {
+        (0..self.digits())
+            .take_while(|&row| self.digit(a, row) == self.digit(b, row))
+            .count() as u32
+    }
+}
+
+/// Routing state of one Pastry node.
+#[derive(Debug, Clone)]
+pub struct PastryNode {
+    /// This node's identifier.
+    pub id: u64,
+    /// `table[row * base + col]`: a node sharing the first `row` digits
+    /// with this node and having digit `col` at position `row`. `None`
+    /// where no such node is live (or where `col` is the node's own
+    /// digit).
+    pub table: Vec<Option<u64>>,
+    /// Numerically smaller leaf-set half, nearest first.
+    pub leaf_smaller: Vec<u64>,
+    /// Numerically larger leaf-set half, nearest first.
+    pub leaf_larger: Vec<u64>,
+    /// Lookup messages received since the last reset.
+    pub query_load: u64,
+}
+
+impl PastryNode {
+    fn new(id: u64, config: PastryConfig) -> Self {
+        Self {
+            id,
+            table: vec![None; (config.digits() * config.base()) as usize],
+            leaf_smaller: Vec::new(),
+            leaf_larger: Vec::new(),
+            query_load: 0,
+        }
+    }
+
+    /// All leaf-set entries.
+    pub fn leafs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.leaf_smaller.iter().chain(&self.leaf_larger).copied()
+    }
+
+    /// Distinct non-self contacts currently held.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        let mut all: Vec<u64> = self
+            .table
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.leafs())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.retain(|&x| x != self.id);
+        all.len()
+    }
+}
+
+/// A simulated Pastry network.
+#[derive(Debug, Clone)]
+pub struct PastryNetwork {
+    config: PastryConfig,
+    nodes: BTreeMap<u64, PastryNode>,
+    alloc: IdAllocator,
+}
+
+impl PastryNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new(config: PastryConfig, seed: u64) -> Self {
+        config.validate();
+        Self {
+            config,
+            nodes: BTreeMap::new(),
+            alloc: IdAllocator::new(seed),
+        }
+    }
+
+    /// Builds a stabilized network of `count` uniformly placed nodes.
+    #[must_use]
+    pub fn with_nodes(config: PastryConfig, count: usize, seed: u64) -> Self {
+        let mut net = Self::new(config, seed);
+        assert!(
+            count as u64 <= config.space(),
+            "space too small for {count} nodes"
+        );
+        while net.nodes.len() < count {
+            let id = net.alloc.next_in(config.space());
+            net.nodes
+                .entry(id)
+                .or_insert_with(|| PastryNode::new(id, config));
+        }
+        net.stabilize_all();
+        net
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> PastryConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff `id` is live.
+    #[must_use]
+    pub fn is_live(&self, id: u64) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Live node identifiers in ring order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Read access to one node.
+    #[must_use]
+    pub fn node(&self, id: u64) -> Option<&PastryNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Maps a raw key onto the ring.
+    #[must_use]
+    pub fn key_of(&self, raw_key: u64) -> u64 {
+        reduce(splitmix64(raw_key), self.config.space())
+    }
+
+    /// Pastry key assignment: the node *numerically closest* to the key
+    /// (ties towards the successor side, matching the Cycloid/leaf-set
+    /// convention).
+    #[must_use]
+    pub fn owner_of_point(&self, key: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let space = self.config.space();
+        self.nodes
+            .keys()
+            .copied()
+            // Only the ring neighbours of the key can be closest.
+            .filter(|&id| {
+                let above = self.nodes.range(key..).next().map(|(&i, _)| i);
+                let below = self.nodes.range(..key).next_back().map(|(&i, _)| i);
+                Some(id) == above
+                    || Some(id) == below
+                    || Some(id) == self.nodes.range(..).next().map(|(&i, _)| i)
+                    || Some(id) == self.nodes.range(..).next_back().map(|(&i, _)| i)
+            })
+            .min_by_key(|&id| {
+                let d = ring_dist(key, id, space);
+                let ccw = u64::from(d != 0 && clockwise_dist(key, id, space) != d);
+                2 * d + ccw
+            })
+    }
+
+    /// Resolves one routing-table entry: a live node sharing `row` digits
+    /// of prefix with `id` and having digit `col` at position `row`,
+    /// choosing the numerically closest such node to `id` (a locality
+    /// metric would pick by proximity; hop counts are unaffected).
+    #[must_use]
+    pub fn resolve_entry(&self, id: u64, row: u32, col: u32) -> Option<u64> {
+        let c = self.config;
+        if self.config.digit(id, row) == col {
+            return None; // own digit: the row "points at" the node itself
+        }
+        let digit_shift = c.bits - (row + 1) * c.digit_bits;
+        let prefix_mask = if row == 0 {
+            0
+        } else {
+            !((1u64 << (c.bits - row * c.digit_bits)) - 1)
+        };
+        let base = (id & prefix_mask) | (u64::from(col) << digit_shift);
+        let top = base | ((1u64 << digit_shift) - 1);
+        // Nearest to id within [base, top]; since id is outside the block,
+        // the closest element is one of the block's ends.
+        let first = self.nodes.range(base..=top).next().map(|(&i, _)| i);
+        let last = self.nodes.range(base..=top).next_back().map(|(&i, _)| i);
+        match (first, last) {
+            (Some(f), Some(l)) => {
+                if id < base {
+                    Some(f)
+                } else {
+                    Some(l)
+                }
+            }
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Resolves the leaf set of `id`: the `|L|/2` nearest live smaller and
+    /// larger identifiers on the ring.
+    #[must_use]
+    pub fn resolve_leafs(&self, id: u64) -> (Vec<u64>, Vec<u64>) {
+        let half = self.config.leaf_set / 2;
+        let mut smaller = Vec::with_capacity(half);
+        let mut larger = Vec::with_capacity(half);
+        if self.nodes.len() <= 1 {
+            return (smaller, larger);
+        }
+        let mut cursor = id;
+        for _ in 0..half.min(self.nodes.len() - 1) {
+            let prev = self
+                .nodes
+                .range(..cursor)
+                .next_back()
+                .or_else(|| self.nodes.range(..).next_back())
+                .map(|(&i, _)| i)
+                .expect("non-empty");
+            if prev == id {
+                break;
+            }
+            smaller.push(prev);
+            cursor = prev;
+        }
+        let mut cursor = id;
+        for _ in 0..half.min(self.nodes.len() - 1) {
+            let next = self
+                .nodes
+                .range(cursor + 1..)
+                .next()
+                .or_else(|| self.nodes.range(..).next())
+                .map(|(&i, _)| i)
+                .expect("non-empty");
+            if next == id {
+                break;
+            }
+            larger.push(next);
+            cursor = next;
+        }
+        (smaller, larger)
+    }
+
+    /// Recomputes every entry of one node.
+    pub fn refresh_node(&mut self, id: u64) {
+        let c = self.config;
+        let mut table = vec![None; (c.digits() * c.base()) as usize];
+        for row in 0..c.digits() {
+            for col in 0..c.base() {
+                table[(row * c.base() + col) as usize] = self.resolve_entry(id, row, col);
+            }
+        }
+        let (smaller, larger) = self.resolve_leafs(id);
+        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        node.table = table;
+        node.leaf_smaller = smaller;
+        node.leaf_larger = larger;
+    }
+
+    /// Refreshes only the leaf set (what join/leave notifications repair).
+    fn refresh_leafs(&mut self, id: u64) {
+        let (smaller, larger) = self.resolve_leafs(id);
+        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        node.leaf_smaller = smaller;
+        node.leaf_larger = larger;
+    }
+
+    /// Full stabilization.
+    pub fn stabilize_all(&mut self) {
+        let ids: Vec<u64> = self.ids().collect();
+        for id in ids {
+            self.refresh_node(id);
+        }
+    }
+
+    /// Live nodes whose leaf sets reference position `id`.
+    fn leaf_holders_of(&self, id: u64) -> Vec<u64> {
+        let half = self.config.leaf_set / 2;
+        let mut out = Vec::new();
+        let mut cursor = id;
+        for _ in 0..half {
+            match self
+                .nodes
+                .range(..cursor)
+                .next_back()
+                .or_else(|| self.nodes.range(..).next_back())
+                .map(|(&i, _)| i)
+            {
+                Some(p) if p != id && !out.contains(&p) => {
+                    out.push(p);
+                    cursor = p;
+                }
+                _ => break,
+            }
+        }
+        let mut cursor = id;
+        for _ in 0..half {
+            match self
+                .nodes
+                .range(cursor + 1..)
+                .next()
+                .or_else(|| self.nodes.range(..).next())
+                .map(|(&i, _)| i)
+            {
+                Some(n) if n != id && !out.contains(&n) => {
+                    out.push(n);
+                    cursor = n;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Protocol join: the newcomer builds its state; its leaf-set
+    /// neighbourhood learns of it. Routing tables elsewhere stay stale
+    /// until stabilization.
+    pub fn join_id(&mut self, id: u64) -> bool {
+        if self.is_live(id) {
+            return false;
+        }
+        self.nodes.insert(id, PastryNode::new(id, self.config));
+        self.refresh_node(id);
+        for nb in self.leaf_holders_of(id) {
+            self.refresh_leafs(nb);
+        }
+        true
+    }
+
+    /// Join with a fresh identifier.
+    pub fn join_random(&mut self) -> Option<u64> {
+        if self.nodes.len() as u64 >= self.config.space() {
+            return None;
+        }
+        loop {
+            let id = self.alloc.next_in(self.config.space());
+            if self.join_id(id) {
+                return Some(id);
+            }
+        }
+    }
+
+    /// Graceful departure: the leaf-set neighbourhood repairs; routing
+    /// tables elsewhere stay stale.
+    pub fn leave(&mut self, id: u64) -> bool {
+        if self.nodes.remove(&id).is_none() {
+            return false;
+        }
+        for nb in self.leaf_holders_of(id) {
+            self.refresh_leafs(nb);
+        }
+        true
+    }
+
+    /// Ungraceful failure: no notifications at all.
+    pub fn fail_node(&mut self, id: u64) -> bool {
+        self.nodes.remove(&id).is_some()
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * self.config.digits() as usize + 64
+    }
+
+    /// One lookup from `src` for ring key `key`: prefix routing with
+    /// leaf-set fallback. Digit-correcting hops are tagged
+    /// [`HopPhase::Finger`], leaf-set hops [`HopPhase::Successor`].
+    pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
+        assert!(self.is_live(src), "lookup source {src} is not live");
+        let c = self.config;
+        let space = c.space();
+        let mut cur = src;
+        let mut hops = Vec::new();
+        let mut timeouts = 0u32;
+        self.count_query(cur);
+
+        let metric = |node: u64| {
+            let d = ring_dist(key, node, space);
+            let ccw = u64::from(d != 0 && clockwise_dist(key, node, space) != d);
+            2 * d + ccw
+        };
+
+        let outcome = loop {
+            if hops.len() >= self.hop_budget() {
+                break LookupOutcome::HopBudgetExhausted;
+            }
+            let node = self.nodes.get(&cur).expect("current node is live");
+            let cur_metric = metric(cur);
+
+            // Leaf-set candidates strictly closer to the key.
+            let mut leafs: Vec<(u64, u64)> = node
+                .leafs()
+                .filter(|&l| self.is_live(l))
+                .map(|l| (metric(l), l))
+                .filter(|&(m, _)| m < cur_metric)
+                .collect();
+            leafs.sort_unstable();
+            leafs.dedup();
+
+            // Termination: no live leaf is closer — this node is the
+            // numerically closest.
+            if leafs.is_empty() {
+                break match self.owner_of_point(key) {
+                    Some(owner) if owner == cur => LookupOutcome::Found,
+                    Some(_) => LookupOutcome::WrongOwner,
+                    None => LookupOutcome::Stuck,
+                };
+            }
+
+            // Preferred hop: the routing-table entry for the first
+            // differing digit ("forwards the query to a node which matches
+            // one more digit").
+            let mut plan: Vec<(HopPhase, u64)> = Vec::new();
+            let row = c.shared_prefix(cur, key);
+            if row < c.digits() {
+                let col = c.digit(key, row);
+                if let Some(entry) = node.table[(row * c.base() + col) as usize] {
+                    plan.push((HopPhase::Finger, entry));
+                }
+            }
+            // Fallback ("the rare case"): any leaf numerically closer.
+            plan.extend(leafs.iter().map(|&(_, l)| (HopPhase::Successor, l)));
+
+            let mut next = None;
+            let mut dead_seen: HashSet<u64> = HashSet::new();
+            for (phase, cand) in plan {
+                if cand == cur {
+                    continue;
+                }
+                if !self.is_live(cand) {
+                    if dead_seen.insert(cand) {
+                        timeouts += 1;
+                    }
+                    continue;
+                }
+                next = Some((phase, cand));
+                break;
+            }
+            match next {
+                Some((phase, cand)) => {
+                    hops.push(phase);
+                    cur = cand;
+                    self.count_query(cur);
+                }
+                None => {
+                    break match self.owner_of_point(key) {
+                        Some(owner) if owner == cur => LookupOutcome::Found,
+                        _ => LookupOutcome::Stuck,
+                    }
+                }
+            }
+        };
+
+        LookupTrace {
+            hops,
+            timeouts,
+            outcome,
+            terminal: cur,
+        }
+    }
+
+    /// Lookup by raw (pre-hash) key.
+    pub fn route(&mut self, src: u64, raw_key: u64) -> LookupTrace {
+        let key = self.key_of(raw_key);
+        self.route_to_point(src, key)
+    }
+
+    pub(crate) fn count_query(&mut self, id: u64) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.query_load += 1;
+        }
+    }
+
+    /// Per-node query loads in ring order.
+    #[must_use]
+    pub fn query_loads(&self) -> Vec<u64> {
+        self.nodes.values().map(|n| n.query_load).collect()
+    }
+
+    /// Zeroes all query-load counters.
+    pub fn reset_query_loads(&mut self) {
+        for n in self.nodes.values_mut() {
+            n.query_load = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::rng::stream;
+    use rand::Rng;
+
+    #[test]
+    fn digit_arithmetic() {
+        let c = PastryConfig::new(8); // four base-4 digits
+        assert_eq!(c.digits(), 4);
+        assert_eq!(c.base(), 4);
+        // 0b10_11_01_00: digits 2, 3, 1, 0.
+        let id = 0b1011_0100;
+        assert_eq!(c.digit(id, 0), 2);
+        assert_eq!(c.digit(id, 1), 3);
+        assert_eq!(c.digit(id, 2), 1);
+        assert_eq!(c.digit(id, 3), 0);
+        assert_eq!(c.shared_prefix(id, id), 4);
+        assert_eq!(c.shared_prefix(0b1011_0100, 0b1011_1100), 2);
+        assert_eq!(c.shared_prefix(0b0011_0100, 0b1011_0100), 0);
+    }
+
+    #[test]
+    fn routing_table_entries_share_prefix_and_differ_next_digit() {
+        let net = PastryNetwork::with_nodes(PastryConfig::new(12), 500, 1);
+        let c = net.config();
+        for id in net.ids().take(50) {
+            let node = net.node(id).unwrap();
+            for row in 0..c.digits() {
+                for col in 0..c.base() {
+                    if let Some(entry) = node.table[(row * c.base() + col) as usize] {
+                        assert!(net.is_live(entry));
+                        assert_eq!(c.shared_prefix(id, entry), row, "row {row} col {col}");
+                        assert_eq!(c.digit(entry, row), col);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_lookups_resolve() {
+        let mut net = PastryNetwork::with_nodes(PastryConfig::new(12), 400, 2);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(3, "pastry");
+        for i in 0..2000 {
+            let src = ids[i % ids.len()];
+            let raw: u64 = rng.gen();
+            let key = net.key_of(raw);
+            let t = net.route(src, raw);
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            assert_eq!(t.timeouts, 0);
+            assert_eq!(Some(t.terminal), net.owner_of_point(key));
+        }
+    }
+
+    #[test]
+    fn paths_are_logarithmic() {
+        // O(log_{2^b} n) = log4(1024) = 5 digits to correct.
+        let mut net = PastryNetwork::with_nodes(PastryConfig::new(16), 1024, 4);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(5, "plen");
+        let mut total = 0usize;
+        for i in 0..2000 {
+            total += net.route(ids[i % ids.len()], rng.gen()).path_len();
+        }
+        let mean = total as f64 / 2000.0;
+        assert!(mean > 2.0 && mean < 9.0, "mean {mean} should be ~log4(n)");
+    }
+
+    #[test]
+    fn graceful_departures_timeout_but_resolve() {
+        let mut net = PastryNetwork::with_nodes(PastryConfig::new(12), 1024, 6);
+        let mut rng = stream(7, "pfail");
+        for id in net.ids().collect::<Vec<_>>() {
+            if rng.gen_bool(0.3) {
+                net.leave(id);
+            }
+        }
+        let live: Vec<u64> = net.ids().collect();
+        let mut timeouts = 0u32;
+        for i in 0..1000 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            timeouts += t.timeouts;
+        }
+        assert!(timeouts > 0, "stale table entries must time out");
+        net.stabilize_all();
+        for i in 0..300 {
+            let t = net.route(live[i % live.len()], rng.gen());
+            assert_eq!(t.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn leaf_sets_are_ring_neighbors() {
+        let net = PastryNetwork::with_nodes(PastryConfig::new(10), 100, 8);
+        let ids: Vec<u64> = net.ids().collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let node = net.node(id).unwrap();
+            let succ = ids[(i + 1) % ids.len()];
+            let pred = ids[(i + ids.len() - 1) % ids.len()];
+            assert_eq!(node.leaf_larger.first(), Some(&succ), "node {id}");
+            assert_eq!(node.leaf_smaller.first(), Some(&pred), "node {id}");
+        }
+    }
+
+    #[test]
+    fn degree_is_logarithmic_not_constant() {
+        let net = PastryNetwork::with_nodes(PastryConfig::new(16), 1024, 9);
+        let mean: f64 = net
+            .ids()
+            .map(|id| net.node(id).unwrap().degree() as f64)
+            .sum::<f64>()
+            / net.node_count() as f64;
+        assert!(
+            mean > 10.0,
+            "Pastry keeps O(log n) state; mean degree {mean} too small"
+        );
+    }
+
+    #[test]
+    fn join_and_leave_keep_correctness() {
+        let mut net = PastryNetwork::with_nodes(PastryConfig::new(12), 100, 10);
+        let mut rng = stream(11, "pjoin");
+        let mut joined = Vec::new();
+        for _ in 0..20 {
+            joined.push(net.join_random().unwrap());
+        }
+        for &j in &joined[..10] {
+            assert!(net.leave(j));
+        }
+        let ids: Vec<u64> = net.ids().collect();
+        for i in 0..500 {
+            let t = net.route(ids[i % ids.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! The simulated Viceroy butterfly: membership, level assignment, link
+//! resolution, and the three-phase lookup.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::ring::{in_interval_oc, ring_dist};
+use rand::{Rng, RngCore};
+
+/// Configuration of a Viceroy deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViceroyConfig {
+    /// Fixed-point precision of the `[0,1)` identifier circle: identifiers
+    /// live on a `2^bits` ring. 48 bits makes collisions negligible at any
+    /// simulated scale while leaving headroom for ring arithmetic.
+    pub bits: u32,
+}
+
+impl ViceroyConfig {
+    /// Default precision.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { bits: 48 }
+    }
+
+    /// Ring size `2^bits`.
+    #[must_use]
+    pub fn space(&self) -> u64 {
+        1u64 << self.bits
+    }
+}
+
+impl Default for ViceroyConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One Viceroy node: a fixed-point identifier in `[0,1)` and a butterfly
+/// level. The identifier is fixed for the node's lifetime; the level was
+/// drawn uniformly from `[1, max(1, ⌈log₂ n₀⌉)]` at join time, with `n₀`
+/// the then-current network-size estimate (§2.4: "the level is randomly
+/// selected from a range of [1, log n₀]").
+#[derive(Debug, Clone)]
+pub struct ViceroyNode {
+    /// Ring identifier (fixed-point fraction of the circle).
+    pub id: u64,
+    /// Butterfly level, 1-based.
+    pub level: u32,
+    /// Lookup messages received since the last reset.
+    pub query_load: u64,
+}
+
+/// A simulated Viceroy network.
+///
+/// Links are resolved lazily from the live membership — equivalent to the
+/// eager everyone-gets-repaired protocol the paper ascribes to Viceroy,
+/// which is why Viceroy shows zero timeouts in every churn experiment.
+#[derive(Debug, Clone)]
+pub struct ViceroyNetwork {
+    config: ViceroyConfig,
+    nodes: BTreeMap<u64, ViceroyNode>,
+    /// `by_level[l]` holds identifiers of the nodes at level `l+1`.
+    by_level: Vec<BTreeSet<u64>>,
+    alloc: IdAllocator,
+}
+
+impl ViceroyNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new(config: ViceroyConfig, seed: u64) -> Self {
+        Self {
+            config,
+            nodes: BTreeMap::new(),
+            by_level: Vec::new(),
+            alloc: IdAllocator::new(seed),
+        }
+    }
+
+    /// Builds a network of `count` nodes; levels are drawn uniformly from
+    /// `[1, max(1, ⌈log₂ count⌉)]`.
+    #[must_use]
+    pub fn with_nodes(config: ViceroyConfig, count: usize, seed: u64) -> Self {
+        let mut net = Self::new(config, seed);
+        let mut rng = dht_core::rng::stream(seed, "viceroy-levels");
+        let max_level = Self::level_range_for(count);
+        while net.nodes.len() < count {
+            let id = net.alloc.next_in(config.space());
+            if !net.nodes.contains_key(&id) {
+                let level = rng.gen_range(1..=max_level);
+                net.insert_raw(id, level);
+            }
+        }
+        net
+    }
+
+    /// The level range `[1, max(1, ⌈log₂ n⌉)]` for a network-size estimate.
+    #[must_use]
+    pub fn level_range_for(n_estimate: usize) -> u32 {
+        let n = n_estimate.max(2) as f64;
+        (n.log2().ceil() as u32).max(1)
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> ViceroyConfig {
+        self.config
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff `id` is live.
+    #[must_use]
+    pub fn is_live(&self, id: u64) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Live node identifiers in ring order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Read access to one node.
+    #[must_use]
+    pub fn node(&self, id: u64) -> Option<&ViceroyNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Maps a raw key onto the identifier circle.
+    #[must_use]
+    pub fn key_of(&self, raw_key: u64) -> u64 {
+        reduce(splitmix64(raw_key), self.config.space())
+    }
+
+    /// Ground truth: the key's successor — the storing node (§2.4:
+    /// "Viceroy stores keys in the keys' successors").
+    #[must_use]
+    pub fn successor_of_point(&self, x: u64) -> Option<u64> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(x..)
+            .next()
+            .or_else(|| self.nodes.range(..).next())
+            .map(|(&id, _)| id)
+    }
+
+    fn insert_raw(&mut self, id: u64, level: u32) {
+        let prev = self.nodes.insert(
+            id,
+            ViceroyNode {
+                id,
+                level,
+                query_load: 0,
+            },
+        );
+        assert!(prev.is_none(), "identifier {id} already occupied");
+        if self.by_level.len() < level as usize {
+            self.by_level.resize(level as usize, BTreeSet::new());
+        }
+        self.by_level[(level - 1) as usize].insert(id);
+    }
+
+    fn remove_raw(&mut self, id: u64) -> Option<ViceroyNode> {
+        let node = self.nodes.remove(&id)?;
+        self.by_level[(node.level - 1) as usize].remove(&id);
+        Some(node)
+    }
+
+    /// A node joins with a fresh identifier; its level is drawn from the
+    /// current size estimate. All affected links are repaired immediately
+    /// (Viceroy's expensive-but-thorough join).
+    pub fn join_random(&mut self, rng: &mut dyn RngCore) -> Option<u64> {
+        if self.nodes.len() as u64 >= self.config.space() {
+            return None;
+        }
+        let max_level = Self::level_range_for(self.nodes.len() + 1);
+        loop {
+            let id = self.alloc.next_in(self.config.space());
+            if !self.nodes.contains_key(&id) {
+                let level = 1 + (rng.next_u64() % u64::from(max_level)) as u32;
+                self.insert_raw(id, level);
+                return Some(id);
+            }
+        }
+    }
+
+    /// Graceful departure; every node that referenced the leaver is
+    /// repaired before it goes (hence zero timeouts, §4.3).
+    pub fn leave(&mut self, id: u64) -> bool {
+        self.remove_raw(id).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Link resolution (always-correct, see crate docs)
+    // ------------------------------------------------------------------
+
+    /// General-ring successor link of node `id`.
+    #[must_use]
+    pub fn succ_link(&self, id: u64) -> Option<u64> {
+        if self.nodes.len() <= 1 {
+            return None;
+        }
+        self.nodes
+            .range(id + 1..)
+            .next()
+            .or_else(|| self.nodes.range(..).next())
+            .map(|(&s, _)| s)
+    }
+
+    /// General-ring predecessor link of node `id`.
+    #[must_use]
+    pub fn pred_link(&self, id: u64) -> Option<u64> {
+        if self.nodes.len() <= 1 {
+            return None;
+        }
+        self.nodes
+            .range(..id)
+            .next_back()
+            .or_else(|| self.nodes.range(..).next_back())
+            .map(|(&p, _)| p)
+    }
+
+    /// The node of `level` nearest (in ring distance, either direction) to
+    /// ring point `x` — how Viceroy resolves its butterfly links, so that
+    /// landing slack is centred rather than one-sided.
+    fn nearest_at_level(&self, level: u32, x: u64) -> Option<u64> {
+        let set = self.by_level.get((level - 1) as usize)?;
+        if set.is_empty() {
+            return None;
+        }
+        let space = self.config.space();
+        let after = set
+            .range(x..)
+            .next()
+            .or_else(|| set.range(..).next())
+            .copied()?;
+        let before = set
+            .range(..x)
+            .next_back()
+            .or_else(|| set.range(..).next_back())
+            .copied()?;
+        if ring_dist(after, x, space) <= ring_dist(before, x, space) {
+            Some(after)
+        } else {
+            Some(before)
+        }
+    }
+
+    /// Level-ring "next" link: the next node of the same level clockwise.
+    #[must_use]
+    pub fn level_next_link(&self, id: u64) -> Option<u64> {
+        let level = self.nodes.get(&id)?.level;
+        let set = &self.by_level[(level - 1) as usize];
+        if set.len() <= 1 {
+            return None;
+        }
+        set.range(id + 1..)
+            .next()
+            .or_else(|| set.range(..).next())
+            .copied()
+    }
+
+    /// Level-ring "previous" link: the previous node of the same level.
+    #[must_use]
+    pub fn level_prev_link(&self, id: u64) -> Option<u64> {
+        let level = self.nodes.get(&id)?.level;
+        let set = &self.by_level[(level - 1) as usize];
+        if set.len() <= 1 {
+            return None;
+        }
+        set.range(..id)
+            .next_back()
+            .or_else(|| set.range(..).next_back())
+            .copied()
+    }
+
+    /// Down-left butterfly link: the level `l+1` node nearest clockwise
+    /// from the node's own position.
+    #[must_use]
+    pub fn down_left_link(&self, id: u64) -> Option<u64> {
+        let level = self.nodes.get(&id)?.level;
+        self.nearest_at_level(level + 1, id)
+    }
+
+    /// Down-right butterfly link: the level `l+1` node nearest clockwise
+    /// from `id + 2^{-l}` (a jump of one butterfly span).
+    #[must_use]
+    pub fn down_right_link(&self, id: u64) -> Option<u64> {
+        let level = self.nodes.get(&id)?.level;
+        let space = self.config.space();
+        let jump = space >> level.min(self.config.bits);
+        self.nearest_at_level(level + 1, (id + jump) % space)
+    }
+
+    /// Up butterfly link: the level `l-1` node nearest clockwise. `None`
+    /// at level 1.
+    #[must_use]
+    pub fn up_link(&self, id: u64) -> Option<u64> {
+        let level = self.nodes.get(&id)?.level;
+        if level <= 1 {
+            return None;
+        }
+        self.nearest_at_level(level - 1, id)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    fn hop_budget(&self) -> usize {
+        8 * (usize::BITS - self.nodes.len().leading_zeros()) as usize + 256
+    }
+
+    /// One lookup from `src` for ring key `key`: ascend to level 1,
+    /// descend the butterfly, then traverse ring and level-ring pointers
+    /// to the key's successor.
+    pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
+        assert!(self.is_live(src), "lookup source {src} is not live");
+        let space = self.config.space();
+        let mut cur = src;
+        let mut hops = Vec::new();
+        self.count_query(cur);
+
+        let done = |net: &Self, cur: u64| -> bool {
+            match net.pred_link(cur) {
+                Some(pred) => in_interval_oc(key, pred, cur, space),
+                None => true, // lone node owns everything
+            }
+        };
+
+        // Phase 1: ascend to a level-1 node via up links.
+        while !done(self, cur) && hops.len() < self.hop_budget() {
+            match self.up_link(cur) {
+                Some(up) => {
+                    hops.push(HopPhase::Ascending);
+                    cur = up;
+                    self.count_query(cur);
+                }
+                None => break,
+            }
+        }
+
+        // Phase 2: descend along down links until a node with no down
+        // links is reached, taking at each level the down link whose
+        // landing point is ring-closest to the key (the butterfly's
+        // choose-left-or-right step, robust to sparse-level landing
+        // slack).
+        while !done(self, cur) && hops.len() < self.hop_budget() {
+            let next = [self.down_left_link(cur), self.down_right_link(cur)]
+                .into_iter()
+                .flatten()
+                .filter(|&n| n != cur)
+                .min_by_key(|&n| ring_dist(n, key, space));
+            match next {
+                Some(n) => {
+                    hops.push(HopPhase::Descending);
+                    cur = n;
+                    self.count_query(cur);
+                }
+                None => break,
+            }
+        }
+
+        // Phase 3: traverse the general ring and the level ring, greedily
+        // reducing the ring distance to the key in either direction, with
+        // a final successor fix-up to land on the key's successor.
+        let outcome = loop {
+            if done(self, cur) {
+                break match self.successor_of_point(key) {
+                    Some(owner) if owner == cur => LookupOutcome::Found,
+                    Some(_) => LookupOutcome::WrongOwner,
+                    None => LookupOutcome::Stuck,
+                };
+            }
+            if hops.len() >= self.hop_budget() {
+                break LookupOutcome::HopBudgetExhausted;
+            }
+            let cur_dist = ring_dist(cur, key, space);
+            let greedy = [
+                self.succ_link(cur),
+                self.pred_link(cur),
+                self.level_next_link(cur),
+                self.level_prev_link(cur),
+            ]
+            .into_iter()
+            .flatten()
+            .filter(|&n| n != cur)
+            .min_by_key(|&n| ring_dist(n, key, space))
+            .filter(|&n| ring_dist(n, key, space) < cur_dist);
+            // No strict ring progress left: the key sits between this node
+            // and its successor — the successor is the storing node.
+            let next = greedy.or_else(|| {
+                self.succ_link(cur)
+                    .filter(|&s| in_interval_oc(key, cur, s, space))
+            });
+            match next {
+                Some(n) => {
+                    hops.push(HopPhase::TraverseCycle);
+                    cur = n;
+                    self.count_query(cur);
+                }
+                None => {
+                    break match self.successor_of_point(key) {
+                        Some(owner) if owner == cur => LookupOutcome::Found,
+                        _ => LookupOutcome::Stuck,
+                    }
+                }
+            }
+        };
+
+        LookupTrace {
+            hops,
+            timeouts: 0, // Viceroy repairs every reference before departure
+            outcome,
+            terminal: cur,
+        }
+    }
+
+    /// Lookup by raw (pre-hash) key.
+    pub fn route(&mut self, src: u64, raw_key: u64) -> LookupTrace {
+        let key = self.key_of(raw_key);
+        self.route_to_point(src, key)
+    }
+
+    pub(crate) fn count_query(&mut self, id: u64) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.query_load += 1;
+        }
+    }
+
+    /// Per-node query loads in ring order.
+    #[must_use]
+    pub fn query_loads(&self) -> Vec<u64> {
+        self.nodes.values().map(|n| n.query_load).collect()
+    }
+
+    /// Zeroes all query-load counters.
+    pub fn reset_query_loads(&mut self) {
+        for n in self.nodes.values_mut() {
+            n.query_load = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::rng::stream;
+
+    #[test]
+    fn with_nodes_levels_in_range() {
+        let net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 1000, 1);
+        assert_eq!(net.node_count(), 1000);
+        let max = ViceroyNetwork::level_range_for(1000);
+        assert_eq!(max, 10);
+        for id in net.ids() {
+            let l = net.node(id).unwrap().level;
+            assert!(l >= 1 && l <= max, "level {l} out of [1, {max}]");
+        }
+    }
+
+    #[test]
+    fn all_lookups_resolve() {
+        let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 500, 2);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(3, "vic");
+        for i in 0..2000 {
+            let src = ids[i % ids.len()];
+            let raw: u64 = rng.gen();
+            let key = net.key_of(raw);
+            let t = net.route(src, raw);
+            assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
+            assert_eq!(t.timeouts, 0);
+            assert_eq!(Some(t.terminal), net.successor_of_point(key));
+        }
+    }
+
+    #[test]
+    fn paths_are_logarithmic_but_longer_than_constant_dht() {
+        let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 1024, 4);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(5, "viclen");
+        let mut total = 0usize;
+        let trials = 1500;
+        for i in 0..trials {
+            let t = net.route(ids[i % ids.len()], rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found);
+            total += t.path_len();
+        }
+        let mean = total as f64 / trials as f64;
+        // log2(1024) = 10: Viceroy takes a multiple of that, but must stay
+        // O(log n).
+        assert!(mean > 8.0, "Viceroy paths should be long: {mean}");
+        assert!(mean < 50.0, "Viceroy paths must stay O(log n): {mean}");
+    }
+
+    #[test]
+    fn three_phases_all_appear() {
+        let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 800, 6);
+        let ids: Vec<u64> = net.ids().collect();
+        let mut rng = stream(7, "vicphase");
+        let mut asc = 0usize;
+        let mut desc = 0usize;
+        let mut trav = 0usize;
+        for i in 0..500 {
+            let t = net.route(ids[i % ids.len()], rng.gen());
+            asc += t.hops_in_phase(HopPhase::Ascending);
+            desc += t.hops_in_phase(HopPhase::Descending);
+            trav += t.hops_in_phase(HopPhase::TraverseCycle);
+        }
+        assert!(asc > 0, "ascending hops expected");
+        assert!(desc > 0, "descending hops expected");
+        assert!(trav > 0, "traverse hops expected");
+        // §4.1: more than half of Viceroy's cost is the traverse phase.
+        let total = asc + desc + trav;
+        assert!(
+            trav * 10 >= total * 3,
+            "traverse share should be large: {trav}/{total}"
+        );
+    }
+
+    #[test]
+    fn churn_never_times_out() {
+        let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 256, 8);
+        let mut rng = stream(9, "vicchurn");
+        for round in 0..50 {
+            let _ = net.join_random(&mut rng);
+            let ids: Vec<u64> = net.ids().collect();
+            let victim = ids[(rng.gen::<u64>() % ids.len() as u64) as usize];
+            net.leave(victim);
+            let ids: Vec<u64> = net.ids().collect();
+            let src = ids[round % ids.len()];
+            let t = net.route(src, rng.gen());
+            assert_eq!(t.outcome, LookupOutcome::Found, "round {round}");
+            assert_eq!(t.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn shrinking_network_shortens_paths() {
+        // §4.3: with p = 0.5 departures, Viceroy's path length approaches
+        // that of a half-size network.
+        let mean_path = |count: usize, seed: u64| -> f64 {
+            let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), count, seed);
+            let ids: Vec<u64> = net.ids().collect();
+            let mut rng = stream(seed, "vicshrink");
+            let mut total = 0usize;
+            for i in 0..800 {
+                total += net.route(ids[i % ids.len()], rng.gen()).path_len();
+            }
+            total as f64 / 800.0
+        };
+        let big = mean_path(2048, 10);
+        let small = mean_path(512, 11);
+        assert!(
+            small < big,
+            "smaller network must have shorter paths: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn lone_node_owns_everything() {
+        let mut net = ViceroyNetwork::new(ViceroyConfig::new(), 12);
+        let mut rng = stream(13, "lone");
+        let id = net.join_random(&mut rng).unwrap();
+        let t = net.route_to_point(id, 12345);
+        assert_eq!(t.outcome, LookupOutcome::Found);
+        assert_eq!(t.path_len(), 0);
+    }
+
+    #[test]
+    fn link_resolution_sanity() {
+        let mut net = ViceroyNetwork::new(ViceroyConfig { bits: 8 }, 14);
+        net.insert_raw(10, 1);
+        net.insert_raw(50, 2);
+        net.insert_raw(100, 2);
+        net.insert_raw(200, 3);
+        assert_eq!(net.succ_link(10), Some(50));
+        assert_eq!(net.pred_link(10), Some(200), "wraps");
+        assert_eq!(net.level_next_link(50), Some(100));
+        assert_eq!(net.level_next_link(100), Some(50), "level ring wraps");
+        assert_eq!(net.down_left_link(10), Some(50), "nearest level-2 to 10");
+        assert_eq!(net.up_link(200), Some(100), "nearest level-2 to 200");
+        assert_eq!(net.up_link(10), None, "level 1 has no up link");
+        assert_eq!(net.down_left_link(200), None, "no level-4 nodes");
+    }
+}

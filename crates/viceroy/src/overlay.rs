@@ -1,0 +1,106 @@
+//! [`dht_core::Overlay`] adapter for the Viceroy baseline.
+
+use dht_core::lookup::LookupTrace;
+use dht_core::overlay::{NodeToken, Overlay};
+use rand::RngCore;
+
+use crate::network::ViceroyNetwork;
+
+impl Overlay for ViceroyNetwork {
+    fn name(&self) -> String {
+        "Viceroy".to_string()
+    }
+
+    fn len(&self) -> usize {
+        self.node_count()
+    }
+
+    fn degree_bound(&self) -> Option<usize> {
+        Some(7) // succ, pred, level next/prev, down-left, down-right, up
+    }
+
+    fn node_tokens(&self) -> Vec<NodeToken> {
+        self.ids().collect()
+    }
+
+    fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let tokens = self.node_tokens();
+        Some(tokens[(rng.next_u64() % tokens.len() as u64) as usize])
+    }
+
+    fn key_id(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
+        self.successor_of_point(self.key_of(raw_key))
+    }
+
+    fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
+        self.route(src, raw_key)
+    }
+
+    fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random(rng)
+    }
+
+    fn leave(&mut self, node: NodeToken) -> bool {
+        ViceroyNetwork::leave(self, node)
+    }
+
+    fn stabilize(&mut self) {
+        // Viceroy repairs links eagerly on every membership change; there
+        // is nothing left for periodic stabilization to do.
+    }
+
+    fn stabilize_node(&mut self, _node: NodeToken) {}
+
+    fn query_loads(&self) -> Vec<u64> {
+        ViceroyNetwork::query_loads(self)
+    }
+
+    fn reset_query_loads(&mut self) {
+        ViceroyNetwork::reset_query_loads(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ViceroyConfig;
+    use dht_core::overlay::key_counts;
+    use dht_core::rng::stream;
+    use dht_core::workload;
+
+    #[test]
+    fn trait_roundtrip() {
+        let mut net: Box<dyn Overlay> =
+            Box::new(ViceroyNetwork::with_nodes(ViceroyConfig::new(), 200, 1));
+        assert_eq!(net.name(), "Viceroy");
+        assert_eq!(net.degree_bound(), Some(7));
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[7], 4242);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(4242));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        let net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 150, 2);
+        let keys = workload::key_population(4_000, &mut stream(3, "vk"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 4_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 64, 4);
+        let mut rng = stream(5, "vt");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
+    }
+}

@@ -1,0 +1,89 @@
+//! Side-by-side comparison of the three constant-degree DHTs (plus
+//! Chord) on the same workload — a miniature of the paper's whole
+//! evaluation in one run.
+//!
+//! ```text
+//! cargo run --release --example constant_degree_comparison [n]
+//! ```
+
+use cycloid_repro::prelude::*;
+use dht_core::rng::stream;
+use rand::Rng;
+
+struct Line {
+    label: String,
+    degree: String,
+    mean_path: f64,
+    p99_path: f64,
+    key_p99: f64,
+    load_spread: f64,
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(896);
+    println!("comparing DHTs at n = {n} nodes\n");
+
+    let mut lines = Vec::new();
+    for kind in PAPER_KINDS {
+        let mut net = build_overlay(kind, n, 77);
+
+        // Lookup efficiency: 20 lookups per node.
+        let tokens = net.node_tokens();
+        let mut rng = stream(3, kind.label());
+        let mut paths = Vec::new();
+        for &src in &tokens {
+            for _ in 0..20 {
+                let t = net.lookup(src, rng.gen());
+                assert!(t.outcome.is_success(), "{} lost a lookup", kind.label());
+                paths.push(t.path_len());
+            }
+        }
+        let path = Summary::of_lens(&paths);
+
+        // Key balance: 100k keys.
+        let keys: Vec<u64> = (0..100_000u64)
+            .map(|i| hash_str(&format!("k{i}")))
+            .collect();
+        let key_summary = Summary::of_counts(&key_counts(net.as_ref(), &keys));
+
+        // Query-load spread from the lookup workload above.
+        let load = Summary::of_counts(&net.query_loads());
+        let spread = if load.mean > 0.0 {
+            (load.p99 - load.p01) / load.mean
+        } else {
+            0.0
+        };
+
+        lines.push(Line {
+            label: kind.label().to_string(),
+            degree: net
+                .degree_bound()
+                .map_or("O(log n)".into(), |d| d.to_string()),
+            mean_path: path.mean,
+            p99_path: path.p99,
+            key_p99: key_summary.p99,
+            load_spread: spread,
+        });
+    }
+
+    println!(
+        "{:<14} {:>9} {:>10} {:>9} {:>9} {:>12}",
+        "system", "degree", "mean path", "p99 path", "key p99", "load spread"
+    );
+    for l in &lines {
+        println!(
+            "{:<14} {:>9} {:>10.2} {:>9.0} {:>9.0} {:>12.2}",
+            l.label, l.degree, l.mean_path, l.p99_path, l.key_p99, l.load_spread
+        );
+    }
+
+    let cycloid = &lines[0];
+    let viceroy = lines.iter().find(|l| l.label == "Viceroy").unwrap();
+    println!(
+        "\nheadline: Cycloid routes {:.1}x shorter than Viceroy at the same 7-link degree",
+        viceroy.mean_path / cycloid.mean_path
+    );
+}

@@ -1,0 +1,115 @@
+//! End-to-end smoke tests of every experiment driver: each figure/table
+//! regenerator must produce well-formed rows at quick scale. Protects the
+//! reproduction deliverable itself.
+
+use dht_sim::experiments::{
+    churn_exp, hotspot, key_distribution, maintenance, mass_departure, path_length, query_load,
+    sparsity, static_tables, ungraceful,
+};
+
+#[test]
+fn static_tables_regenerate() {
+    assert_eq!(static_tables::table1().len(), 6);
+    assert_eq!(static_tables::table2().len(), 8);
+    assert_eq!(static_tables::table3().len(), 4);
+}
+
+#[test]
+fn path_length_driver_fig5_6_7() {
+    let rows = path_length::measure(&path_length::PathLengthParams::quick(1));
+    // 5 systems x 6 sizes.
+    assert_eq!(rows.len(), 30);
+    for r in &rows {
+        assert!(r.agg.path.mean > 0.0, "{} at n={}", r.agg.label, r.n);
+        assert_eq!(r.agg.failures, 0);
+        assert!(r.agg.breakdown.lookups() > 0);
+    }
+    // Sizes follow the paper's n = d * 2^d.
+    assert!(rows.iter().any(|r| r.n == 24 && r.dimension == 3));
+    assert!(rows.iter().any(|r| r.n == 2048 && r.dimension == 8));
+}
+
+#[test]
+fn key_distribution_driver_fig8_9() {
+    let rows = key_distribution::measure(&key_distribution::KeyDistributionParams::quick(2));
+    assert!(!rows.is_empty());
+    for r in &rows {
+        // Keys are conserved: mean * nodes == keys distributed.
+        let total = r.per_node.mean * r.per_node.n as f64;
+        assert!((total - r.keys as f64).abs() < 1.0, "{}", r.label);
+    }
+}
+
+#[test]
+fn query_load_driver_fig10() {
+    let rows = query_load::measure(&query_load::QueryLoadParams::quick(3));
+    for r in &rows {
+        assert!(r.load.mean > 0.0, "{}", r.label);
+        assert!(r.load.p99 >= r.load.p01);
+    }
+}
+
+#[test]
+fn mass_departure_driver_fig11_table4() {
+    let rows = mass_departure::measure(&mass_departure::MassDepartureParams::quick(4));
+    for r in &rows {
+        assert!(r.survivors > 0);
+        assert_eq!(r.agg.path.n, 600);
+        match r.agg.label.as_str() {
+            "Viceroy" => assert_eq!(r.agg.timeouts.max, 0.0),
+            "Cycloid(7)" => assert_eq!(r.agg.failures, 0),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn churn_driver_fig12_table5() {
+    let rows = churn_exp::measure(&churn_exp::ChurnExpParams::quick(5));
+    for r in &rows {
+        assert_eq!(r.failures, 0, "{} at R={}", r.label, r.rate);
+        assert!(r.joins > 0 && r.leaves > 0);
+        assert!(r.path.mean > 0.0);
+    }
+}
+
+#[test]
+fn sparsity_driver_fig13_14() {
+    let rows = sparsity::measure(&sparsity::SparsityParams::quick(6));
+    for r in &rows {
+        assert_eq!(r.agg.failures, 0, "{} at {}", r.agg.label, r.sparsity);
+    }
+    // The dense point uses (almost) the whole space.
+    assert!(rows.iter().any(|r| r.sparsity == 0.0 && r.n == 512));
+}
+
+#[test]
+fn ungraceful_extension_driver() {
+    let rows = ungraceful::measure(&ungraceful::UngracefulParams::quick(7));
+    for r in &rows {
+        assert_eq!(
+            r.after_stabilize.failures, 0,
+            "{} must recover",
+            r.after_stabilize.label
+        );
+    }
+}
+
+#[test]
+fn maintenance_extension_driver() {
+    let rows = maintenance::measure(&maintenance::MaintenanceParams::quick(8));
+    assert_eq!(rows.len(), 5);
+    for r in &rows {
+        assert!(r.out_degree.mean > 0.0);
+        // Edge conservation: mean in == mean out.
+        assert!((r.in_degree.mean - r.out_degree.mean).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn hotspot_extension_driver() {
+    let rows = hotspot::measure(&hotspot::HotspotParams::quick(9));
+    for r in &rows {
+        assert!(r.amplification() > 1.0, "{}", r.label);
+    }
+}
