@@ -27,7 +27,6 @@
 //! ```
 
 pub mod network;
-pub mod overlay;
 pub mod zone;
 
 pub use network::{CanConfig, CanNetwork, CanNode};

@@ -1,11 +1,12 @@
 //! The simulated CAN: membership, zone splitting/takeover, greedy torus
 //! routing, and stabilization.
 
-use std::collections::HashMap;
-
 use crate::zone::{Point, Zone};
-use dht_core::hash::{reduce, splitmix64, IdAllocator};
-use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::hash::{reduce, splitmix64};
+use dht_core::lookup::{HopPhase, LookupTrace};
+use dht_core::overlay::NodeToken;
+use dht_core::sim::{walk_from, Membership, SimOverlay, StepDecision};
+use rand::RngCore;
 
 /// Configuration of a CAN deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +44,6 @@ pub struct CanNode {
     pub token: u64,
     /// Owned zones (disjoint boxes).
     pub zones: Vec<Zone>,
-    /// Lookup messages received since the last reset.
-    pub query_load: u64,
 }
 
 impl CanNode {
@@ -55,16 +54,20 @@ impl CanNode {
     }
 }
 
+/// The walk state of one CAN lookup: the target point on the torus.
+#[derive(Debug, Clone)]
+pub struct CanWalk {
+    /// Torus point the lookup is routing towards.
+    pub point: Point,
+}
+
 /// A simulated CAN network.
 #[derive(Debug, Clone)]
 pub struct CanNetwork {
     config: CanConfig,
-    nodes: HashMap<u64, CanNode>,
-    /// Deterministic iteration order for tokens.
-    order: Vec<u64>,
+    members: Membership<CanNode>,
     /// Zones whose owner crashed, awaiting takeover by the stabilizer.
     orphans: Vec<Zone>,
-    alloc: IdAllocator,
 }
 
 impl CanNetwork {
@@ -72,19 +75,17 @@ impl CanNetwork {
     /// torus.
     #[must_use]
     pub fn bootstrap(config: CanConfig, seed: u64) -> Self {
-        let mut alloc = IdAllocator::new(seed);
-        let token = alloc.next_raw();
+        let mut members = Membership::new(seed);
+        let token = members.next_raw();
         let founder = CanNode {
             token,
             zones: vec![Zone::full(config.dims, config.side())],
-            query_load: 0,
         };
+        members.insert(token, founder);
         Self {
             config,
-            nodes: HashMap::from([(token, founder)]),
-            order: vec![token],
+            members,
             orphans: Vec::new(),
-            alloc,
         }
     }
 
@@ -109,25 +110,25 @@ impl CanNetwork {
     /// Number of live nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// `true` iff `token` is live.
     #[must_use]
     pub fn is_live(&self, token: u64) -> bool {
-        self.nodes.contains_key(&token)
+        self.members.contains(token)
     }
 
-    /// Live node tokens in join order.
+    /// Live node tokens in ascending token order.
     #[must_use]
     pub fn tokens(&self) -> Vec<u64> {
-        self.order.clone()
+        self.members.tokens()
     }
 
     /// Read access to one node.
     #[must_use]
     pub fn node(&self, token: u64) -> Option<&CanNode> {
-        self.nodes.get(&token)
+        self.members.get(token)
     }
 
     /// Maps a raw key to its point on the torus (one derived coordinate
@@ -147,8 +148,8 @@ impl CanNetwork {
     /// The live owner of `point`, if its zone is not orphaned.
     #[must_use]
     pub fn owner_of_point(&self, point: &[u64]) -> Option<u64> {
-        self.nodes
-            .values()
+        self.members
+            .states()
             .find(|n| n.zones.iter().any(|z| z.contains(point)))
             .map(|n| n.token)
     }
@@ -157,20 +158,19 @@ impl CanNetwork {
     #[must_use]
     pub fn neighbors_of(&self, token: u64) -> Vec<u64> {
         let side = self.config.side();
-        let me = match self.nodes.get(&token) {
+        let me = match self.members.get(token) {
             Some(n) => n,
             None => return Vec::new(),
         };
-        self.order
+        self.members
             .iter()
-            .copied()
-            .filter(|&other| other != token)
-            .filter(|&other| {
-                let on = &self.nodes[&other];
+            .filter(|&(other, _)| other != token)
+            .filter(|(_, on)| {
                 me.zones
                     .iter()
                     .any(|a| on.zones.iter().any(|b| a.abuts(b, side)))
             })
+            .map(|(other, _)| other)
             .collect()
     }
 
@@ -178,7 +178,7 @@ impl CanNetwork {
     /// split, and the newcomer takes the half containing the point.
     /// Returns `None` when every zone has unit volume.
     pub fn join_random_point(&mut self) -> Option<u64> {
-        let raw = self.alloc.next_raw();
+        let raw = self.members.next_raw();
         let point = self.point_of(raw);
         self.join_at(&point)
     }
@@ -186,7 +186,7 @@ impl CanNetwork {
     /// Protocol join at an explicit point.
     pub fn join_at(&mut self, point: &[u64]) -> Option<u64> {
         let owner = self.owner_of_point(point)?;
-        let owner_node = self.nodes.get_mut(&owner).expect("owner is live");
+        let owner_node = self.members.get_mut(owner).expect("owner is live");
         let zone_idx = owner_node
             .zones
             .iter()
@@ -200,16 +200,14 @@ impl CanNetwork {
         };
         let keeper_zone = if lower.contains(point) { upper } else { lower };
         owner_node.zones[zone_idx] = keeper_zone;
-        let token = self.alloc.next_raw();
-        self.nodes.insert(
+        let token = self.members.next_raw();
+        self.members.insert(
             token,
             CanNode {
                 token,
                 zones: vec![newcomer_zone],
-                query_load: 0,
             },
         );
-        self.order.push(token);
         Some(token)
     }
 
@@ -217,20 +215,19 @@ impl CanNetwork {
     /// smallest-volume neighbour (real CAN's takeover, without the later
     /// defragmentation — the successor may own several boxes).
     pub fn leave(&mut self, token: u64) -> bool {
-        if !self.is_live(token) || self.nodes.len() == 1 {
+        if !self.is_live(token) || self.members.len() == 1 {
             return false;
         }
         let heirs = self.neighbors_of(token);
-        let node = self.nodes.remove(&token).expect("checked live");
-        self.order.retain(|&t| t != token);
+        let node = self.members.remove(token).expect("checked live");
         let heir = heirs
             .into_iter()
             .filter(|t| self.is_live(*t))
-            .min_by_key(|&t| (self.nodes[&t].volume(), t));
+            .min_by_key(|&t| (self.members.get(t).expect("live").volume(), t));
         match heir {
             Some(h) => {
-                self.nodes
-                    .get_mut(&h)
+                self.members
+                    .get_mut(h)
                     .expect("heir is live")
                     .zones
                     .extend(node.zones);
@@ -242,11 +239,10 @@ impl CanNetwork {
 
     /// Ungraceful failure: the zones are orphaned until [`CanNetwork::stabilize_takeover`].
     pub fn fail_node(&mut self, token: u64) -> bool {
-        if !self.is_live(token) || self.nodes.len() == 1 {
+        if !self.is_live(token) || self.members.len() == 1 {
             return false;
         }
-        let node = self.nodes.remove(&token).expect("checked live");
-        self.order.retain(|&t| t != token);
+        let node = self.members.remove(token).expect("checked live");
         self.orphans.extend(node.zones);
         true
     }
@@ -258,111 +254,48 @@ impl CanNetwork {
         let orphans = std::mem::take(&mut self.orphans);
         for zone in orphans {
             let adopter = self
-                .order
-                .iter()
-                .copied()
-                .filter(|t| {
-                    self.nodes[t]
+                .members
+                .token_iter()
+                .filter(|&t| {
+                    self.members
+                        .get(t)
+                        .expect("live")
                         .zones
                         .iter()
                         .any(|z| z.abuts(&zone, side) || z.contains(&zone.lo))
                 })
-                .min_by_key(|&t| (self.nodes[&t].volume(), t))
-                .or_else(|| self.order.first().copied());
+                .min_by_key(|&t| (self.members.get(t).expect("live").volume(), t))
+                .or_else(|| self.members.first_token());
             match adopter {
-                Some(t) => self.nodes.get_mut(&t).expect("live").zones.push(zone),
+                Some(t) => self.members.get_mut(t).expect("live").zones.push(zone),
                 None => self.orphans.push(zone), // empty network
             }
         }
     }
 
-    fn hop_budget(&self) -> usize {
-        let n = self.nodes.len().max(2) as f64;
-        let d = self.config.dims as f64;
-        (8.0 * d * n.powf(1.0 / d)) as usize + 64
+    /// Minimum torus distance from any of `token`'s zones to `point`.
+    fn zone_dist(&self, token: u64, point: &[u64]) -> u64 {
+        let side = self.config.side();
+        self.members
+            .get(token)
+            .map(|n| {
+                n.zones
+                    .iter()
+                    .map(|z| z.torus_distance(point, side))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .unwrap_or(u64::MAX)
     }
 
     /// One lookup from `src` towards the point of `raw_key`: greedy
     /// forwarding to the neighbour whose zone is torus-closest to the
     /// target. All hops are tagged [`HopPhase::Finger`] (geometric
-    /// forwarding has a single phase).
+    /// forwarding has a single phase). Zone handover repairs adjacency
+    /// eagerly, so lookups never time out.
     pub fn route(&mut self, src: u64, raw_key: u64) -> LookupTrace {
-        assert!(self.is_live(src), "lookup source {src} is not live");
         let point = self.point_of(raw_key);
-        let side = self.config.side();
-        let mut cur = src;
-        let mut hops = Vec::new();
-        self.count_query(cur);
-
-        let zone_dist = |net: &Self, token: u64| -> u64 {
-            net.nodes[&token]
-                .zones
-                .iter()
-                .map(|z| z.torus_distance(&point, side))
-                .min()
-                .unwrap_or(u64::MAX)
-        };
-
-        let outcome = loop {
-            if zone_dist(self, cur) == 0 {
-                break match self.owner_of_point(&point) {
-                    Some(owner) if owner == cur => LookupOutcome::Found,
-                    Some(_) => LookupOutcome::WrongOwner,
-                    None => LookupOutcome::Stuck,
-                };
-            }
-            if hops.len() >= self.hop_budget() {
-                break LookupOutcome::HopBudgetExhausted;
-            }
-            let cur_dist = zone_dist(self, cur);
-            let next = self
-                .neighbors_of(cur)
-                .into_iter()
-                .map(|t| (zone_dist(self, t), t))
-                .filter(|&(d, _)| d < cur_dist)
-                .min();
-            match next {
-                Some((_, t)) => {
-                    hops.push(HopPhase::Finger);
-                    cur = t;
-                    self.count_query(cur);
-                }
-                None => {
-                    // Local minimum: the target zone is orphaned (or the
-                    // greedy frontier is blocked by a hole).
-                    break LookupOutcome::Stuck;
-                }
-            }
-        };
-
-        LookupTrace {
-            hops,
-            timeouts: 0, // zone handover repairs adjacency eagerly
-            outcome,
-            terminal: cur,
-        }
-    }
-
-    pub(crate) fn count_query(&mut self, token: u64) {
-        if let Some(n) = self.nodes.get_mut(&token) {
-            n.query_load += 1;
-        }
-    }
-
-    /// Per-node query loads in token order.
-    #[must_use]
-    pub fn query_loads(&self) -> Vec<u64> {
-        self.order
-            .iter()
-            .map(|t| self.nodes[t].query_load)
-            .collect()
-    }
-
-    /// Zeroes all query-load counters.
-    pub fn reset_query_loads(&mut self) {
-        for n in self.nodes.values_mut() {
-            n.query_load = 0;
-        }
+        walk_from(self, src, CanWalk { point }, true)
     }
 
     /// Validates the tiling invariant: every point belongs to exactly one
@@ -377,8 +310,8 @@ impl CanNetwork {
                 .map(|k| reduce(splitmix64((i as u64) << 8 | k as u64), side))
                 .collect();
             let owners = self
-                .nodes
-                .values()
+                .members
+                .states()
                 .flat_map(|n| &n.zones)
                 .chain(&self.orphans)
                 .filter(|z| z.contains(&point))
@@ -391,9 +324,106 @@ impl CanNetwork {
     }
 }
 
+impl SimOverlay for CanNetwork {
+    type State = CanNode;
+    type Walk = CanWalk;
+
+    fn membership(&self) -> &Membership<CanNode> {
+        &self.members
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership<CanNode> {
+        &mut self.members
+    }
+
+    fn label(&self) -> String {
+        format!("CAN(d={})", self.config.dims)
+    }
+
+    fn degree_limit(&self) -> Option<usize> {
+        // O(d) on average, but irregular tilings have no hard per-node
+        // bound; report unbounded like the other non-constant systems.
+        None
+    }
+
+    fn map_key(&self, raw_key: u64) -> u64 {
+        // No scalar identifier space; report the first coordinate.
+        self.point_of(raw_key)[0]
+    }
+
+    fn owner_token(&self, raw_key: u64) -> Option<NodeToken> {
+        self.owner_of_point(&self.point_of(raw_key))
+    }
+
+    fn hop_budget(&self) -> usize {
+        let n = self.members.len().max(2) as f64;
+        let d = self.config.dims as f64;
+        (8.0 * d * n.powf(1.0 / d)) as usize + 64
+    }
+
+    fn begin_walk(&self, _src: NodeToken, raw_key: u64) -> CanWalk {
+        CanWalk {
+            point: self.point_of(raw_key),
+        }
+    }
+
+    fn walk_owner(&self, walk: &CanWalk) -> Option<NodeToken> {
+        self.owner_of_point(&walk.point)
+    }
+
+    fn next_hop(&self, cur: NodeToken, walk: &mut CanWalk) -> StepDecision {
+        let cur_dist = self.zone_dist(cur, &walk.point);
+        if cur_dist == 0 {
+            return StepDecision::Terminate;
+        }
+        let next = self
+            .neighbors_of(cur)
+            .into_iter()
+            .map(|t| (self.zone_dist(t, &walk.point), t))
+            .filter(|&(d, _)| d < cur_dist)
+            .min();
+        match next {
+            Some((_, t)) => StepDecision::Forward(vec![(HopPhase::Finger, t)]),
+            // Local minimum: the target zone is orphaned (or the greedy
+            // frontier is blocked by a hole) — Stuck via `on_exhausted`.
+            None => StepDecision::Forward(Vec::new()),
+        }
+    }
+
+    fn budget_before_terminal(&self) -> bool {
+        // Landing in the target zone ends the walk even on the last
+        // budgeted hop (the original loop tested the zone first).
+        false
+    }
+
+    fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        // Joins draw their point from the network's own deterministic
+        // allocator, not the caller's churn stream.
+        self.join_random_point()
+    }
+
+    fn node_leave(&mut self, node: NodeToken) -> bool {
+        self.leave(node)
+    }
+
+    fn node_fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize_network(&mut self) {
+        self.stabilize_takeover();
+    }
+
+    fn stabilize_one(&mut self, _node: NodeToken) {
+        // Takeover is a zone-level (not per-node) repair.
+        self.stabilize_takeover();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dht_core::lookup::LookupOutcome;
     use dht_core::rng::stream;
     use rand::Rng;
 
@@ -420,6 +450,7 @@ mod tests {
             let t = net.route(toks[i % toks.len()], raw);
             assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
             assert_eq!(Some(t.terminal), net.owner_of_point(&net.point_of(raw)));
+            assert_eq!(t.timeouts, 0, "zone handover repairs adjacency eagerly");
         }
     }
 
@@ -522,5 +553,37 @@ mod tests {
             let t = net.route(toks[i % toks.len()], rng.gen());
             assert_eq!(t.outcome, LookupOutcome::Found);
         }
+    }
+
+    #[test]
+    fn trait_roundtrip() {
+        use dht_core::overlay::Overlay;
+        let mut net: Box<dyn Overlay> = Box::new(CanNetwork::with_nodes(CanConfig::new(2), 80, 1));
+        assert_eq!(net.name(), "CAN(d=2)");
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[3], 777);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(777));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        use dht_core::overlay::key_counts;
+        use dht_core::workload;
+        let net = CanNetwork::with_nodes(CanConfig::new(2), 60, 2);
+        let keys = workload::key_population(2_000, &mut stream(3, "cank"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        use dht_core::overlay::Overlay;
+        let mut net = CanNetwork::with_nodes(CanConfig::new(2), 32, 4);
+        let mut rng = stream(5, "canj");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert_eq!(net.len(), 33);
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 32);
     }
 }

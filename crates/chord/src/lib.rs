@@ -28,7 +28,6 @@
 
 pub mod network;
 pub mod node;
-pub mod overlay;
 
 pub use network::{ChordConfig, ChordNetwork};
 pub use node::ChordNode;

@@ -1,12 +1,18 @@
 //! The simulated Chord ring: membership, pointer resolution, greedy
 //! finger routing, join/leave protocols, and stabilization.
+//!
+//! Built on the shared [`dht_core::sim`] substrate: the
+//! [`Membership`] arena owns node states, identifier allocation and
+//! query-load counters, and the [`SimOverlay`] impl at the bottom of
+//! this file expresses Chord's routing as a per-hop decision the
+//! substrate's walk driver executes.
 
-use std::collections::BTreeMap;
-use std::collections::HashSet;
-
-use dht_core::hash::{reduce, splitmix64, IdAllocator};
-use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::hash::{reduce, splitmix64};
+use dht_core::lookup::{HopPhase, LookupTrace};
+use dht_core::overlay::NodeToken;
 use dht_core::ring::{clockwise_dist, in_interval_oc, in_interval_oo};
+use dht_core::sim::{walk_from, Membership, SimOverlay, StepDecision};
+use rand::RngCore;
 
 use crate::node::ChordNode;
 
@@ -44,8 +50,7 @@ impl ChordConfig {
 pub struct ChordNetwork {
     config: ChordConfig,
     /// Live nodes keyed by ring identifier.
-    nodes: BTreeMap<u64, ChordNode>,
-    alloc: IdAllocator,
+    members: Membership<ChordNode>,
 }
 
 impl ChordNetwork {
@@ -54,8 +59,7 @@ impl ChordNetwork {
     pub fn new(config: ChordConfig, seed: u64) -> Self {
         Self {
             config,
-            nodes: BTreeMap::new(),
-            alloc: IdAllocator::new(seed),
+            members: Membership::new(seed),
         }
     }
 
@@ -68,9 +72,9 @@ impl ChordNetwork {
             "{count} nodes exceed the 2^{} ring",
             config.bits
         );
-        while net.nodes.len() < count {
-            let id = net.alloc.next_in(config.space());
-            if !net.nodes.contains_key(&id) {
+        while net.members.len() < count {
+            let id = net.members.next_in(config.space());
+            if !net.members.contains(id) {
                 net.insert_raw(id);
             }
         }
@@ -87,24 +91,24 @@ impl ChordNetwork {
     /// Number of live nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// `true` iff `id` is live.
     #[must_use]
     pub fn is_live(&self, id: u64) -> bool {
-        self.nodes.contains_key(&id)
+        self.members.contains(id)
     }
 
     /// Live node identifiers in ring order.
     pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.nodes.keys().copied()
+        self.members.token_iter()
     }
 
     /// Shared read access to a node's state.
     #[must_use]
     pub fn node(&self, id: u64) -> Option<&ChordNode> {
-        self.nodes.get(&id)
+        self.members.get(id)
     }
 
     /// Maps a raw key onto the ring.
@@ -117,33 +121,18 @@ impl ChordNetwork {
     /// storing key `x`).
     #[must_use]
     pub fn successor_of_point(&self, x: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        self.nodes
-            .range(x..)
-            .next()
-            .or_else(|| self.nodes.range(..).next())
-            .map(|(&id, _)| id)
+        self.members.successor_of(x)
     }
 
     /// Ground truth: the live node strictly preceding ring point `x`.
     #[must_use]
     pub fn predecessor_of_point(&self, x: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        self.nodes
-            .range(..x)
-            .next_back()
-            .or_else(|| self.nodes.range(..).next_back())
-            .map(|(&id, _)| id)
+        self.members.predecessor_of(x)
     }
 
     fn insert_raw(&mut self, id: u64) {
         let node = ChordNode::new(id, self.config.bits, self.config.successor_list);
-        let prev = self.nodes.insert(id, node);
-        assert!(prev.is_none(), "identifier {id} already occupied");
+        self.members.insert(id, node);
     }
 
     /// Recomputes every pointer of one node from the live membership (what
@@ -169,7 +158,7 @@ impl ChordNetwork {
             let target = (id + (1u64 << i)) % space;
             fingers.push(self.successor_of_point(target).expect("non-empty ring"));
         }
-        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        let node = self.members.get_mut(id).expect("refresh of dead node");
         node.predecessor = pred;
         node.successors = succs;
         node.fingers = fingers;
@@ -192,7 +181,7 @@ impl ChordNetwork {
             succs.push(s);
             cursor = s;
         }
-        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        let node = self.members.get_mut(id).expect("refresh of dead node");
         node.predecessor = pred;
         node.successors = succs;
     }
@@ -211,7 +200,7 @@ impl ChordNetwork {
     /// and its live successor.
     fn ring_neighbors_of(&self, id: u64) -> Vec<u64> {
         let mut out = Vec::new();
-        if self.nodes.is_empty() {
+        if self.members.is_empty() {
             return out;
         }
         // `id + 1`: at join time the node itself is already in the map, and
@@ -255,11 +244,11 @@ impl ChordNetwork {
 
     /// Join with a freshly hashed identifier.
     pub fn join_random(&mut self) -> Option<u64> {
-        if self.nodes.len() as u64 >= self.config.space() {
+        if self.members.len() as u64 >= self.config.space() {
             return None;
         }
         loop {
-            let id = self.alloc.next_in(self.config.space());
+            let id = self.members.next_in(self.config.space());
             if self.join_id(id) {
                 return Some(id);
             }
@@ -271,10 +260,10 @@ impl ChordNetwork {
     /// not notified** — they stay stale until stabilization (the timeouts
     /// of §4.3).
     pub fn leave(&mut self, id: u64) -> bool {
-        if self.nodes.remove(&id).is_none() {
+        if self.members.remove(id).is_none() {
             return false;
         }
-        if self.nodes.is_empty() {
+        if self.members.is_empty() {
             return true;
         }
         for nb in self.ring_neighbors_of(id) {
@@ -288,101 +277,14 @@ impl ChordNetwork {
     /// notifications, so even ring successors and predecessors stay stale
     /// until stabilization.
     pub fn fail_node(&mut self, id: u64) -> bool {
-        self.nodes.remove(&id).is_some()
-    }
-
-    fn hop_budget(&self) -> usize {
-        8 * self.config.bits as usize + 64
+        self.members.remove(id).is_some()
     }
 
     /// One lookup from `src` for ring key `key`, using only per-node state:
     /// greedy closest-preceding-finger routing with successor-list
     /// fallback. Dead contacts cost a timeout each.
     pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
-        assert!(self.is_live(src), "lookup source {src} is not live");
-        let space = self.config.space();
-        let mut cur = src;
-        let mut hops = Vec::new();
-        let mut timeouts = 0u32;
-        self.count_query(cur);
-
-        let outcome = loop {
-            if hops.len() >= self.hop_budget() {
-                break LookupOutcome::HopBudgetExhausted;
-            }
-            let node = self.nodes.get(&cur).expect("current node is live");
-            // Terminal test: cur owns (pred, cur].
-            if in_interval_oc(key, node.predecessor, cur, space) {
-                break match self.successor_of_point(key) {
-                    Some(owner) if owner == cur => LookupOutcome::Found,
-                    Some(_) => LookupOutcome::WrongOwner,
-                    None => LookupOutcome::Stuck,
-                };
-            }
-            // Candidate order: if the key is between cur and its successor,
-            // go to the successor (it is the owner); otherwise the closest
-            // preceding finger, falling back through lower fingers and the
-            // successor list on timeouts.
-            let mut candidates: Vec<(HopPhase, u64)> = Vec::new();
-            if in_interval_oc(key, cur, node.successor(), space) {
-                for &s in &node.successors {
-                    candidates.push((HopPhase::Successor, s));
-                }
-            } else {
-                let mut fingers: Vec<u64> = node
-                    .fingers
-                    .iter()
-                    .copied()
-                    .filter(|&f| f != cur && in_interval_oo(f, cur, key, space))
-                    .collect();
-                // Closest preceding first: maximal clockwise distance from
-                // cur (i.e. nearest to the key without passing it).
-                fingers.sort_unstable_by_key(|&f| std::cmp::Reverse(clockwise_dist(cur, f, space)));
-                fingers.dedup();
-                for f in fingers {
-                    candidates.push((HopPhase::Finger, f));
-                }
-                for &s in &node.successors {
-                    candidates.push((HopPhase::Successor, s));
-                }
-            }
-            let mut next = None;
-            let mut dead_seen: HashSet<u64> = HashSet::new();
-            for (phase, cand) in candidates {
-                if cand == cur {
-                    continue;
-                }
-                if !self.is_live(cand) {
-                    if dead_seen.insert(cand) {
-                        timeouts += 1;
-                    }
-                    continue;
-                }
-                next = Some((phase, cand));
-                break;
-            }
-            match next {
-                Some((phase, cand)) => {
-                    hops.push(phase);
-                    cur = cand;
-                    self.count_query(cur);
-                }
-                None => {
-                    break match self.successor_of_point(key) {
-                        Some(owner) if owner == cur => LookupOutcome::Found,
-                        Some(_) => LookupOutcome::Stuck,
-                        None => LookupOutcome::Stuck,
-                    }
-                }
-            }
-        };
-
-        LookupTrace {
-            hops,
-            timeouts,
-            outcome,
-            terminal: cur,
-        }
+        walk_from(self, src, ChordWalk { key }, true)
     }
 
     /// Lookup by raw (pre-hash) key.
@@ -390,23 +292,114 @@ impl ChordNetwork {
         let key = self.key_of(raw_key);
         self.route_to_point(src, key)
     }
+}
 
-    pub(crate) fn count_query(&mut self, id: u64) {
-        if let Some(n) = self.nodes.get_mut(&id) {
-            n.query_load += 1;
+/// Per-lookup walk state: the ring point being routed towards.
+#[derive(Debug, Clone, Copy)]
+pub struct ChordWalk {
+    /// The mapped key.
+    pub key: u64,
+}
+
+impl SimOverlay for ChordNetwork {
+    type State = ChordNode;
+    type Walk = ChordWalk;
+
+    fn membership(&self) -> &Membership<ChordNode> {
+        &self.members
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership<ChordNode> {
+        &mut self.members
+    }
+
+    fn label(&self) -> String {
+        "Chord".to_string()
+    }
+
+    fn degree_limit(&self) -> Option<usize> {
+        None // O(log n) fingers: not constant-degree
+    }
+
+    fn map_key(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_token(&self, raw_key: u64) -> Option<NodeToken> {
+        self.successor_of_point(self.key_of(raw_key))
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * self.config.bits as usize + 64
+    }
+
+    fn begin_walk(&self, _src: NodeToken, raw_key: u64) -> ChordWalk {
+        ChordWalk {
+            key: self.key_of(raw_key),
         }
     }
 
-    /// Per-node query loads in ring order.
-    #[must_use]
-    pub fn query_loads(&self) -> Vec<u64> {
-        self.nodes.values().map(|n| n.query_load).collect()
+    fn walk_owner(&self, walk: &ChordWalk) -> Option<NodeToken> {
+        self.successor_of_point(walk.key)
     }
 
-    /// Zeroes all query-load counters.
-    pub fn reset_query_loads(&mut self) {
-        for n in self.nodes.values_mut() {
-            n.query_load = 0;
+    fn next_hop(&self, cur: NodeToken, walk: &mut ChordWalk) -> StepDecision {
+        let space = self.config.space();
+        let key = walk.key;
+        let node = self.members.get(cur).expect("current node is live");
+        // Terminal test: cur owns (pred, cur].
+        if in_interval_oc(key, node.predecessor, cur, space) {
+            return StepDecision::Terminate;
+        }
+        // Candidate order: if the key is between cur and its successor,
+        // go to the successor (it is the owner); otherwise the closest
+        // preceding finger, falling back through lower fingers and the
+        // successor list on timeouts.
+        let mut candidates: Vec<(HopPhase, u64)> = Vec::new();
+        if in_interval_oc(key, cur, node.successor(), space) {
+            for &s in &node.successors {
+                candidates.push((HopPhase::Successor, s));
+            }
+        } else {
+            let mut fingers: Vec<u64> = node
+                .fingers
+                .iter()
+                .copied()
+                .filter(|&f| f != cur && in_interval_oo(f, cur, key, space))
+                .collect();
+            // Closest preceding first: maximal clockwise distance from
+            // cur (i.e. nearest to the key without passing it).
+            fingers.sort_unstable_by_key(|&f| std::cmp::Reverse(clockwise_dist(cur, f, space)));
+            fingers.dedup();
+            for f in fingers {
+                candidates.push((HopPhase::Finger, f));
+            }
+            for &s in &node.successors {
+                candidates.push((HopPhase::Successor, s));
+            }
+        }
+        StepDecision::Forward(candidates)
+    }
+
+    fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random()
+    }
+
+    fn node_leave(&mut self, node: NodeToken) -> bool {
+        self.leave(node)
+    }
+
+    fn node_fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize_network(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_one(&mut self, node: NodeToken) {
+        if self.is_live(node) {
+            self.refresh_node(node);
         }
     }
 }
@@ -414,6 +407,7 @@ impl ChordNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dht_core::lookup::LookupOutcome;
     use dht_core::rng::stream;
     use rand::Rng;
 
@@ -545,5 +539,37 @@ mod tests {
             .sum::<f64>()
             / net.node_count() as f64;
         assert!(mean > 7.0, "Chord mean degree {mean} should exceed 7");
+    }
+
+    #[test]
+    fn trait_roundtrip() {
+        use dht_core::overlay::Overlay;
+        let mut net: Box<dyn Overlay> =
+            Box::new(ChordNetwork::with_nodes(ChordConfig::new(11), 200, 1));
+        assert_eq!(net.name(), "Chord");
+        assert_eq!(net.degree_bound(), None);
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[0], 777);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(777));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        let net = ChordNetwork::with_nodes(ChordConfig::new(11), 100, 2);
+        let keys = dht_core::workload::key_population(2_000, &mut stream(3, "ck"));
+        let counts = dht_core::overlay::key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        use dht_core::overlay::Overlay;
+        let mut net = ChordNetwork::with_nodes(ChordConfig::new(11), 64, 4);
+        let mut rng = stream(5, "cj");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert_eq!(net.len(), 65);
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
     }
 }

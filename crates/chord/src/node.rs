@@ -15,8 +15,6 @@ pub struct ChordNode {
     pub successors: Vec<u64>,
     /// Finger table: `fingers[i]` is `successor(id + 2^i)`.
     pub fingers: Vec<u64>,
-    /// Lookup messages received since the last reset.
-    pub query_load: u64,
 }
 
 impl ChordNode {
@@ -29,7 +27,6 @@ impl ChordNode {
             predecessor: id,
             successors: vec![id; succ_list_len],
             fingers: vec![id; bits as usize],
-            query_load: 0,
         }
     }
 

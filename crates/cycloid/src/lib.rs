@@ -28,9 +28,8 @@
 //! * [`state`] — per-node routing state (routing table + leaf sets),
 //! * [`network`] — membership, neighbour resolution, join/leave protocols,
 //!   stabilization,
-//! * [`lookup`] — the three-phase routing algorithm,
-//! * [`overlay`] — the [`dht_core::Overlay`] adapter used by the
-//!   experiment harness.
+//! * [`lookup`] — the three-phase routing algorithm and the
+//!   [`dht_core::sim`] substrate adapter used by the experiment harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +37,6 @@
 pub mod id;
 pub mod lookup;
 pub mod network;
-pub mod overlay;
 pub mod state;
 
 pub use id::{CycloidId, Dim, KeyDistance};

@@ -20,16 +20,23 @@
 use std::collections::HashSet;
 
 use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::overlay::NodeToken;
 use dht_core::ring::clockwise_dist;
+use dht_core::sim::{walk_from, Membership, SimOverlay, StepDecision};
+use rand::RngCore;
 
 use crate::id::{msdb, prefix_len, CycloidId, KeyDistance};
 use crate::network::CycloidNetwork;
 use crate::state::NodeState;
 
-/// Hop budget: a correct lookup needs `O(d)` hops; the budget leaves a wide
-/// margin so only genuinely broken routing trips it.
-fn hop_budget(d: u32) -> usize {
-    16 * d as usize + 64
+/// Walk state of one Cycloid lookup: the mapped key plus the set of
+/// already-visited nodes (non-improving hops may not revisit, which
+/// guarantees termination; see [`SimOverlay::admit`]).
+#[derive(Debug, Clone)]
+pub struct CycloidWalk {
+    /// The key identifier the lookup is routing towards.
+    pub key: CycloidId,
+    visited: HashSet<u64>,
 }
 
 /// One planned forwarding step: an ordered preference list of candidates,
@@ -54,89 +61,22 @@ impl CycloidNetwork {
     /// Like [`CycloidNetwork::route`], but takes a pre-mapped key
     /// identifier.
     pub fn route_to_id(&mut self, src: CycloidId, key: CycloidId) -> LookupTrace {
-        self.route_impl(src, key, true)
+        let walk = self.walk_for(src, key);
+        walk_from(self, src.linear(self.dim()), walk, true)
     }
 
     /// Routing used by control traffic (join messages): same walk, but
     /// without touching the per-node query-load counters the §4.2
     /// experiment measures (which count *lookup* queries only).
     pub(crate) fn route_quiet(&mut self, src: CycloidId, key: CycloidId) -> LookupTrace {
-        self.route_impl(src, key, false)
+        let walk = self.walk_for(src, key);
+        walk_from(self, src.linear(self.dim()), walk, false)
     }
 
-    fn route_impl(&mut self, src: CycloidId, key: CycloidId, count_loads: bool) -> LookupTrace {
-        assert!(self.is_live(src), "lookup source {src} is not live");
-        let dim = self.dim();
-        let budget = hop_budget(dim.get());
-        let mut cur = src;
-        let mut hops: Vec<HopPhase> = Vec::new();
-        let mut timeouts: u32 = 0;
-        let mut visited: HashSet<u64> = HashSet::new();
-        visited.insert(cur.linear(dim));
-        if count_loads {
-            self.count_query(cur);
-        }
-
-        let outcome = loop {
-            if hops.len() >= budget {
-                break LookupOutcome::HopBudgetExhausted;
-            }
-            let plan = self.plan_step(cur, key);
-            match plan {
-                StepPlan::Terminate => {
-                    break self.classify_terminal(cur, key);
-                }
-                StepPlan::Forward(candidates) => {
-                    let cur_dist = KeyDistance::between(key, cur, dim);
-                    let mut next: Option<(HopPhase, CycloidId)> = None;
-                    let mut dead_seen: HashSet<u64> = HashSet::new();
-                    for (phase, cand) in candidates {
-                        // A hop that strictly reduces the key distance can
-                        // never loop, so it may revisit; non-improving
-                        // (phase) hops are blocked from revisiting to
-                        // guarantee termination.
-                        let improving = KeyDistance::between(key, cand, dim) < cur_dist;
-                        if cand == cur || (!improving && visited.contains(&cand.linear(dim))) {
-                            continue;
-                        }
-                        if !self.is_live(cand) {
-                            if dead_seen.insert(cand.linear(dim)) {
-                                timeouts += 1;
-                            }
-                            continue;
-                        }
-                        next = Some((phase, cand));
-                        break;
-                    }
-                    match next {
-                        Some((phase, cand)) => {
-                            hops.push(phase);
-                            cur = cand;
-                            visited.insert(cur.linear(dim));
-                            if count_loads {
-                                self.count_query(cur);
-                            }
-                        }
-                        None => break self.classify_terminal(cur, key),
-                    }
-                }
-            }
-        };
-
-        LookupTrace {
-            hops,
-            timeouts,
-            outcome,
-            terminal: cur.linear(dim),
-        }
-    }
-
-    /// Classifies where a lookup stopped: at the true owner, or elsewhere.
-    fn classify_terminal(&self, cur: CycloidId, key: CycloidId) -> LookupOutcome {
-        match self.owner_of_key(key) {
-            Some(owner) if owner == cur => LookupOutcome::Found,
-            Some(_) => LookupOutcome::WrongOwner,
-            None => LookupOutcome::Stuck,
+    fn walk_for(&self, src: CycloidId, key: CycloidId) -> CycloidWalk {
+        CycloidWalk {
+            key,
+            visited: HashSet::from([src.linear(self.dim())]),
         }
     }
 
@@ -261,10 +201,124 @@ impl CycloidNetwork {
     }
 }
 
+impl SimOverlay for CycloidNetwork {
+    type State = NodeState;
+    type Walk = CycloidWalk;
+
+    fn membership(&self) -> &Membership<NodeState> {
+        self.members()
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership<NodeState> {
+        self.members_mut()
+    }
+
+    fn label(&self) -> String {
+        format!("Cycloid({})", 3 + 4 * self.leaf_radius())
+    }
+
+    fn degree_limit(&self) -> Option<usize> {
+        Some(3 + 4 * self.leaf_radius())
+    }
+
+    fn map_key(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key).linear(self.dim())
+    }
+
+    fn owner_token(&self, raw_key: u64) -> Option<NodeToken> {
+        let key = self.key_of(raw_key);
+        self.owner_of_key(key).map(|id| id.linear(self.dim()))
+    }
+
+    /// Hop budget: a correct lookup needs `O(d)` hops; the budget leaves a
+    /// wide margin so only genuinely broken routing trips it.
+    fn hop_budget(&self) -> usize {
+        16 * self.dim().get() as usize + 64
+    }
+
+    fn begin_walk(&self, src: NodeToken, raw_key: u64) -> CycloidWalk {
+        let src = CycloidId::from_linear(src, self.dim());
+        self.walk_for(src, self.key_of(raw_key))
+    }
+
+    fn walk_owner(&self, walk: &CycloidWalk) -> Option<NodeToken> {
+        self.owner_of_key(walk.key).map(|id| id.linear(self.dim()))
+    }
+
+    fn next_hop(&self, cur: NodeToken, walk: &mut CycloidWalk) -> StepDecision {
+        let dim = self.dim();
+        let cur = CycloidId::from_linear(cur, dim);
+        match self.plan_step(cur, walk.key) {
+            StepPlan::Terminate => StepDecision::Terminate,
+            StepPlan::Forward(candidates) => StepDecision::Forward(
+                candidates
+                    .into_iter()
+                    .map(|(phase, c)| (phase, c.linear(dim)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// A hop that strictly reduces the key distance can never loop, so it
+    /// may revisit; non-improving (phase) hops are blocked from revisiting
+    /// to guarantee termination.
+    fn admit(&self, walk: &CycloidWalk, cur: NodeToken, cand: NodeToken) -> bool {
+        let dim = self.dim();
+        let cur_dist = KeyDistance::between(walk.key, CycloidId::from_linear(cur, dim), dim);
+        let improving =
+            KeyDistance::between(walk.key, CycloidId::from_linear(cand, dim), dim) < cur_dist;
+        improving || !walk.visited.contains(&cand)
+    }
+
+    fn on_hop(
+        &mut self,
+        walk: &mut CycloidWalk,
+        _from: NodeToken,
+        _phase: HopPhase,
+        to: NodeToken,
+        _timed_out: &[NodeToken],
+    ) {
+        walk.visited.insert(to);
+    }
+
+    /// A walk whose candidates were all skipped stops where it stands and
+    /// is judged like a deliberate terminal (preserving the `WrongOwner`
+    /// distinction), exactly as a real querier would conclude.
+    fn on_exhausted(&mut self, cur: NodeToken, walk: &CycloidWalk) -> LookupOutcome {
+        self.classify_terminal(cur, walk)
+    }
+
+    fn node_join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random(rng).map(|id| id.linear(self.dim()))
+    }
+
+    fn node_leave(&mut self, node: NodeToken) -> bool {
+        let id = CycloidId::from_linear(node, self.dim());
+        self.leave(id)
+    }
+
+    fn node_fail(&mut self, node: NodeToken) -> bool {
+        let id = CycloidId::from_linear(node, self.dim());
+        self.fail_node(id)
+    }
+
+    fn stabilize_network(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_one(&mut self, node: NodeToken) {
+        let id = CycloidId::from_linear(node, self.dim());
+        if self.is_live(id) {
+            self.refresh_node(id);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::network::CycloidConfig;
+    use dht_core::overlay::Overlay;
     use dht_core::rng::stream;
     use rand::Rng;
 

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use dht_core::hash::IdAllocator;
+use dht_core::sim::Membership;
 use rand::RngCore;
 
 use crate::id::{CycloidId, Dim, KeyDistance};
@@ -61,14 +61,12 @@ pub struct CycloidNetwork {
     dim: Dim,
     leaf_radius: usize,
     /// Live nodes, keyed by linear identifier (`cubical * d + cyclic`).
-    nodes: BTreeMap<u64, NodeState>,
+    members: Membership<NodeState>,
     /// Non-empty cycles: cubical index → live cyclic indices on that cycle.
     cycles: BTreeMap<u64, BTreeSet<u32>>,
     /// Per-cyclic-index membership: `by_cyclic[k]` holds the cubical
     /// indices of cycles containing a node with cyclic index `k`.
     by_cyclic: Vec<BTreeSet<u64>>,
-    /// Identifier allocator for joins.
-    alloc: IdAllocator,
 }
 
 impl CycloidNetwork {
@@ -83,10 +81,9 @@ impl CycloidNetwork {
         Self {
             dim,
             leaf_radius: config.leaf_radius,
-            nodes: BTreeMap::new(),
+            members: Membership::new(seed),
             cycles: BTreeMap::new(),
             by_cyclic: vec![BTreeSet::new(); config.dimension as usize],
-            alloc: IdAllocator::new(seed),
         }
     }
 
@@ -101,8 +98,8 @@ impl CycloidNetwork {
             "{count} nodes exceed the {}-slot identifier space",
             net.dim.id_space()
         );
-        while net.nodes.len() < count {
-            let id = CycloidId::from_hash(net.alloc.next_raw(), net.dim);
+        while net.members.len() < count {
+            let id = CycloidId::from_hash(net.members.next_raw(), net.dim);
             if !net.is_live(id) {
                 net.insert_membership(id);
             }
@@ -139,31 +136,41 @@ impl CycloidNetwork {
     /// Number of live nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// `true` iff `id` is a live node.
     #[must_use]
     pub fn is_live(&self, id: CycloidId) -> bool {
-        self.nodes.contains_key(&id.linear(self.dim))
+        self.members.contains(id.linear(self.dim))
     }
 
     /// State of a live node.
     #[must_use]
     pub fn node(&self, id: CycloidId) -> Option<&NodeState> {
-        self.nodes.get(&id.linear(self.dim))
+        self.members.get(id.linear(self.dim))
     }
 
     /// Mutable state of a live node.
     pub fn node_mut(&mut self, id: CycloidId) -> Option<&mut NodeState> {
-        self.nodes.get_mut(&id.linear(self.dim))
+        self.members.get_mut(id.linear(self.dim))
+    }
+
+    /// The node arena (for the simulation substrate).
+    pub(crate) fn members(&self) -> &Membership<NodeState> {
+        &self.members
+    }
+
+    /// The node arena, mutably (for the simulation substrate).
+    pub(crate) fn members_mut(&mut self) -> &mut Membership<NodeState> {
+        &mut self.members
     }
 
     /// Iterates over live node identifiers in linear order.
     pub fn ids(&self) -> impl Iterator<Item = CycloidId> + '_ {
-        self.nodes
-            .keys()
-            .map(move |&linear| CycloidId::from_linear(linear, self.dim))
+        self.members
+            .token_iter()
+            .map(move |linear| CycloidId::from_linear(linear, self.dim))
     }
 
     /// Maps a raw key to its identifier in this space.
@@ -180,7 +187,7 @@ impl CycloidNetwork {
     /// own cycle) can contain the owner.
     #[must_use]
     pub fn owner_of_key(&self, key: CycloidId) -> Option<CycloidId> {
-        if self.nodes.is_empty() {
+        if self.members.is_empty() {
             return None;
         }
         let mut best: Option<(KeyDistance, CycloidId)> = None;
@@ -211,15 +218,14 @@ impl CycloidNetwork {
 
     fn insert_membership(&mut self, id: CycloidId) {
         let linear = id.linear(self.dim);
-        let prev = self.nodes.insert(linear, NodeState::new(id));
-        assert!(prev.is_none(), "identifier {id} already occupied");
+        self.members.insert(linear, NodeState::new(id));
         self.cycles.entry(id.cubical).or_default().insert(id.cyclic);
         self.by_cyclic[id.cyclic as usize].insert(id.cubical);
     }
 
     fn remove_membership(&mut self, id: CycloidId) -> Option<NodeState> {
         let linear = id.linear(self.dim);
-        let state = self.nodes.remove(&linear)?;
+        let state = self.members.remove(linear)?;
         let members = self
             .cycles
             .get_mut(&id.cubical)
@@ -602,17 +608,17 @@ impl CycloidNetwork {
     /// live node through the full §3.3.1 message path. Returns the new
     /// node, or `None` if the identifier space is full.
     pub fn join_random(&mut self, rng: &mut dyn RngCore) -> Option<CycloidId> {
-        if self.nodes.len() as u64 >= self.dim.id_space() {
+        if self.members.len() as u64 >= self.dim.id_space() {
             return None;
         }
-        let bootstrap = if self.nodes.is_empty() {
+        let bootstrap = if self.members.is_empty() {
             None
         } else {
-            let i = (rng.next_u64() % self.nodes.len() as u64) as usize;
+            let i = (rng.next_u64() % self.members.len() as u64) as usize;
             self.ids().nth(i)
         };
         loop {
-            let id = CycloidId::from_hash(self.alloc.next_raw(), self.dim);
+            let id = CycloidId::from_hash(self.members.next_raw(), self.dim);
             let joined = match bootstrap {
                 Some(b) => self.join_via_protocol(b, id),
                 None => self.join_id(id),
@@ -697,31 +703,6 @@ impl CycloidNetwork {
             if Some(node) != skip {
                 self.refresh_leaf_sets(node);
             }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Query-load accounting
-    // ------------------------------------------------------------------
-
-    /// Increments the query-load counter of `id` (called by the router for
-    /// every node a lookup visits).
-    pub(crate) fn count_query(&mut self, id: CycloidId) {
-        if let Some(state) = self.node_mut(id) {
-            state.query_load += 1;
-        }
-    }
-
-    /// Per-node query loads in linear-identifier order.
-    #[must_use]
-    pub fn query_loads(&self) -> Vec<u64> {
-        self.nodes.values().map(|s| s.query_load).collect()
-    }
-
-    /// Zeroes all query-load counters.
-    pub fn reset_query_loads(&mut self) {
-        for state in self.nodes.values_mut() {
-            state.query_load = 0;
         }
     }
 }
@@ -927,13 +908,76 @@ mod tests {
 
     #[test]
     fn query_load_counting_and_reset() {
+        use dht_core::overlay::Overlay;
         let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(4), 20, 9);
         let some = net.ids().next().unwrap();
-        net.count_query(some);
-        net.count_query(some);
-        assert_eq!(net.query_loads().iter().sum::<u64>(), 2);
+        let trace = net.route(some, 0xfeed);
+        assert_eq!(
+            net.query_loads().iter().sum::<u64>(),
+            1 + trace.path_len() as u64,
+            "one count for the source plus one per hop"
+        );
         net.reset_query_loads();
         assert_eq!(net.query_loads().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn trait_roundtrip_basics() {
+        use dht_core::overlay::Overlay;
+        let mut net: Box<dyn Overlay> = Box::new(CycloidNetwork::with_nodes(
+            CycloidConfig::seven_entry(6),
+            100,
+            1,
+        ));
+        assert_eq!(net.name(), "Cycloid(7)");
+        assert_eq!(net.len(), 100);
+        assert_eq!(net.degree_bound(), Some(7));
+        let tokens = net.node_tokens();
+        assert_eq!(tokens.len(), 100);
+        let t = net.lookup(tokens[0], 12345);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(12345));
+    }
+
+    #[test]
+    fn eleven_entry_name_and_bound() {
+        use dht_core::overlay::Overlay;
+        let net = CycloidNetwork::with_nodes(CycloidConfig::eleven_entry(6), 50, 2);
+        assert_eq!(net.name(), "Cycloid(11)");
+        assert_eq!(Overlay::degree_bound(&net), Some(11));
+    }
+
+    #[test]
+    fn join_and_leave_through_trait() {
+        use dht_core::overlay::Overlay;
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), 50, 3);
+        let mut rng = dht_core::rng::stream(5, "trait");
+        let newcomer = Overlay::join(&mut net, &mut rng).expect("space not full");
+        assert_eq!(net.len(), 51);
+        assert!(Overlay::leave(&mut net, newcomer));
+        assert_eq!(net.len(), 50);
+        assert!(!Overlay::leave(&mut net, newcomer), "double leave rejected");
+    }
+
+    #[test]
+    fn key_counts_cover_all_keys() {
+        use dht_core::overlay::key_counts;
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(8), 200, 4);
+        let keys = dht_core::workload::key_population(5_000, &mut dht_core::rng::stream(6, "keys"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 5_000);
+        assert_eq!(counts.len(), 200);
+    }
+
+    #[test]
+    fn random_node_is_live() {
+        use dht_core::overlay::Overlay;
+        let net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(6), 30, 5);
+        let mut rng = dht_core::rng::stream(7, "pick");
+        for _ in 0..50 {
+            let t = net.random_node(&mut rng).unwrap();
+            assert!(net.node_tokens().contains(&t));
+        }
     }
 
     #[test]

@@ -47,8 +47,6 @@ pub struct NodeState {
     /// Outside leaf set, succeeding side: primaries of the nearest
     /// succeeding non-empty remote cycles, nearest first.
     pub outside_right: Vec<CycloidId>,
-    /// Lookup messages this node has received since the last reset.
-    pub query_load: u64,
 }
 
 impl NodeState {
@@ -64,7 +62,6 @@ impl NodeState {
             inside_right: Vec::new(),
             outside_left: Vec::new(),
             outside_right: Vec::new(),
-            query_load: 0,
         }
     }
 

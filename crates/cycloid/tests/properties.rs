@@ -4,6 +4,7 @@
 use cycloid::id::{msdb, prefix_len};
 use cycloid::{CycloidConfig, CycloidId, CycloidNetwork, Dim, KeyDistance};
 use dht_core::lookup::LookupOutcome;
+use dht_core::overlay::Overlay;
 use dht_core::rng::stream;
 use proptest::prelude::*;
 use rand::Rng;

@@ -15,6 +15,9 @@
 //!   interface (join / graceful leave / lookup / stabilize / query loads),
 //! * [`ring`] — modular-ring interval and distance arithmetic shared by the
 //!   ring-based overlays,
+//! * [`sim`] — the shared simulation substrate: the [`sim::Membership`]
+//!   node arena, query-load accounting, and the iterative lookup walk
+//!   driver behind the [`sim::SimOverlay`] per-hop routing interface,
 //! * [`stats`] — mean and 1st/99th-percentile summaries exactly as the
 //!   paper plots them,
 //! * [`workload`] — lookup and key-placement workload generators.
@@ -27,9 +30,11 @@ pub mod lookup;
 pub mod overlay;
 pub mod ring;
 pub mod rng;
+pub mod sim;
 pub mod stats;
 pub mod workload;
 
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
 pub use overlay::{NodeToken, Overlay};
+pub use sim::{Membership, QueryLoads, SimOverlay, StepDecision};
 pub use stats::Summary;

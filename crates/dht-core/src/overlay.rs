@@ -105,52 +105,71 @@ pub trait Overlay {
     fn reset_query_loads(&mut self);
 }
 
-impl<T: Overlay + ?Sized> Overlay for Box<T> {
+/// Forwarding impl so factory-built `Box<dyn Overlay>` values satisfy
+/// `O: Overlay` bounds (e.g. the kvstore). Deliberately concrete: a
+/// generic `impl<T: Overlay + ?Sized> Overlay for Box<T>` would overlap
+/// with the blanket [`crate::sim::SimOverlay`] impl.
+impl Overlay for Box<dyn Overlay> {
     fn name(&self) -> String {
         (**self).name()
     }
+
     fn len(&self) -> usize {
         (**self).len()
     }
+
     fn is_empty(&self) -> bool {
         (**self).is_empty()
     }
+
     fn degree_bound(&self) -> Option<usize> {
         (**self).degree_bound()
     }
+
     fn node_tokens(&self) -> Vec<NodeToken> {
         (**self).node_tokens()
     }
+
     fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
         (**self).random_node(rng)
     }
+
     fn key_id(&self, raw_key: u64) -> u64 {
         (**self).key_id(raw_key)
     }
+
     fn owner_of(&self, raw_key: u64) -> Option<NodeToken> {
         (**self).owner_of(raw_key)
     }
+
     fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
         (**self).lookup(src, raw_key)
     }
+
     fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
         (**self).join(rng)
     }
+
     fn leave(&mut self, node: NodeToken) -> bool {
         (**self).leave(node)
     }
+
     fn fail(&mut self, node: NodeToken) -> bool {
         (**self).fail(node)
     }
+
     fn stabilize(&mut self) {
         (**self).stabilize();
     }
+
     fn stabilize_node(&mut self, node: NodeToken) {
         (**self).stabilize_node(node);
     }
+
     fn query_loads(&self) -> Vec<u64> {
         (**self).query_loads()
     }
+
     fn reset_query_loads(&mut self) {
         (**self).reset_query_loads();
     }
@@ -159,14 +178,18 @@ impl<T: Overlay + ?Sized> Overlay for Box<T> {
 /// Distributes `raw_keys` over the overlay's live nodes by ownership and
 /// returns the per-node key counts in `node_tokens()` order — the data
 /// behind Figs. 8 and 9.
+///
+/// An owner token missing from [`Overlay::node_tokens`] (an overlay
+/// whose ownership rule momentarily disagrees with its membership, e.g.
+/// mid-churn) is skipped rather than attributed to the wrong node.
 pub fn key_counts<O: Overlay + ?Sized>(overlay: &O, raw_keys: &[u64]) -> Vec<u64> {
     let tokens = overlay.node_tokens();
     let index: std::collections::HashMap<NodeToken, usize> =
         tokens.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let mut counts = vec![0u64; tokens.len()];
     for &k in raw_keys {
-        if let Some(owner) = overlay.owner_of(k) {
-            counts[index[&owner]] += 1;
+        if let Some(&i) = overlay.owner_of(k).and_then(|owner| index.get(&owner)) {
+            counts[i] += 1;
         }
     }
     counts
@@ -175,71 +198,99 @@ pub fn key_counts<O: Overlay + ?Sized>(overlay: &O, raw_keys: &[u64]) -> Vec<u64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lookup::{LookupOutcome, LookupTrace};
+    use crate::lookup::LookupOutcome;
+    use crate::sim::{Membership, SimOverlay, StepDecision};
 
-    /// A degenerate single-node overlay used to exercise the trait's
-    /// default methods and `key_counts`.
+    /// A degenerate single-node overlay (token 7) used to exercise the
+    /// trait's default methods and `key_counts`. When `ghost_owner` is
+    /// set, `owner_of` names a token that is not a live node — the
+    /// inconsistency `key_counts` must tolerate.
     struct OneNode {
-        queries: u64,
+        members: Membership<()>,
+        ghost_owner: bool,
     }
 
-    impl Overlay for OneNode {
-        fn name(&self) -> String {
+    impl OneNode {
+        fn new(ghost_owner: bool) -> Self {
+            let mut members = Membership::new(0);
+            members.insert(7, ());
+            Self {
+                members,
+                ghost_owner,
+            }
+        }
+    }
+
+    impl SimOverlay for OneNode {
+        type State = ();
+        type Walk = ();
+
+        fn membership(&self) -> &Membership<()> {
+            &self.members
+        }
+        fn membership_mut(&mut self) -> &mut Membership<()> {
+            &mut self.members
+        }
+        fn label(&self) -> String {
             "OneNode".into()
         }
-        fn len(&self) -> usize {
-            1
-        }
-        fn degree_bound(&self) -> Option<usize> {
+        fn degree_limit(&self) -> Option<usize> {
             Some(0)
         }
-        fn node_tokens(&self) -> Vec<NodeToken> {
-            vec![7]
-        }
-        fn random_node(&self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
-            Some(7)
-        }
-        fn key_id(&self, raw_key: u64) -> u64 {
+        fn map_key(&self, raw_key: u64) -> u64 {
             raw_key
         }
-        fn owner_of(&self, _raw_key: u64) -> Option<NodeToken> {
+        fn owner_token(&self, _raw_key: u64) -> Option<NodeToken> {
+            if self.ghost_owner {
+                Some(999)
+            } else {
+                Some(7)
+            }
+        }
+        fn hop_budget(&self) -> usize {
+            4
+        }
+        fn begin_walk(&self, _src: NodeToken, _raw_key: u64) {}
+        fn walk_owner(&self, _walk: &()) -> Option<NodeToken> {
             Some(7)
         }
-        fn lookup(&mut self, _src: NodeToken, _raw_key: u64) -> LookupTrace {
-            self.queries += 1;
-            LookupTrace::trivial(7)
+        fn next_hop(&self, _cur: NodeToken, _walk: &mut ()) -> StepDecision {
+            StepDecision::Terminate
         }
-        fn join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
             None
         }
-        fn leave(&mut self, _node: NodeToken) -> bool {
+        fn node_leave(&mut self, _node: NodeToken) -> bool {
             false
         }
-        fn stabilize(&mut self) {}
-        fn query_loads(&self) -> Vec<u64> {
-            vec![self.queries]
-        }
-        fn reset_query_loads(&mut self) {
-            self.queries = 0;
-        }
+        fn stabilize_network(&mut self) {}
     }
 
     #[test]
     fn default_is_empty_uses_len() {
-        let o = OneNode { queries: 0 };
+        let o = OneNode::new(false);
         assert!(!o.is_empty());
     }
 
     #[test]
     fn key_counts_assigns_everything_to_owner() {
-        let o = OneNode { queries: 0 };
+        let o = OneNode::new(false);
         let counts = key_counts(&o, &[1, 2, 3, 4, 5]);
         assert_eq!(counts, vec![5]);
     }
 
     #[test]
+    fn key_counts_skips_owner_outside_membership() {
+        // Regression: an owner token absent from `node_tokens()` used to
+        // panic on the index lookup; it must be skipped instead.
+        let o = OneNode::new(true);
+        let counts = key_counts(&o, &[1, 2, 3, 4, 5]);
+        assert_eq!(counts, vec![0]);
+    }
+
+    #[test]
     fn lookup_counts_queries_and_reset_clears() {
-        let mut o = OneNode { queries: 0 };
+        let mut o = OneNode::new(false);
         let t = o.lookup(7, 99);
         assert_eq!(t.outcome, LookupOutcome::Found);
         assert_eq!(o.query_loads(), vec![1]);

@@ -154,58 +154,67 @@ pub fn zipf_pairs<O: Overlay + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lookup::LookupTrace;
     use crate::rng::stream;
+    use crate::sim::{Membership, SimOverlay, StepDecision};
 
     struct FakeOverlay {
-        n: usize,
+        members: Membership<()>,
     }
 
-    impl Overlay for FakeOverlay {
-        fn name(&self) -> String {
+    impl FakeOverlay {
+        fn new(n: usize) -> Self {
+            let mut members = Membership::new(0);
+            for t in 0..n as u64 {
+                members.insert(t, ());
+            }
+            Self { members }
+        }
+    }
+
+    impl SimOverlay for FakeOverlay {
+        type State = ();
+        type Walk = ();
+
+        fn membership(&self) -> &Membership<()> {
+            &self.members
+        }
+        fn membership_mut(&mut self) -> &mut Membership<()> {
+            &mut self.members
+        }
+        fn label(&self) -> String {
             "fake".into()
         }
-        fn len(&self) -> usize {
-            self.n
-        }
-        fn degree_bound(&self) -> Option<usize> {
+        fn degree_limit(&self) -> Option<usize> {
             None
         }
-        fn node_tokens(&self) -> Vec<NodeToken> {
-            (0..self.n as u64).collect()
-        }
-        fn random_node(&self, rng: &mut dyn RngCore) -> Option<NodeToken> {
-            if self.n == 0 {
-                None
-            } else {
-                Some(rng.gen_range(0..self.n as u64))
-            }
-        }
-        fn key_id(&self, raw_key: u64) -> u64 {
+        fn map_key(&self, raw_key: u64) -> u64 {
             raw_key
         }
-        fn owner_of(&self, _raw_key: u64) -> Option<NodeToken> {
-            Some(0)
+        fn owner_token(&self, _raw_key: u64) -> Option<NodeToken> {
+            self.members.first_token()
         }
-        fn lookup(&mut self, _src: NodeToken, _raw_key: u64) -> LookupTrace {
-            LookupTrace::trivial(0)
+        fn hop_budget(&self) -> usize {
+            4
         }
-        fn join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        fn begin_walk(&self, _src: NodeToken, _raw_key: u64) {}
+        fn walk_owner(&self, _walk: &()) -> Option<NodeToken> {
+            self.members.first_token()
+        }
+        fn next_hop(&self, _cur: NodeToken, _walk: &mut ()) -> StepDecision {
+            StepDecision::Terminate
+        }
+        fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
             None
         }
-        fn leave(&mut self, _node: NodeToken) -> bool {
+        fn node_leave(&mut self, _node: NodeToken) -> bool {
             false
         }
-        fn stabilize(&mut self) {}
-        fn query_loads(&self) -> Vec<u64> {
-            vec![0; self.n]
-        }
-        fn reset_query_loads(&mut self) {}
+        fn stabilize_network(&mut self) {}
     }
 
     #[test]
     fn per_node_uniform_counts() {
-        let o = FakeOverlay { n: 10 };
+        let o = FakeOverlay::new(10);
         let reqs = per_node_uniform(&o, 4, &mut stream(1, "w"));
         assert_eq!(reqs.len(), 40);
         // Every node appears exactly 4 times as a source.
@@ -216,7 +225,7 @@ mod tests {
 
     #[test]
     fn random_pairs_sources_are_live() {
-        let o = FakeOverlay { n: 5 };
+        let o = FakeOverlay::new(5);
         let reqs = random_pairs(&o, 100, &mut stream(2, "w"));
         assert_eq!(reqs.len(), 100);
         assert!(reqs.iter().all(|r| r.src < 5));
@@ -233,7 +242,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty overlay")]
     fn random_pairs_rejects_empty() {
-        let o = FakeOverlay { n: 0 };
+        let o = FakeOverlay::new(0);
         let _ = random_pairs(&o, 1, &mut stream(4, "w"));
     }
 
@@ -278,7 +287,7 @@ mod tests {
 
     #[test]
     fn zipf_pairs_draw_from_catalogue() {
-        let o = FakeOverlay { n: 8 };
+        let o = FakeOverlay::new(8);
         let mut rng = stream(7, "zp");
         let cat = ZipfKeys::new(50, 1.0, &mut rng);
         let reqs = zipf_pairs(&o, &cat, 200, &mut rng);

@@ -31,7 +31,6 @@
 
 pub mod network;
 pub mod node;
-pub mod overlay;
 
 pub use network::{ImaginaryStart, KoordeConfig, KoordeNetwork};
 pub use node::KoordeNode;

@@ -1,12 +1,12 @@
 //! The simulated Koorde ring: membership, de Bruijn pointer resolution,
 //! the imaginary-node routing walk, join/leave, and stabilization.
 
-use std::collections::BTreeMap;
-use std::collections::HashSet;
-
-use dht_core::hash::{reduce, splitmix64, IdAllocator};
+use dht_core::hash::{reduce, splitmix64};
 use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::overlay::NodeToken;
 use dht_core::ring::{in_interval_co, in_interval_oc};
+use dht_core::sim::{walk_from, Membership, SimOverlay, StepDecision};
+use rand::RngCore;
 
 use crate::node::KoordeNode;
 
@@ -67,12 +67,24 @@ impl KoordeConfig {
     }
 }
 
+/// The state an in-flight Koorde lookup threads from hop to hop: the
+/// target ring key plus the Kaashoek–Karger imaginary-node cursor.
+#[derive(Debug, Clone, Copy)]
+pub struct KoordeWalk {
+    /// Target identifier on the ring.
+    pub key: u64,
+    /// Current imaginary node.
+    pub i: u64,
+    /// Key bits still to be shifted into `i`, pre-shifted so the next
+    /// bit to consume is the top bit.
+    pub kshift: u64,
+}
+
 /// A simulated Koorde network.
 #[derive(Debug, Clone)]
 pub struct KoordeNetwork {
     config: KoordeConfig,
-    nodes: BTreeMap<u64, KoordeNode>,
-    alloc: IdAllocator,
+    members: Membership<KoordeNode>,
     /// Lookups that failed because a de Bruijn pointer and all backups
     /// were dead (§4.3's failure count).
     failures: u64,
@@ -84,8 +96,7 @@ impl KoordeNetwork {
     pub fn new(config: KoordeConfig, seed: u64) -> Self {
         Self {
             config,
-            nodes: BTreeMap::new(),
-            alloc: IdAllocator::new(seed),
+            members: Membership::new(seed),
             failures: 0,
         }
     }
@@ -99,9 +110,9 @@ impl KoordeNetwork {
             "{count} nodes exceed the 2^{} ring",
             config.bits
         );
-        while net.nodes.len() < count {
-            let id = net.alloc.next_in(config.space());
-            if !net.nodes.contains_key(&id) {
+        while net.members.len() < count {
+            let id = net.members.next_in(config.space());
+            if !net.members.contains(id) {
                 net.insert_raw(id);
             }
         }
@@ -118,24 +129,24 @@ impl KoordeNetwork {
     /// Number of live nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// `true` iff `id` is live.
     #[must_use]
     pub fn is_live(&self, id: u64) -> bool {
-        self.nodes.contains_key(&id)
+        self.members.contains(id)
     }
 
     /// Live node identifiers in ring order.
     pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.nodes.keys().copied()
+        self.members.token_iter()
     }
 
     /// Shared read access to one node.
     #[must_use]
     pub fn node(&self, id: u64) -> Option<&KoordeNode> {
-        self.nodes.get(&id)
+        self.members.get(id)
     }
 
     /// Total failed lookups so far (de Bruijn pointer and all backups
@@ -154,14 +165,7 @@ impl KoordeNetwork {
     /// Ground truth: live successor of ring point `x`.
     #[must_use]
     pub fn successor_of_point(&self, x: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        self.nodes
-            .range(x..)
-            .next()
-            .or_else(|| self.nodes.range(..).next())
-            .map(|(&id, _)| id)
+        self.members.successor_of(x)
     }
 
     /// Ground truth: live node at or immediately preceding ring point `x`
@@ -169,33 +173,18 @@ impl KoordeNetwork {
     /// own de Bruijn image).
     #[must_use]
     pub fn at_or_before_point(&self, x: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        self.nodes
-            .range(..=x)
-            .next_back()
-            .or_else(|| self.nodes.range(..).next_back())
-            .map(|(&id, _)| id)
+        self.members.at_or_before(x)
     }
 
     /// Ground truth: live node strictly preceding ring point `x`.
     #[must_use]
     pub fn before_point(&self, x: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        self.nodes
-            .range(..x)
-            .next_back()
-            .or_else(|| self.nodes.range(..).next_back())
-            .map(|(&id, _)| id)
+        self.members.predecessor_of(x)
     }
 
     fn insert_raw(&mut self, id: u64) {
         let node = KoordeNode::new(id, self.config.successor_list, self.config.debruijn_backups);
-        let prev = self.nodes.insert(id, node);
-        assert!(prev.is_none(), "identifier {id} already occupied");
+        self.members.insert(id, node);
     }
 
     /// Recomputes every pointer of one node from the live membership.
@@ -211,7 +200,7 @@ impl KoordeNetwork {
             preds.push(p);
             cursor = p;
         }
-        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        let node = self.members.get_mut(id).expect("refresh of dead node");
         node.debruijn = debruijn;
         node.debruijn_preds = preds;
     }
@@ -230,7 +219,7 @@ impl KoordeNetwork {
             succs.push(s);
             cursor = s;
         }
-        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        let node = self.members.get_mut(id).expect("refresh of dead node");
         node.predecessor = pred;
         node.successors = succs;
     }
@@ -248,7 +237,7 @@ impl KoordeNetwork {
     /// Ring neighbourhood that join/leave notifications repair.
     fn ring_neighbors_of(&self, id: u64) -> Vec<u64> {
         let mut out = Vec::new();
-        if self.nodes.is_empty() {
+        if self.members.is_empty() {
             return out;
         }
         // `id + 1`: at join time the node itself is already in the map, and
@@ -288,11 +277,11 @@ impl KoordeNetwork {
 
     /// Join with a freshly hashed identifier.
     pub fn join_random(&mut self) -> Option<u64> {
-        if self.nodes.len() as u64 >= self.config.space() {
+        if self.members.len() as u64 >= self.config.space() {
             return None;
         }
         loop {
-            let id = self.alloc.next_in(self.config.space());
+            let id = self.members.next_in(self.config.space());
             if self.join_id(id) {
                 return Some(id);
             }
@@ -305,10 +294,10 @@ impl KoordeNetwork {
     /// predecessor will not be notified" — those go stale until
     /// stabilization.
     pub fn leave(&mut self, id: u64) -> bool {
-        if self.nodes.remove(&id).is_none() {
+        if self.members.remove(id).is_none() {
             return false;
         }
-        if self.nodes.is_empty() {
+        if self.members.is_empty() {
             return true;
         }
         for nb in self.ring_neighbors_of(id) {
@@ -321,11 +310,7 @@ impl KoordeNetwork {
     /// notifications, so even ring successors and predecessors stay stale
     /// until stabilization.
     pub fn fail_node(&mut self, id: u64) -> bool {
-        self.nodes.remove(&id).is_some()
-    }
-
-    fn hop_budget(&self) -> usize {
-        8 * self.config.bits as usize + 128
+        self.members.remove(id).is_some()
     }
 
     /// Picks the starting imaginary node and pre-shifted key for a lookup
@@ -362,116 +347,9 @@ impl KoordeNetwork {
     /// a de Bruijn pointer whose backups are all dead fails the lookup.
     pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
         assert!(self.is_live(src), "lookup source {src} is not live");
-        let space = self.config.space();
-        let mut cur = src;
-        let mut hops = Vec::new();
-        let mut timeouts = 0u32;
-        self.count_query(cur);
-
-        // Imaginary-node state.
-        let src_node = &self.nodes[&src];
-        let (mut i, mut kshift) = self.imaginary_start(src, src_node.successor(), key);
-
-        let outcome = loop {
-            if hops.len() >= self.hop_budget() {
-                break LookupOutcome::HopBudgetExhausted;
-            }
-            let node = self.nodes.get(&cur).expect("current node is live");
-            if in_interval_oc(key, node.predecessor, cur, space) {
-                break match self.successor_of_point(key) {
-                    Some(owner) if owner == cur => LookupOutcome::Found,
-                    Some(_) => LookupOutcome::WrongOwner,
-                    None => LookupOutcome::Stuck,
-                };
-            }
-            let take_debruijn = !in_interval_oc(key, cur, node.successor(), space)
-                && in_interval_co(i, cur, node.successor(), space);
-            if take_debruijn {
-                // Walk down the de Bruijn edge, shifting one key bit into
-                // the imaginary node.
-                let mut next = None;
-                let mut dead_seen: HashSet<u64> = HashSet::new();
-                for cand in
-                    std::iter::once(node.debruijn).chain(node.debruijn_preds.iter().copied())
-                {
-                    if cand == cur {
-                        // Self-pointing de Bruijn edge (tiny rings): treat
-                        // like a missing edge and fall through to backups.
-                        continue;
-                    }
-                    if !self.is_live(cand) {
-                        if dead_seen.insert(cand) {
-                            timeouts += 1;
-                        }
-                        continue;
-                    }
-                    next = Some(cand);
-                    break;
-                }
-                match next {
-                    Some(cand) => {
-                        // Repair-on-use: once a backup answered for a dead
-                        // de Bruijn pointer, adopt it as the new pointer so
-                        // each stale pointer times out at most once (the
-                        // accounting the paper's Koorde timeout counts
-                        // reflect; see EXPERIMENTS.md).
-                        if !dead_seen.is_empty() {
-                            if let Some(n) = self.nodes.get_mut(&cur) {
-                                n.debruijn = cand;
-                            }
-                        }
-                        let top = (kshift >> (self.config.bits - 1)) & 1;
-                        i = ((i << 1) | top) % space;
-                        kshift = (kshift << 1) % space;
-                        hops.push(HopPhase::DeBruijn);
-                        cur = cand;
-                        self.count_query(cur);
-                    }
-                    None => {
-                        // De Bruijn pointer and all backups dead: the
-                        // lookup fails (§4.3).
-                        self.failures += 1;
-                        break LookupOutcome::Stuck;
-                    }
-                }
-            } else {
-                // Ring fix-up (or final approach) through the successor
-                // list.
-                let mut next = None;
-                let mut dead_seen: HashSet<u64> = HashSet::new();
-                for &cand in &node.successors {
-                    if cand == cur {
-                        continue;
-                    }
-                    if !self.is_live(cand) {
-                        if dead_seen.insert(cand) {
-                            timeouts += 1;
-                        }
-                        continue;
-                    }
-                    next = Some(cand);
-                    break;
-                }
-                match next {
-                    Some(cand) => {
-                        hops.push(HopPhase::Successor);
-                        cur = cand;
-                        self.count_query(cur);
-                    }
-                    None => {
-                        self.failures += 1;
-                        break LookupOutcome::Stuck;
-                    }
-                }
-            }
-        };
-
-        LookupTrace {
-            hops,
-            timeouts,
-            outcome,
-            terminal: cur,
-        }
+        let succ = self.members.get(src).expect("source is live").successor();
+        let (i, kshift) = self.imaginary_start(src, succ, key);
+        walk_from(self, src, KoordeWalk { key, i, kshift }, true)
     }
 
     /// Lookup by raw (pre-hash) key.
@@ -479,23 +357,131 @@ impl KoordeNetwork {
         let key = self.key_of(raw_key);
         self.route_to_point(src, key)
     }
+}
 
-    pub(crate) fn count_query(&mut self, id: u64) {
-        if let Some(n) = self.nodes.get_mut(&id) {
-            n.query_load += 1;
+impl SimOverlay for KoordeNetwork {
+    type State = KoordeNode;
+    type Walk = KoordeWalk;
+
+    fn membership(&self) -> &Membership<KoordeNode> {
+        &self.members
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership<KoordeNode> {
+        &mut self.members
+    }
+
+    fn label(&self) -> String {
+        "Koorde".to_string()
+    }
+
+    fn degree_limit(&self) -> Option<usize> {
+        Some(self.config.successor_list + self.config.debruijn_backups + 1)
+    }
+
+    fn map_key(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_token(&self, raw_key: u64) -> Option<NodeToken> {
+        self.successor_of_point(self.key_of(raw_key))
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * self.config.bits as usize + 128
+    }
+
+    fn begin_walk(&self, src: NodeToken, raw_key: u64) -> KoordeWalk {
+        let key = self.key_of(raw_key);
+        let succ = self.members.get(src).expect("source is live").successor();
+        let (i, kshift) = self.imaginary_start(src, succ, key);
+        KoordeWalk { key, i, kshift }
+    }
+
+    fn walk_owner(&self, walk: &KoordeWalk) -> Option<NodeToken> {
+        self.successor_of_point(walk.key)
+    }
+
+    fn next_hop(&self, cur: NodeToken, walk: &mut KoordeWalk) -> StepDecision {
+        let space = self.config.space();
+        let node = self.members.get(cur).expect("current node is live");
+        if in_interval_oc(walk.key, node.predecessor, cur, space) {
+            return StepDecision::Terminate;
+        }
+        let take_debruijn = !in_interval_oc(walk.key, cur, node.successor(), space)
+            && in_interval_co(walk.i, cur, node.successor(), space);
+        if take_debruijn {
+            // Walk down the de Bruijn edge (backups after the pointer);
+            // the bit shift into the imaginary node happens in `on_hop`.
+            StepDecision::Forward(
+                std::iter::once(node.debruijn)
+                    .chain(node.debruijn_preds.iter().copied())
+                    .map(|cand| (HopPhase::DeBruijn, cand))
+                    .collect(),
+            )
+        } else {
+            // Ring fix-up (or final approach) through the successor list.
+            StepDecision::Forward(
+                node.successors
+                    .iter()
+                    .map(|&cand| (HopPhase::Successor, cand))
+                    .collect(),
+            )
         }
     }
 
-    /// Per-node query loads in ring order.
-    #[must_use]
-    pub fn query_loads(&self) -> Vec<u64> {
-        self.nodes.values().map(|n| n.query_load).collect()
+    fn on_hop(
+        &mut self,
+        walk: &mut KoordeWalk,
+        from: NodeToken,
+        phase: HopPhase,
+        to: NodeToken,
+        timed_out: &[NodeToken],
+    ) {
+        if phase != HopPhase::DeBruijn {
+            return;
+        }
+        // Repair-on-use: once a backup answered for a dead de Bruijn
+        // pointer, adopt it as the new pointer so each stale pointer
+        // times out at most once (the accounting the paper's Koorde
+        // timeout counts reflect; see EXPERIMENTS.md).
+        if !timed_out.is_empty() {
+            if let Some(n) = self.members.get_mut(from) {
+                n.debruijn = to;
+            }
+        }
+        // Shift one key bit into the imaginary node.
+        let space = self.config.space();
+        let top = (walk.kshift >> (self.config.bits - 1)) & 1;
+        walk.i = ((walk.i << 1) | top) % space;
+        walk.kshift = (walk.kshift << 1) % space;
     }
 
-    /// Zeroes all query-load counters.
-    pub fn reset_query_loads(&mut self) {
-        for n in self.nodes.values_mut() {
-            n.query_load = 0;
+    fn on_exhausted(&mut self, _cur: NodeToken, _walk: &KoordeWalk) -> LookupOutcome {
+        // De Bruijn pointer and all backups dead (§4.3): the lookup fails.
+        self.failures += 1;
+        LookupOutcome::Stuck
+    }
+
+    fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random()
+    }
+
+    fn node_leave(&mut self, node: NodeToken) -> bool {
+        self.leave(node)
+    }
+
+    fn node_fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize_network(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_one(&mut self, node: NodeToken) {
+        if self.is_live(node) {
+            self.refresh_node(node);
         }
     }
 }
@@ -697,5 +683,38 @@ mod tests {
             let deg = net.node(id).unwrap().degree();
             assert!(deg <= 7, "node {id} degree {deg} > 7");
         }
+    }
+
+    #[test]
+    fn trait_roundtrip() {
+        use dht_core::overlay::Overlay;
+        let mut net: Box<dyn Overlay> =
+            Box::new(KoordeNetwork::with_nodes(KoordeConfig::new(11), 150, 1));
+        assert_eq!(net.name(), "Koorde");
+        assert_eq!(net.degree_bound(), Some(7));
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[3], 888);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(888));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        use dht_core::overlay::key_counts;
+        use dht_core::workload;
+        let net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 120, 2);
+        let keys = workload::key_population(3_000, &mut stream(3, "kk"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 3_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        use dht_core::overlay::Overlay;
+        let mut net = KoordeNetwork::with_nodes(KoordeConfig::new(11), 64, 4);
+        let mut rng = stream(5, "kt");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
     }
 }

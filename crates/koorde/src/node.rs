@@ -17,8 +17,6 @@ pub struct KoordeNode {
     /// Immediate predecessors of the de Bruijn node, nearest first — the
     /// backups taken when `debruijn` has departed.
     pub debruijn_preds: Vec<u64>,
-    /// Lookup messages received since the last reset.
-    pub query_load: u64,
 }
 
 impl KoordeNode {
@@ -31,7 +29,6 @@ impl KoordeNode {
             successors: vec![id; succ_list_len],
             debruijn: id,
             debruijn_preds: vec![id; backup_len],
-            query_load: 0,
         }
     }
 

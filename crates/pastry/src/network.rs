@@ -1,12 +1,12 @@
 //! The simulated Pastry network: digit arithmetic, routing-table and
 //! leaf-set resolution, prefix routing, join/leave, and stabilization.
 
-use std::collections::BTreeMap;
-use std::collections::HashSet;
-
-use dht_core::hash::{reduce, splitmix64, IdAllocator};
-use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::hash::{reduce, splitmix64};
+use dht_core::lookup::{HopPhase, LookupTrace};
+use dht_core::overlay::NodeToken;
 use dht_core::ring::{clockwise_dist, ring_dist};
+use dht_core::sim::{walk_from, Membership, SimOverlay, StepDecision};
+use rand::RngCore;
 
 /// Configuration of a Pastry deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,8 +97,6 @@ pub struct PastryNode {
     pub leaf_smaller: Vec<u64>,
     /// Numerically larger leaf-set half, nearest first.
     pub leaf_larger: Vec<u64>,
-    /// Lookup messages received since the last reset.
-    pub query_load: u64,
 }
 
 impl PastryNode {
@@ -108,7 +106,6 @@ impl PastryNode {
             table: vec![None; (config.digits() * config.base()) as usize],
             leaf_smaller: Vec::new(),
             leaf_larger: Vec::new(),
-            query_load: 0,
         }
     }
 
@@ -134,12 +131,18 @@ impl PastryNode {
     }
 }
 
+/// The state an in-flight Pastry lookup carries: the target ring key.
+#[derive(Debug, Clone, Copy)]
+pub struct PastryWalk {
+    /// Target identifier on the ring.
+    pub key: u64,
+}
+
 /// A simulated Pastry network.
 #[derive(Debug, Clone)]
 pub struct PastryNetwork {
     config: PastryConfig,
-    nodes: BTreeMap<u64, PastryNode>,
-    alloc: IdAllocator,
+    members: Membership<PastryNode>,
 }
 
 impl PastryNetwork {
@@ -149,8 +152,7 @@ impl PastryNetwork {
         config.validate();
         Self {
             config,
-            nodes: BTreeMap::new(),
-            alloc: IdAllocator::new(seed),
+            members: Membership::new(seed),
         }
     }
 
@@ -162,11 +164,11 @@ impl PastryNetwork {
             count as u64 <= config.space(),
             "space too small for {count} nodes"
         );
-        while net.nodes.len() < count {
-            let id = net.alloc.next_in(config.space());
-            net.nodes
-                .entry(id)
-                .or_insert_with(|| PastryNode::new(id, config));
+        while net.members.len() < count {
+            let id = net.members.next_in(config.space());
+            if !net.members.contains(id) {
+                net.members.insert(id, PastryNode::new(id, config));
+            }
         }
         net.stabilize_all();
         net
@@ -181,24 +183,24 @@ impl PastryNetwork {
     /// Number of live nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// `true` iff `id` is live.
     #[must_use]
     pub fn is_live(&self, id: u64) -> bool {
-        self.nodes.contains_key(&id)
+        self.members.contains(id)
     }
 
     /// Live node identifiers in ring order.
     pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.nodes.keys().copied()
+        self.members.token_iter()
     }
 
     /// Read access to one node.
     #[must_use]
     pub fn node(&self, id: u64) -> Option<&PastryNode> {
-        self.nodes.get(&id)
+        self.members.get(id)
     }
 
     /// Maps a raw key onto the ring.
@@ -207,32 +209,28 @@ impl PastryNetwork {
         reduce(splitmix64(raw_key), self.config.space())
     }
 
+    /// The "closer to the key" metric shared by ownership and routing:
+    /// twice the ring distance, with a counter-clockwise tie-break so the
+    /// successor side wins at equal distance.
+    fn key_metric(&self, key: u64, node: u64) -> u64 {
+        let space = self.config.space();
+        let d = ring_dist(key, node, space);
+        let ccw = u64::from(d != 0 && clockwise_dist(key, node, space) != d);
+        2 * d + ccw
+    }
+
     /// Pastry key assignment: the node *numerically closest* to the key
     /// (ties towards the successor side, matching the Cycloid/leaf-set
     /// convention).
     #[must_use]
     pub fn owner_of_point(&self, key: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        let space = self.config.space();
-        self.nodes
-            .keys()
-            .copied()
-            // Only the ring neighbours of the key can be closest.
-            .filter(|&id| {
-                let above = self.nodes.range(key..).next().map(|(&i, _)| i);
-                let below = self.nodes.range(..key).next_back().map(|(&i, _)| i);
-                Some(id) == above
-                    || Some(id) == below
-                    || Some(id) == self.nodes.range(..).next().map(|(&i, _)| i)
-                    || Some(id) == self.nodes.range(..).next_back().map(|(&i, _)| i)
-            })
-            .min_by_key(|&id| {
-                let d = ring_dist(key, id, space);
-                let ccw = u64::from(d != 0 && clockwise_dist(key, id, space) != d);
-                2 * d + ccw
-            })
+        // Only the two ring neighbours of the key can be closest.
+        let above = self.members.successor_of(key);
+        let below = self.members.predecessor_of(key);
+        [above, below]
+            .into_iter()
+            .flatten()
+            .min_by_key(|&id| self.key_metric(key, id))
     }
 
     /// Resolves one routing-table entry: a live node sharing `row` digits
@@ -255,8 +253,8 @@ impl PastryNetwork {
         let top = base | ((1u64 << digit_shift) - 1);
         // Nearest to id within [base, top]; since id is outside the block,
         // the closest element is one of the block's ends.
-        let first = self.nodes.range(base..=top).next().map(|(&i, _)| i);
-        let last = self.nodes.range(base..=top).next_back().map(|(&i, _)| i);
+        let first = self.members.first_in_range(base, top);
+        let last = self.members.last_in_range(base, top);
         match (first, last) {
             (Some(f), Some(l)) => {
                 if id < base {
@@ -276,18 +274,12 @@ impl PastryNetwork {
         let half = self.config.leaf_set / 2;
         let mut smaller = Vec::with_capacity(half);
         let mut larger = Vec::with_capacity(half);
-        if self.nodes.len() <= 1 {
+        if self.members.len() <= 1 {
             return (smaller, larger);
         }
         let mut cursor = id;
-        for _ in 0..half.min(self.nodes.len() - 1) {
-            let prev = self
-                .nodes
-                .range(..cursor)
-                .next_back()
-                .or_else(|| self.nodes.range(..).next_back())
-                .map(|(&i, _)| i)
-                .expect("non-empty");
+        for _ in 0..half.min(self.members.len() - 1) {
+            let prev = self.members.predecessor_of(cursor).expect("non-empty");
             if prev == id {
                 break;
             }
@@ -295,14 +287,8 @@ impl PastryNetwork {
             cursor = prev;
         }
         let mut cursor = id;
-        for _ in 0..half.min(self.nodes.len() - 1) {
-            let next = self
-                .nodes
-                .range(cursor + 1..)
-                .next()
-                .or_else(|| self.nodes.range(..).next())
-                .map(|(&i, _)| i)
-                .expect("non-empty");
+        for _ in 0..half.min(self.members.len() - 1) {
+            let next = self.members.successor_after(cursor).expect("non-empty");
             if next == id {
                 break;
             }
@@ -322,7 +308,7 @@ impl PastryNetwork {
             }
         }
         let (smaller, larger) = self.resolve_leafs(id);
-        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        let node = self.members.get_mut(id).expect("refresh of dead node");
         node.table = table;
         node.leaf_smaller = smaller;
         node.leaf_larger = larger;
@@ -331,7 +317,7 @@ impl PastryNetwork {
     /// Refreshes only the leaf set (what join/leave notifications repair).
     fn refresh_leafs(&mut self, id: u64) {
         let (smaller, larger) = self.resolve_leafs(id);
-        let node = self.nodes.get_mut(&id).expect("refresh of dead node");
+        let node = self.members.get_mut(id).expect("refresh of dead node");
         node.leaf_smaller = smaller;
         node.leaf_larger = larger;
     }
@@ -348,15 +334,12 @@ impl PastryNetwork {
     fn leaf_holders_of(&self, id: u64) -> Vec<u64> {
         let half = self.config.leaf_set / 2;
         let mut out = Vec::new();
+        if self.members.is_empty() {
+            return out;
+        }
         let mut cursor = id;
         for _ in 0..half {
-            match self
-                .nodes
-                .range(..cursor)
-                .next_back()
-                .or_else(|| self.nodes.range(..).next_back())
-                .map(|(&i, _)| i)
-            {
+            match self.members.predecessor_of(cursor) {
                 Some(p) if p != id && !out.contains(&p) => {
                     out.push(p);
                     cursor = p;
@@ -366,13 +349,7 @@ impl PastryNetwork {
         }
         let mut cursor = id;
         for _ in 0..half {
-            match self
-                .nodes
-                .range(cursor + 1..)
-                .next()
-                .or_else(|| self.nodes.range(..).next())
-                .map(|(&i, _)| i)
-            {
+            match self.members.successor_after(cursor) {
                 Some(n) if n != id && !out.contains(&n) => {
                     out.push(n);
                     cursor = n;
@@ -390,7 +367,7 @@ impl PastryNetwork {
         if self.is_live(id) {
             return false;
         }
-        self.nodes.insert(id, PastryNode::new(id, self.config));
+        self.members.insert(id, PastryNode::new(id, self.config));
         self.refresh_node(id);
         for nb in self.leaf_holders_of(id) {
             self.refresh_leafs(nb);
@@ -400,11 +377,11 @@ impl PastryNetwork {
 
     /// Join with a fresh identifier.
     pub fn join_random(&mut self) -> Option<u64> {
-        if self.nodes.len() as u64 >= self.config.space() {
+        if self.members.len() as u64 >= self.config.space() {
             return None;
         }
         loop {
-            let id = self.alloc.next_in(self.config.space());
+            let id = self.members.next_in(self.config.space());
             if self.join_id(id) {
                 return Some(id);
             }
@@ -414,7 +391,7 @@ impl PastryNetwork {
     /// Graceful departure: the leaf-set neighbourhood repairs; routing
     /// tables elsewhere stay stale.
     pub fn leave(&mut self, id: u64) -> bool {
-        if self.nodes.remove(&id).is_none() {
+        if self.members.remove(id).is_none() {
             return false;
         }
         for nb in self.leaf_holders_of(id) {
@@ -425,108 +402,14 @@ impl PastryNetwork {
 
     /// Ungraceful failure: no notifications at all.
     pub fn fail_node(&mut self, id: u64) -> bool {
-        self.nodes.remove(&id).is_some()
-    }
-
-    fn hop_budget(&self) -> usize {
-        8 * self.config.digits() as usize + 64
+        self.members.remove(id).is_some()
     }
 
     /// One lookup from `src` for ring key `key`: prefix routing with
     /// leaf-set fallback. Digit-correcting hops are tagged
     /// [`HopPhase::Finger`], leaf-set hops [`HopPhase::Successor`].
     pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
-        assert!(self.is_live(src), "lookup source {src} is not live");
-        let c = self.config;
-        let space = c.space();
-        let mut cur = src;
-        let mut hops = Vec::new();
-        let mut timeouts = 0u32;
-        self.count_query(cur);
-
-        let metric = |node: u64| {
-            let d = ring_dist(key, node, space);
-            let ccw = u64::from(d != 0 && clockwise_dist(key, node, space) != d);
-            2 * d + ccw
-        };
-
-        let outcome = loop {
-            if hops.len() >= self.hop_budget() {
-                break LookupOutcome::HopBudgetExhausted;
-            }
-            let node = self.nodes.get(&cur).expect("current node is live");
-            let cur_metric = metric(cur);
-
-            // Leaf-set candidates strictly closer to the key.
-            let mut leafs: Vec<(u64, u64)> = node
-                .leafs()
-                .filter(|&l| self.is_live(l))
-                .map(|l| (metric(l), l))
-                .filter(|&(m, _)| m < cur_metric)
-                .collect();
-            leafs.sort_unstable();
-            leafs.dedup();
-
-            // Termination: no live leaf is closer — this node is the
-            // numerically closest.
-            if leafs.is_empty() {
-                break match self.owner_of_point(key) {
-                    Some(owner) if owner == cur => LookupOutcome::Found,
-                    Some(_) => LookupOutcome::WrongOwner,
-                    None => LookupOutcome::Stuck,
-                };
-            }
-
-            // Preferred hop: the routing-table entry for the first
-            // differing digit ("forwards the query to a node which matches
-            // one more digit").
-            let mut plan: Vec<(HopPhase, u64)> = Vec::new();
-            let row = c.shared_prefix(cur, key);
-            if row < c.digits() {
-                let col = c.digit(key, row);
-                if let Some(entry) = node.table[(row * c.base() + col) as usize] {
-                    plan.push((HopPhase::Finger, entry));
-                }
-            }
-            // Fallback ("the rare case"): any leaf numerically closer.
-            plan.extend(leafs.iter().map(|&(_, l)| (HopPhase::Successor, l)));
-
-            let mut next = None;
-            let mut dead_seen: HashSet<u64> = HashSet::new();
-            for (phase, cand) in plan {
-                if cand == cur {
-                    continue;
-                }
-                if !self.is_live(cand) {
-                    if dead_seen.insert(cand) {
-                        timeouts += 1;
-                    }
-                    continue;
-                }
-                next = Some((phase, cand));
-                break;
-            }
-            match next {
-                Some((phase, cand)) => {
-                    hops.push(phase);
-                    cur = cand;
-                    self.count_query(cur);
-                }
-                None => {
-                    break match self.owner_of_point(key) {
-                        Some(owner) if owner == cur => LookupOutcome::Found,
-                        _ => LookupOutcome::Stuck,
-                    }
-                }
-            }
-        };
-
-        LookupTrace {
-            hops,
-            timeouts,
-            outcome,
-            terminal: cur,
-        }
+        walk_from(self, src, PastryWalk { key }, true)
     }
 
     /// Lookup by raw (pre-hash) key.
@@ -534,23 +417,109 @@ impl PastryNetwork {
         let key = self.key_of(raw_key);
         self.route_to_point(src, key)
     }
+}
 
-    pub(crate) fn count_query(&mut self, id: u64) {
-        if let Some(n) = self.nodes.get_mut(&id) {
-            n.query_load += 1;
+impl SimOverlay for PastryNetwork {
+    type State = PastryNode;
+    type Walk = PastryWalk;
+
+    fn membership(&self) -> &Membership<PastryNode> {
+        &self.members
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership<PastryNode> {
+        &mut self.members
+    }
+
+    fn label(&self) -> String {
+        "Pastry".to_string()
+    }
+
+    fn degree_limit(&self) -> Option<usize> {
+        None // O(log n) routing table
+    }
+
+    fn map_key(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_token(&self, raw_key: u64) -> Option<NodeToken> {
+        self.owner_of_point(self.key_of(raw_key))
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * self.config.digits() as usize + 64
+    }
+
+    fn begin_walk(&self, _src: NodeToken, raw_key: u64) -> PastryWalk {
+        PastryWalk {
+            key: self.key_of(raw_key),
         }
     }
 
-    /// Per-node query loads in ring order.
-    #[must_use]
-    pub fn query_loads(&self) -> Vec<u64> {
-        self.nodes.values().map(|n| n.query_load).collect()
+    fn walk_owner(&self, walk: &PastryWalk) -> Option<NodeToken> {
+        self.owner_of_point(walk.key)
     }
 
-    /// Zeroes all query-load counters.
-    pub fn reset_query_loads(&mut self) {
-        for n in self.nodes.values_mut() {
-            n.query_load = 0;
+    fn next_hop(&self, cur: NodeToken, walk: &mut PastryWalk) -> StepDecision {
+        let c = self.config;
+        let key = walk.key;
+        let node = self.members.get(cur).expect("current node is live");
+        let cur_metric = self.key_metric(key, cur);
+
+        // Leaf-set candidates strictly closer to the key. Dead leaf
+        // entries are dropped here (the leaf set is the termination
+        // test's ground, not a contact attempt), so they cost no timeout.
+        let mut leafs: Vec<(u64, u64)> = node
+            .leafs()
+            .filter(|&l| self.is_live(l))
+            .map(|l| (self.key_metric(key, l), l))
+            .filter(|&(m, _)| m < cur_metric)
+            .collect();
+        leafs.sort_unstable();
+        leafs.dedup();
+
+        // Termination: no live leaf is closer — this node is the
+        // numerically closest.
+        if leafs.is_empty() {
+            return StepDecision::Terminate;
+        }
+
+        // Preferred hop: the routing-table entry for the first differing
+        // digit ("forwards the query to a node which matches one more
+        // digit"); a stale entry costs a timeout.
+        let mut plan: Vec<(HopPhase, NodeToken)> = Vec::new();
+        let row = c.shared_prefix(cur, key);
+        if row < c.digits() {
+            let col = c.digit(key, row);
+            if let Some(entry) = node.table[(row * c.base() + col) as usize] {
+                plan.push((HopPhase::Finger, entry));
+            }
+        }
+        // Fallback ("the rare case"): any leaf numerically closer.
+        plan.extend(leafs.iter().map(|&(_, l)| (HopPhase::Successor, l)));
+        StepDecision::Forward(plan)
+    }
+
+    fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random()
+    }
+
+    fn node_leave(&mut self, node: NodeToken) -> bool {
+        self.leave(node)
+    }
+
+    fn node_fail(&mut self, node: NodeToken) -> bool {
+        self.fail_node(node)
+    }
+
+    fn stabilize_network(&mut self) {
+        self.stabilize_all();
+    }
+
+    fn stabilize_one(&mut self, node: NodeToken) {
+        if self.is_live(node) {
+            self.refresh_node(node);
         }
     }
 }
@@ -558,6 +527,7 @@ impl PastryNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dht_core::lookup::LookupOutcome;
     use dht_core::rng::stream;
     use rand::Rng;
 
@@ -692,5 +662,38 @@ mod tests {
             let t = net.route(ids[i % ids.len()], rng.gen());
             assert_eq!(t.outcome, LookupOutcome::Found, "lookup {i}");
         }
+    }
+
+    #[test]
+    fn trait_roundtrip() {
+        use dht_core::overlay::Overlay;
+        let mut net: Box<dyn Overlay> =
+            Box::new(PastryNetwork::with_nodes(PastryConfig::new(12), 150, 1));
+        assert_eq!(net.name(), "Pastry");
+        assert_eq!(net.degree_bound(), None);
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[5], 909);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(909));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        use dht_core::overlay::key_counts;
+        use dht_core::workload;
+        let net = PastryNetwork::with_nodes(PastryConfig::new(12), 120, 2);
+        let keys = workload::key_population(3_000, &mut stream(3, "pk"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 3_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        use dht_core::overlay::Overlay;
+        let mut net = PastryNetwork::with_nodes(PastryConfig::new(12), 64, 4);
+        let mut rng = stream(5, "pt");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
     }
 }

@@ -32,6 +32,5 @@
 //! ```
 
 pub mod network;
-pub mod overlay;
 
 pub use network::{ViceroyConfig, ViceroyNetwork, ViceroyNode};

@@ -1,12 +1,13 @@
 //! The simulated Viceroy butterfly: membership, level assignment, link
 //! resolution, and the three-phase lookup.
 
-use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use dht_core::hash::{reduce, splitmix64, IdAllocator};
-use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use dht_core::hash::{reduce, splitmix64};
+use dht_core::lookup::{HopPhase, LookupTrace};
+use dht_core::overlay::NodeToken;
 use dht_core::ring::{in_interval_oc, ring_dist};
+use dht_core::sim::{walk_from, Membership, SimOverlay, StepDecision};
 use rand::{Rng, RngCore};
 
 /// Configuration of a Viceroy deployment.
@@ -49,8 +50,26 @@ pub struct ViceroyNode {
     pub id: u64,
     /// Butterfly level, 1-based.
     pub level: u32,
-    /// Lookup messages received since the last reset.
-    pub query_load: u64,
+}
+
+/// Which of the three lookup phases the walk is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalkPhase {
+    /// Phase 1: ascend to a level-1 node via up links.
+    Up,
+    /// Phase 2: descend the butterfly via down links.
+    Down,
+    /// Phase 3: traverse ring and level-ring pointers to the successor.
+    Traverse,
+}
+
+/// The state an in-flight Viceroy lookup carries: the target ring key
+/// and the current butterfly phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ViceroyWalk {
+    /// Target identifier on the ring.
+    pub key: u64,
+    phase: WalkPhase,
 }
 
 /// A simulated Viceroy network.
@@ -61,10 +80,9 @@ pub struct ViceroyNode {
 #[derive(Debug, Clone)]
 pub struct ViceroyNetwork {
     config: ViceroyConfig,
-    nodes: BTreeMap<u64, ViceroyNode>,
+    members: Membership<ViceroyNode>,
     /// `by_level[l]` holds identifiers of the nodes at level `l+1`.
     by_level: Vec<BTreeSet<u64>>,
-    alloc: IdAllocator,
 }
 
 impl ViceroyNetwork {
@@ -73,9 +91,8 @@ impl ViceroyNetwork {
     pub fn new(config: ViceroyConfig, seed: u64) -> Self {
         Self {
             config,
-            nodes: BTreeMap::new(),
+            members: Membership::new(seed),
             by_level: Vec::new(),
-            alloc: IdAllocator::new(seed),
         }
     }
 
@@ -86,9 +103,9 @@ impl ViceroyNetwork {
         let mut net = Self::new(config, seed);
         let mut rng = dht_core::rng::stream(seed, "viceroy-levels");
         let max_level = Self::level_range_for(count);
-        while net.nodes.len() < count {
-            let id = net.alloc.next_in(config.space());
-            if !net.nodes.contains_key(&id) {
+        while net.members.len() < count {
+            let id = net.members.next_in(config.space());
+            if !net.members.contains(id) {
                 let level = rng.gen_range(1..=max_level);
                 net.insert_raw(id, level);
             }
@@ -112,24 +129,24 @@ impl ViceroyNetwork {
     /// Number of live nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// `true` iff `id` is live.
     #[must_use]
     pub fn is_live(&self, id: u64) -> bool {
-        self.nodes.contains_key(&id)
+        self.members.contains(id)
     }
 
     /// Live node identifiers in ring order.
     pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.nodes.keys().copied()
+        self.members.token_iter()
     }
 
     /// Read access to one node.
     #[must_use]
     pub fn node(&self, id: u64) -> Option<&ViceroyNode> {
-        self.nodes.get(&id)
+        self.members.get(id)
     }
 
     /// Maps a raw key onto the identifier circle.
@@ -142,26 +159,11 @@ impl ViceroyNetwork {
     /// "Viceroy stores keys in the keys' successors").
     #[must_use]
     pub fn successor_of_point(&self, x: u64) -> Option<u64> {
-        if self.nodes.is_empty() {
-            return None;
-        }
-        self.nodes
-            .range(x..)
-            .next()
-            .or_else(|| self.nodes.range(..).next())
-            .map(|(&id, _)| id)
+        self.members.successor_of(x)
     }
 
     fn insert_raw(&mut self, id: u64, level: u32) {
-        let prev = self.nodes.insert(
-            id,
-            ViceroyNode {
-                id,
-                level,
-                query_load: 0,
-            },
-        );
-        assert!(prev.is_none(), "identifier {id} already occupied");
+        self.members.insert(id, ViceroyNode { id, level });
         if self.by_level.len() < level as usize {
             self.by_level.resize(level as usize, BTreeSet::new());
         }
@@ -169,7 +171,7 @@ impl ViceroyNetwork {
     }
 
     fn remove_raw(&mut self, id: u64) -> Option<ViceroyNode> {
-        let node = self.nodes.remove(&id)?;
+        let node = self.members.remove(id)?;
         self.by_level[(node.level - 1) as usize].remove(&id);
         Some(node)
     }
@@ -178,13 +180,13 @@ impl ViceroyNetwork {
     /// current size estimate. All affected links are repaired immediately
     /// (Viceroy's expensive-but-thorough join).
     pub fn join_random(&mut self, rng: &mut dyn RngCore) -> Option<u64> {
-        if self.nodes.len() as u64 >= self.config.space() {
+        if self.members.len() as u64 >= self.config.space() {
             return None;
         }
-        let max_level = Self::level_range_for(self.nodes.len() + 1);
+        let max_level = Self::level_range_for(self.members.len() + 1);
         loop {
-            let id = self.alloc.next_in(self.config.space());
-            if !self.nodes.contains_key(&id) {
+            let id = self.members.next_in(self.config.space());
+            if !self.members.contains(id) {
                 let level = 1 + (rng.next_u64() % u64::from(max_level)) as u32;
                 self.insert_raw(id, level);
                 return Some(id);
@@ -205,27 +207,19 @@ impl ViceroyNetwork {
     /// General-ring successor link of node `id`.
     #[must_use]
     pub fn succ_link(&self, id: u64) -> Option<u64> {
-        if self.nodes.len() <= 1 {
+        if self.members.len() <= 1 {
             return None;
         }
-        self.nodes
-            .range(id + 1..)
-            .next()
-            .or_else(|| self.nodes.range(..).next())
-            .map(|(&s, _)| s)
+        self.members.successor_after(id)
     }
 
     /// General-ring predecessor link of node `id`.
     #[must_use]
     pub fn pred_link(&self, id: u64) -> Option<u64> {
-        if self.nodes.len() <= 1 {
+        if self.members.len() <= 1 {
             return None;
         }
-        self.nodes
-            .range(..id)
-            .next_back()
-            .or_else(|| self.nodes.range(..).next_back())
-            .map(|(&p, _)| p)
+        self.members.predecessor_of(id)
     }
 
     /// The node of `level` nearest (in ring distance, either direction) to
@@ -257,7 +251,7 @@ impl ViceroyNetwork {
     /// Level-ring "next" link: the next node of the same level clockwise.
     #[must_use]
     pub fn level_next_link(&self, id: u64) -> Option<u64> {
-        let level = self.nodes.get(&id)?.level;
+        let level = self.members.get(id)?.level;
         let set = &self.by_level[(level - 1) as usize];
         if set.len() <= 1 {
             return None;
@@ -271,7 +265,7 @@ impl ViceroyNetwork {
     /// Level-ring "previous" link: the previous node of the same level.
     #[must_use]
     pub fn level_prev_link(&self, id: u64) -> Option<u64> {
-        let level = self.nodes.get(&id)?.level;
+        let level = self.members.get(id)?.level;
         let set = &self.by_level[(level - 1) as usize];
         if set.len() <= 1 {
             return None;
@@ -286,7 +280,7 @@ impl ViceroyNetwork {
     /// from the node's own position.
     #[must_use]
     pub fn down_left_link(&self, id: u64) -> Option<u64> {
-        let level = self.nodes.get(&id)?.level;
+        let level = self.members.get(id)?.level;
         self.nearest_at_level(level + 1, id)
     }
 
@@ -294,7 +288,7 @@ impl ViceroyNetwork {
     /// from `id + 2^{-l}` (a jump of one butterfly span).
     #[must_use]
     pub fn down_right_link(&self, id: u64) -> Option<u64> {
-        let level = self.nodes.get(&id)?.level;
+        let level = self.members.get(id)?.level;
         let space = self.config.space();
         let jump = space >> level.min(self.config.bits);
         self.nearest_at_level(level + 1, (id + jump) % space)
@@ -304,7 +298,7 @@ impl ViceroyNetwork {
     /// at level 1.
     #[must_use]
     pub fn up_link(&self, id: u64) -> Option<u64> {
-        let level = self.nodes.get(&id)?.level;
+        let level = self.members.get(id)?.level;
         if level <= 1 {
             return None;
         }
@@ -315,113 +309,28 @@ impl ViceroyNetwork {
     // Lookup
     // ------------------------------------------------------------------
 
-    fn hop_budget(&self) -> usize {
-        8 * (usize::BITS - self.nodes.len().leading_zeros()) as usize + 256
+    /// Local termination test: the key falls between this node's
+    /// predecessor and itself (a lone node owns everything).
+    fn key_lands_here(&self, cur: u64, key: u64) -> bool {
+        match self.pred_link(cur) {
+            Some(pred) => in_interval_oc(key, pred, cur, self.config.space()),
+            None => true,
+        }
     }
 
     /// One lookup from `src` for ring key `key`: ascend to level 1,
     /// descend the butterfly, then traverse ring and level-ring pointers
     /// to the key's successor.
     pub fn route_to_point(&mut self, src: u64, key: u64) -> LookupTrace {
-        assert!(self.is_live(src), "lookup source {src} is not live");
-        let space = self.config.space();
-        let mut cur = src;
-        let mut hops = Vec::new();
-        self.count_query(cur);
-
-        let done = |net: &Self, cur: u64| -> bool {
-            match net.pred_link(cur) {
-                Some(pred) => in_interval_oc(key, pred, cur, space),
-                None => true, // lone node owns everything
-            }
-        };
-
-        // Phase 1: ascend to a level-1 node via up links.
-        while !done(self, cur) && hops.len() < self.hop_budget() {
-            match self.up_link(cur) {
-                Some(up) => {
-                    hops.push(HopPhase::Ascending);
-                    cur = up;
-                    self.count_query(cur);
-                }
-                None => break,
-            }
-        }
-
-        // Phase 2: descend along down links until a node with no down
-        // links is reached, taking at each level the down link whose
-        // landing point is ring-closest to the key (the butterfly's
-        // choose-left-or-right step, robust to sparse-level landing
-        // slack).
-        while !done(self, cur) && hops.len() < self.hop_budget() {
-            let next = [self.down_left_link(cur), self.down_right_link(cur)]
-                .into_iter()
-                .flatten()
-                .filter(|&n| n != cur)
-                .min_by_key(|&n| ring_dist(n, key, space));
-            match next {
-                Some(n) => {
-                    hops.push(HopPhase::Descending);
-                    cur = n;
-                    self.count_query(cur);
-                }
-                None => break,
-            }
-        }
-
-        // Phase 3: traverse the general ring and the level ring, greedily
-        // reducing the ring distance to the key in either direction, with
-        // a final successor fix-up to land on the key's successor.
-        let outcome = loop {
-            if done(self, cur) {
-                break match self.successor_of_point(key) {
-                    Some(owner) if owner == cur => LookupOutcome::Found,
-                    Some(_) => LookupOutcome::WrongOwner,
-                    None => LookupOutcome::Stuck,
-                };
-            }
-            if hops.len() >= self.hop_budget() {
-                break LookupOutcome::HopBudgetExhausted;
-            }
-            let cur_dist = ring_dist(cur, key, space);
-            let greedy = [
-                self.succ_link(cur),
-                self.pred_link(cur),
-                self.level_next_link(cur),
-                self.level_prev_link(cur),
-            ]
-            .into_iter()
-            .flatten()
-            .filter(|&n| n != cur)
-            .min_by_key(|&n| ring_dist(n, key, space))
-            .filter(|&n| ring_dist(n, key, space) < cur_dist);
-            // No strict ring progress left: the key sits between this node
-            // and its successor — the successor is the storing node.
-            let next = greedy.or_else(|| {
-                self.succ_link(cur)
-                    .filter(|&s| in_interval_oc(key, cur, s, space))
-            });
-            match next {
-                Some(n) => {
-                    hops.push(HopPhase::TraverseCycle);
-                    cur = n;
-                    self.count_query(cur);
-                }
-                None => {
-                    break match self.successor_of_point(key) {
-                        Some(owner) if owner == cur => LookupOutcome::Found,
-                        _ => LookupOutcome::Stuck,
-                    }
-                }
-            }
-        };
-
-        LookupTrace {
-            hops,
-            timeouts: 0, // Viceroy repairs every reference before departure
-            outcome,
-            terminal: cur,
-        }
+        walk_from(
+            self,
+            src,
+            ViceroyWalk {
+                key,
+                phase: WalkPhase::Up,
+            },
+            true,
+        )
     }
 
     /// Lookup by raw (pre-hash) key.
@@ -429,30 +338,140 @@ impl ViceroyNetwork {
         let key = self.key_of(raw_key);
         self.route_to_point(src, key)
     }
+}
 
-    pub(crate) fn count_query(&mut self, id: u64) {
-        if let Some(n) = self.nodes.get_mut(&id) {
-            n.query_load += 1;
+impl SimOverlay for ViceroyNetwork {
+    type State = ViceroyNode;
+    type Walk = ViceroyWalk;
+
+    fn membership(&self) -> &Membership<ViceroyNode> {
+        &self.members
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership<ViceroyNode> {
+        &mut self.members
+    }
+
+    fn label(&self) -> String {
+        "Viceroy".to_string()
+    }
+
+    fn degree_limit(&self) -> Option<usize> {
+        Some(7) // succ, pred, level next/prev, down-left, down-right, up
+    }
+
+    fn map_key(&self, raw_key: u64) -> u64 {
+        self.key_of(raw_key)
+    }
+
+    fn owner_token(&self, raw_key: u64) -> Option<NodeToken> {
+        self.successor_of_point(self.key_of(raw_key))
+    }
+
+    fn hop_budget(&self) -> usize {
+        8 * (usize::BITS - self.members.len().leading_zeros()) as usize + 256
+    }
+
+    fn begin_walk(&self, _src: NodeToken, raw_key: u64) -> ViceroyWalk {
+        ViceroyWalk {
+            key: self.key_of(raw_key),
+            phase: WalkPhase::Up,
         }
     }
 
-    /// Per-node query loads in ring order.
-    #[must_use]
-    pub fn query_loads(&self) -> Vec<u64> {
-        self.nodes.values().map(|n| n.query_load).collect()
+    fn walk_owner(&self, walk: &ViceroyWalk) -> Option<NodeToken> {
+        self.successor_of_point(walk.key)
     }
 
-    /// Zeroes all query-load counters.
-    pub fn reset_query_loads(&mut self) {
-        for n in self.nodes.values_mut() {
-            n.query_load = 0;
+    fn next_hop(&self, cur: NodeToken, walk: &mut ViceroyWalk) -> StepDecision {
+        let space = self.config.space();
+        let key = walk.key;
+        if self.key_lands_here(cur, key) {
+            return StepDecision::Terminate;
+        }
+        loop {
+            match walk.phase {
+                // Phase 1: ascend to a level-1 node via up links.
+                WalkPhase::Up => match self.up_link(cur) {
+                    Some(up) => return StepDecision::Forward(vec![(HopPhase::Ascending, up)]),
+                    None => walk.phase = WalkPhase::Down,
+                },
+                // Phase 2: descend along down links until a node with no
+                // down links is reached, taking at each level the down
+                // link whose landing point is ring-closest to the key
+                // (the butterfly's choose-left-or-right step, robust to
+                // sparse-level landing slack).
+                WalkPhase::Down => {
+                    let next = [self.down_left_link(cur), self.down_right_link(cur)]
+                        .into_iter()
+                        .flatten()
+                        .filter(|&n| n != cur)
+                        .min_by_key(|&n| ring_dist(n, key, space));
+                    match next {
+                        Some(n) => return StepDecision::Forward(vec![(HopPhase::Descending, n)]),
+                        None => walk.phase = WalkPhase::Traverse,
+                    }
+                }
+                // Phase 3: traverse the general ring and the level ring,
+                // greedily reducing the ring distance to the key in either
+                // direction, with a final successor fix-up to land on the
+                // key's successor.
+                WalkPhase::Traverse => {
+                    let cur_dist = ring_dist(cur, key, space);
+                    let greedy = [
+                        self.succ_link(cur),
+                        self.pred_link(cur),
+                        self.level_next_link(cur),
+                        self.level_prev_link(cur),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    .filter(|&n| n != cur)
+                    .min_by_key(|&n| ring_dist(n, key, space))
+                    .filter(|&n| ring_dist(n, key, space) < cur_dist);
+                    // No strict ring progress left: the key sits between
+                    // this node and its successor — the successor is the
+                    // storing node.
+                    let next = greedy.or_else(|| {
+                        self.succ_link(cur)
+                            .filter(|&s| in_interval_oc(key, cur, s, space))
+                    });
+                    return match next {
+                        Some(n) => StepDecision::Forward(vec![(HopPhase::TraverseCycle, n)]),
+                        None => StepDecision::Forward(Vec::new()),
+                    };
+                }
+            }
         }
     }
+
+    fn budget_before_terminal(&self) -> bool {
+        // The termination test is a pure local-interval check, so it is
+        // evaluated before the budget (a lookup that has already arrived
+        // never counts as exhausted).
+        false
+    }
+
+    fn node_join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
+        self.join_random(rng)
+    }
+
+    fn node_leave(&mut self, node: NodeToken) -> bool {
+        self.leave(node)
+    }
+
+    fn stabilize_network(&mut self) {
+        // Viceroy repairs links eagerly on every membership change; there
+        // is nothing left for periodic stabilization to do.
+    }
+
+    fn stabilize_one(&mut self, _node: NodeToken) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dht_core::lookup::LookupOutcome;
     use dht_core::rng::stream;
 
     #[test]
@@ -591,5 +610,38 @@ mod tests {
         assert_eq!(net.up_link(200), Some(100), "nearest level-2 to 200");
         assert_eq!(net.up_link(10), None, "level 1 has no up link");
         assert_eq!(net.down_left_link(200), None, "no level-4 nodes");
+    }
+
+    #[test]
+    fn trait_roundtrip() {
+        use dht_core::overlay::Overlay;
+        let mut net: Box<dyn Overlay> =
+            Box::new(ViceroyNetwork::with_nodes(ViceroyConfig::new(), 200, 1));
+        assert_eq!(net.name(), "Viceroy");
+        assert_eq!(net.degree_bound(), Some(7));
+        let tokens = net.node_tokens();
+        let t = net.lookup(tokens[7], 4242);
+        assert!(t.outcome.is_success());
+        assert_eq!(Some(t.terminal), net.owner_of(4242));
+    }
+
+    #[test]
+    fn key_counts_sum_matches() {
+        use dht_core::overlay::key_counts;
+        use dht_core::workload;
+        let net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 150, 2);
+        let keys = workload::key_population(4_000, &mut stream(3, "vk"));
+        let counts = key_counts(&net, &keys);
+        assert_eq!(counts.iter().sum::<u64>(), 4_000);
+    }
+
+    #[test]
+    fn churn_through_trait() {
+        use dht_core::overlay::Overlay;
+        let mut net = ViceroyNetwork::with_nodes(ViceroyConfig::new(), 64, 4);
+        let mut rng = stream(5, "vt");
+        let n = Overlay::join(&mut net, &mut rng).unwrap();
+        assert!(Overlay::leave(&mut net, n));
+        assert_eq!(net.len(), 64);
     }
 }

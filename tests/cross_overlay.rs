@@ -143,6 +143,57 @@ fn empty_reset_and_len_contracts() {
 }
 
 #[test]
+fn substrate_load_accounting_tracks_membership() {
+    // The shared simulation substrate keeps one load counter per live
+    // node, in lockstep with membership, for every overlay kind:
+    // `query_loads()` always matches `len()`, counters conserve lookup
+    // traffic until `reset_query_loads` zeroes them, and churn of other
+    // nodes never disturbs the surviving nodes' tokens.
+    for kind in dht_sim::ALL_KINDS {
+        let mut net = build_overlay(kind, 64, 31);
+        let mut rng = stream(7, kind.label());
+
+        // Lockstep: one counter per live node, before and after traffic.
+        assert_eq!(net.query_loads().len(), net.len(), "{}", kind.label());
+        let tokens = net.node_tokens();
+        let mut expected = 0u64;
+        for i in 0..120 {
+            let t = net.lookup(tokens[i % tokens.len()], rng.gen());
+            expected += 1 + t.path_len() as u64;
+        }
+        assert_eq!(net.query_loads().len(), net.len(), "{}", kind.label());
+
+        // Conservation: counters sum to exactly the visits made, and a
+        // reset drops the total to zero without touching membership.
+        assert_eq!(
+            net.query_loads().iter().sum::<u64>(),
+            expected,
+            "{} conserves lookup visits",
+            kind.label()
+        );
+        net.reset_query_loads();
+        assert_eq!(net.query_loads().iter().sum::<u64>(), 0, "{}", kind.label());
+        assert_eq!(net.query_loads().len(), net.len(), "{}", kind.label());
+
+        // Token stability: joining and removing other nodes leaves the
+        // original population's tokens intact.
+        let before: std::collections::BTreeSet<_> = net.node_tokens().into_iter().collect();
+        let mut joined = Vec::new();
+        for _ in 0..8 {
+            if let Some(t) = net.join(&mut rng) {
+                joined.push(t);
+            }
+        }
+        for t in joined {
+            assert!(net.leave(t), "{}", kind.label());
+        }
+        let after: std::collections::BTreeSet<_> = net.node_tokens().into_iter().collect();
+        assert_eq!(before, after, "{} token stability", kind.label());
+        assert_eq!(net.query_loads().len(), net.len(), "{}", kind.label());
+    }
+}
+
+#[test]
 fn extension_baselines_honour_the_same_contract() {
     // Pastry and CAN (the Table 1 extension baselines) satisfy the same
     // Overlay contract the paper's systems do, at moderate sizes.

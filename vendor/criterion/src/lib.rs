@@ -1,0 +1,271 @@
+//! Air-gapped stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the 0.5 API the workspace's bench targets use
+//! (`criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched_ref`], [`BenchmarkId`],
+//! [`black_box`]) backed by a simple wall-clock loop: each benchmark is
+//! warmed up once, then timed over enough iterations to fill a short
+//! measurement window, and the mean time per iteration is printed.
+//! There is no statistical analysis, HTML report, or CLI filtering.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement backends (only wall-clock time exists here).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// A benchmark name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style compound id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// How [`Bencher::iter_batched_ref`] amortizes setup cost (ignored: every
+/// iteration reruns setup here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement || iters >= 1 << 20 {
+                self.report = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` over a mutable input rebuilt by `setup` each
+    /// iteration; setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        while total < self.measurement && iters < 1 << 16 {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters.max(1), total));
+    }
+}
+
+fn print_report(id: &str, report: Option<(u64, Duration)>) {
+    match report {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() / u128::from(iters);
+            println!("bench: {id:<50} {per_iter:>12} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench: {id:<50} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+    _marker: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window per benchmark (accepted for API
+    /// compatibility; this harness does not warm up).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // The real criterion spends `d` on measurement alone; this
+        // harness uses a fraction of it to keep `cargo bench` quick.
+        self.measurement = d / 8;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b);
+        print_report(&format!("{}/{}", self.name, id.id), b.report);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies CLI configuration (a no-op here).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Duration::from_millis(300),
+            _criterion: self,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement: Duration::from_millis(300),
+            report: None,
+        };
+        f(&mut b);
+        print_report(&id.id, b.report);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10).measurement_time(Duration::from_millis(8));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_function(BenchmarkId::new("param", 3), |b| {
+            b.iter_batched_ref(
+                || vec![1u8; 16],
+                |v| v.iter().sum::<u8>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(stub_group, quick);
+
+    #[test]
+    fn harness_runs() {
+        stub_group();
+    }
+}

@@ -1,0 +1,526 @@
+//! Air-gapped stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! re-implements the slice of the proptest 1.x API the workspace's test
+//! suites use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`]
+//! macros, [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! ranges and tuples as strategies, [`strategy::Just`], [`prop_oneof!`],
+//! `prop::collection::vec`, and `any::<T>()`.
+//!
+//! Semantics differ from upstream in two deliberate ways: failing cases
+//! are **not shrunk** (the panic message reports the generated inputs
+//! instead), and case generation is seeded deterministically from the
+//! test function's name, so runs are reproducible without a persistence
+//! file.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Configuration and failure plumbing used by the [`crate::proptest!`]
+    //! macro expansion.
+
+    /// Subset of proptest's run configuration: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the simulation-heavy suites in
+            // this workspace set explicit counts, so the default only
+            // covers cheap arithmetic properties.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*` failed; the whole property fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            Self::Fail(msg)
+        }
+
+        /// Builds a rejection.
+        #[must_use]
+        pub fn reject(msg: String) -> Self {
+            Self::Reject(msg)
+        }
+    }
+
+    /// Stable 64-bit FNV-1a over the test name: the per-test seed base.
+    #[must_use]
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::distributions::{SampleRange, SampleUniform};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for core::ops::Range<T>
+    where
+        core::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T>
+    where
+        core::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among same-typed strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the canonical whole-domain strategy for a type.
+
+    use super::strategy::Strategy;
+    use core::marker::PhantomData;
+    use rand::distributions::{Distribution, Standard};
+    use rand::rngs::StdRng;
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Strategy for Any<T>
+    where
+        Standard: Distribution<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            Standard.sample(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T` (uniform over all values).
+    #[must_use]
+    pub fn any<T>() -> Any<T>
+    where
+        Standard: Distribution<T>,
+    {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// An inclusive-exclusive length range for [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything test files import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Macro runtime: lets `proptest!` expansions name the RNG without
+    //! requiring `rand` in the calling crate's dependency graph.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$attr:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                        $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)), __case),
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} of {} failed: {}", __case, stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a [`proptest!`] body; failure fails the whole property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{}` == `{}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{}` != `{}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 1usize..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn any_u64_covers_wide_values(a in any::<u64>(), b in any::<u64>()) {
+            // Not a real distribution test; just exercises generation.
+            prop_assert_eq!(a.min(b) <= a, a.min(b) <= b);
+        }
+
+        #[test]
+        fn map_and_flat_map_compose((m, v) in (2u64..50).prop_flat_map(|m| (Just(m), 0..m))) {
+            prop_assert!(v < m);
+        }
+
+        #[test]
+        fn vec_and_oneof(xs in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..10)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2));
+        }
+
+        #[test]
+        fn assume_rejects_quietly(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(
+            crate::test_runner::seed_for("a::b", 3),
+            crate::test_runner::seed_for("a::b", 3)
+        );
+        assert_ne!(
+            crate::test_runner::seed_for("a::b", 3),
+            crate::test_runner::seed_for("a::b", 4)
+        );
+    }
+}
