@@ -95,6 +95,7 @@ fn bench_fig12_table5(c: &mut Criterion) {
         nodes: 256,
         rates: vec![0.2],
         lookups: 300,
+        audit: false,
         seed: 5,
     };
     g.bench_function("fig12_table5_churn", |b| {

@@ -249,6 +249,7 @@ fn main() {
                 nodes: 512,
                 lookups: 1_000,
                 rates: vec![0.05, 0.20, 0.40],
+                audit: true,
                 seed: opts.seed,
             }
         } else {
@@ -263,6 +264,9 @@ fn main() {
         }
         if wants("table5") {
             emit(&render::table5(&rows), opts.csv);
+        }
+        if rows.iter().any(|r| r.audit.is_some()) {
+            emit(&render::churn_audit(&rows), opts.csv);
         }
     }
 

@@ -9,7 +9,7 @@ use dht_sim::experiments::query_load::QueryLoadRow;
 use dht_sim::experiments::sparsity::SparsityRow;
 use dht_sim::experiments::static_tables;
 use dht_sim::experiments::ungraceful::UngracefulRow;
-use dht_sim::report::{f, mean_p01_p99, Table};
+use dht_sim::report::{audit_cell, f, mean_p01_p99, Table};
 
 use dht_core::lookup::HopPhase;
 
@@ -270,6 +270,28 @@ pub fn table5(rows: &[ChurnRow]) -> Table {
         .collect();
     pivot(
         "Table 5: timeouts per lookup under churn, mean (1st pct, 99th pct)",
+        "R",
+        &triples,
+    )
+}
+
+/// Online-audit outcome for every churn cell: `clean (N)` after `N` node
+/// checks, or the violation count. Emitted when the churn sweep ran with
+/// [`dht_sim::experiments::churn_exp::ChurnExpParams::audit`] enabled.
+#[must_use]
+pub fn churn_audit(rows: &[ChurnRow]) -> Table {
+    let triples: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{:.2}", r.rate),
+                r.label.clone(),
+                audit_cell(r.audit.as_ref()),
+            )
+        })
+        .collect();
+    pivot(
+        "Online protocol-invariant audit under churn (nodes checked)",
         "R",
         &triples,
     )

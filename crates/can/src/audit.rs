@@ -1,0 +1,153 @@
+//! Conformance audit: checks zone geometry, volume conservation, and
+//! neighbour consistency of the CAN torus tiling.
+//!
+//! Zone ownership *is* CAN's routing state, and graceful joins/leaves keep
+//! the tiling exact at every instant, so geometry, volume conservation,
+//! and neighbour connectivity are checked at [`AuditScope::Online`].
+//! Crash-orphaned zones are only re-adopted by the takeover stabilizer, so
+//! the no-orphans and probe-grid tiling checks run at [`AuditScope::Full`].
+
+use dht_core::audit::{AuditReport, AuditScope, StateAudit};
+use dht_core::sim::SimOverlay;
+
+use crate::network::CanNetwork;
+
+impl StateAudit for CanNetwork {
+    fn audit(&self, scope: AuditScope) -> AuditReport {
+        let mut report = AuditReport::new(self.label(), scope);
+        let config = self.config();
+        let side = config.side();
+        let n = self.node_count();
+
+        let mut total: u128 = 0;
+        for token in self.tokens() {
+            report.note_checked(1);
+            let node = self.node(token).expect("live token");
+            report.check_eq(token, "can/token-id", &node.token, &token);
+
+            // Every zone is a non-degenerate box inside the torus, and a
+            // live node owns at least one.
+            let valid = !node.zones.is_empty()
+                && node.zones.iter().all(|z| {
+                    z.dims() == config.dims
+                        && (0..config.dims).all(|k| z.lo[k] < z.hi[k] && z.hi[k] <= side)
+                });
+            report.check(token, "can/zone-valid", valid, || {
+                format!("invalid zone list: {:?}", node.zones)
+            });
+            total += node.volume();
+
+            // The tiling is connected: every node in a multi-node network
+            // abuts at least one other node's zone.
+            report.check(
+                token,
+                "can/neighbor-connectivity",
+                n <= 1 || !self.neighbors_of(token).is_empty(),
+                || "node has no neighbours in a multi-node network".to_string(),
+            );
+        }
+
+        // Live zones plus crash orphans always partition the torus, so
+        // their volumes sum to `side^dims` — conservation holds through
+        // every split, merge, and takeover.
+        let orphaned: u128 = self.orphan_zones().iter().map(|z| z.volume()).sum();
+        let space = (u128::from(side)).pow(config.dims as u32);
+        report.check(
+            0,
+            "can/volume-conservation",
+            total + orphaned == space,
+            || format!("live {total} + orphaned {orphaned} != space {space}"),
+        );
+
+        if scope == AuditScope::Full {
+            report.check(0, "can/no-orphans", self.orphan_zones().is_empty(), || {
+                format!(
+                    "{} orphaned zones await takeover",
+                    self.orphan_zones().len()
+                )
+            });
+            let probes = (2 * n).max(256);
+            let holes = self.tiling_holes(probes);
+            report.check(0, "can/zone-tiling", holes == 0, || {
+                format!("{holes} of {probes} probe points not covered exactly once")
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CanConfig;
+    use crate::zone::Zone;
+
+    fn net(n: usize) -> CanNetwork {
+        CanNetwork::with_nodes(CanConfig::new(2), n, 3)
+    }
+
+    #[test]
+    fn fresh_network_is_fully_clean() {
+        let net = net(70);
+        let report = net.audit(AuditScope::Full);
+        assert_eq!(report.checked_nodes(), 70);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn invariants_survive_graceful_churn_without_stabilization() {
+        let mut net = net(48);
+        for step in 0..30 {
+            if step % 3 == 0 {
+                let victim = net.tokens()[step % net.node_count()];
+                net.leave(victim);
+            } else {
+                net.join_random_point();
+            }
+            let report = net.audit(AuditScope::Online);
+            assert!(report.is_clean(), "after step {step}: {report}");
+        }
+    }
+
+    #[test]
+    fn crash_orphans_fail_full_but_not_online_audit() {
+        let mut net = net(40);
+        let victim = net.tokens()[7];
+        net.fail_node(victim);
+        assert!(net.audit(AuditScope::Online).is_clean());
+        let report = net.audit(AuditScope::Full);
+        assert!(
+            report.violated_invariants().contains(&"can/no-orphans"),
+            "{report}"
+        );
+        net.stabilize_takeover();
+        assert!(net.audit(AuditScope::Full).is_clean());
+    }
+
+    #[test]
+    fn corrupted_zone_is_caught_by_name() {
+        let mut net = net(40);
+        let token = net.tokens()[3];
+        // Shrink one zone: geometry stays valid but volume leaks.
+        let zone = {
+            let z = &net.node(token).unwrap().zones[0];
+            Zone {
+                lo: z.lo.clone(),
+                hi: z
+                    .hi
+                    .iter()
+                    .zip(&z.lo)
+                    .map(|(&h, &l)| l + (h - l) / 2)
+                    .collect(),
+            }
+        };
+        net.node_mut(token).unwrap().zones[0] = zone;
+        let report = net.audit(AuditScope::Online);
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"can/volume-conservation"),
+            "{report}"
+        );
+    }
+}

@@ -26,6 +26,7 @@
 //! assert_eq!(net.tiling_holes(200), 0); // zones tile the torus exactly
 //! ```
 
+mod audit;
 pub mod network;
 pub mod zone;
 

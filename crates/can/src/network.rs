@@ -131,6 +131,18 @@ impl CanNetwork {
         self.members.get(token)
     }
 
+    /// Exclusive access to one node — for the audit tests, which inject
+    /// corruptions the protocol itself never produces.
+    #[cfg(test)]
+    pub(crate) fn node_mut(&mut self, token: u64) -> Option<&mut CanNode> {
+        self.members.get_mut(token)
+    }
+
+    /// Zones orphaned by crashes, awaiting takeover.
+    pub(crate) fn orphan_zones(&self) -> &[Zone] {
+        &self.orphans
+    }
+
     /// Maps a raw key to its point on the torus (one derived coordinate
     /// per dimension).
     #[must_use]
@@ -417,6 +429,10 @@ impl SimOverlay for CanNetwork {
     fn stabilize_one(&mut self, _node: NodeToken) {
         // Takeover is a zone-level (not per-node) repair.
         self.stabilize_takeover();
+    }
+
+    fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
+        dht_core::audit::StateAudit::audit(self, scope)
     }
 }
 

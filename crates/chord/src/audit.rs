@@ -1,0 +1,120 @@
+//! Conformance audit: checks every node's ring pointers, successor list,
+//! and finger table against the live membership.
+//!
+//! The graceful join/leave protocol notifies exactly the ring
+//! neighbourhood, so the predecessor pointer and successor list are always
+//! correct and are checked at [`AuditScope::Online`]; finger tables are
+//! only repaired by stabilization and are checked at [`AuditScope::Full`].
+
+use dht_core::audit::{AuditReport, AuditScope, StateAudit};
+use dht_core::sim::SimOverlay;
+
+use crate::network::ChordNetwork;
+
+impl StateAudit for ChordNetwork {
+    fn audit(&self, scope: AuditScope) -> AuditReport {
+        let mut report = AuditReport::new(self.label(), scope);
+        let config = self.config();
+        let space = config.space();
+        let r = config.successor_list;
+        for id in self.ids() {
+            report.note_checked(1);
+            let node = self.node(id).expect("live id");
+            report.check_eq(id, "chord/node-id", &node.id, &id);
+
+            // Ring pointers: repaired eagerly on every graceful join/leave.
+            let pred = self.predecessor_of_point(id).expect("non-empty ring");
+            report.check_eq(id, "chord/predecessor", &node.predecessor, &pred);
+            let mut expected = Vec::with_capacity(r);
+            let mut cursor = id;
+            for _ in 0..r {
+                let s = self
+                    .successor_of_point((cursor + 1) % space)
+                    .expect("non-empty ring");
+                expected.push(s);
+                cursor = s;
+            }
+            report.check_eq(id, "chord/successor-list", &node.successors, &expected);
+
+            // Fingers: `fingers[i] = successor(id + 2^i)`, lazily repaired.
+            if scope == AuditScope::Full {
+                report.check(
+                    id,
+                    "chord/finger-table",
+                    node.fingers.len() == config.bits as usize,
+                    || format!("{} fingers, expected {}", node.fingers.len(), config.bits),
+                );
+                for (i, &finger) in node.fingers.iter().enumerate() {
+                    let target = (id + (1u64 << i)) % space;
+                    let expect = self.successor_of_point(target).expect("non-empty ring");
+                    report.check(id, "chord/finger-table", finger == expect, || {
+                        format!("finger[{i}] = {finger}, expected successor({target}) = {expect}")
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ChordConfig;
+
+    fn ring(n: usize) -> ChordNetwork {
+        ChordNetwork::with_nodes(ChordConfig::new(10), n, 11)
+    }
+
+    #[test]
+    fn stabilized_ring_is_fully_clean() {
+        let net = ring(90);
+        let report = net.audit(AuditScope::Full);
+        assert_eq!(report.checked_nodes(), 90);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn ring_pointers_survive_graceful_churn_without_stabilization() {
+        let mut net = ring(64);
+        for step in 0..30 {
+            if step % 3 == 0 {
+                let victim = net.ids().nth(step % net.node_count()).unwrap();
+                net.leave(victim);
+            } else {
+                net.join_random();
+            }
+            let report = net.audit(AuditScope::Online);
+            assert!(report.is_clean(), "after step {step}: {report}");
+        }
+    }
+
+    #[test]
+    fn corrupted_finger_is_caught_by_name() {
+        let mut net = ring(90);
+        let id = net.ids().next().unwrap();
+        let wrong = (id + 1) % net.config().space();
+        net.node_mut(id).unwrap().fingers[5] = wrong;
+        let report = net.audit(AuditScope::Full);
+        assert!(
+            report.violated_invariants().contains(&"chord/finger-table"),
+            "{report}"
+        );
+        // Fingers are lazily stabilized: the online audit ignores them.
+        assert!(net.audit(AuditScope::Online).is_clean());
+    }
+
+    #[test]
+    fn corrupted_successor_list_is_caught_online() {
+        let mut net = ring(90);
+        let id = net.ids().next().unwrap();
+        net.node_mut(id).unwrap().successors[0] = id;
+        let report = net.audit(AuditScope::Online);
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"chord/successor-list"),
+            "{report}"
+        );
+    }
+}

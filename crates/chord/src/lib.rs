@@ -26,6 +26,7 @@
 //! assert!(trace.path_len() <= 22); // O(log n)
 //! ```
 
+mod audit;
 pub mod network;
 pub mod node;
 

@@ -1,0 +1,201 @@
+//! Conformance audit: checks every node's routing state against the §2.1
+//! specification (exactly seven — or eleven — outgoing entries: one cubical
+//! neighbour, two cyclic neighbours, and the inside/outside leaf sets).
+//!
+//! The leaf sets are repaired eagerly by the graceful join/leave protocol
+//! (§3.3), so they are checked at [`AuditScope::Online`]; the cubical and
+//! cyclic neighbours are "the responsibility of system stabilization, as in
+//! Chord" (§3.3.2) and are only checked at [`AuditScope::Full`].
+
+use dht_core::audit::{AuditReport, AuditScope, StateAudit};
+use dht_core::sim::SimOverlay;
+
+use crate::network::CycloidNetwork;
+
+impl StateAudit for CycloidNetwork {
+    fn audit(&self, scope: AuditScope) -> AuditReport {
+        let mut report = AuditReport::new(self.label(), scope);
+        let dim = self.dim();
+        let bound = 3 + 4 * self.leaf_radius();
+        for (token, state) in self.members().iter() {
+            report.note_checked(1);
+            let id = state.id;
+            report.check_eq(token, "cycloid/id-token", &id.linear(dim), &token);
+
+            // §2.1: at most 7 (or 11) outgoing routing entries, and each
+            // of the four leaf-set sides holds exactly `leaf_radius` slots.
+            let r = self.leaf_radius();
+            report.check(
+                token,
+                "cycloid/state-size",
+                state.degree() <= bound
+                    && state.inside_left.len() == r
+                    && state.inside_right.len() == r
+                    && state.outside_left.len() == r
+                    && state.outside_right.len() == r,
+                || {
+                    format!(
+                        "degree {} (bound {bound}), leaf sides {}/{}/{}/{} (radius {r})",
+                        state.degree(),
+                        state.inside_left.len(),
+                        state.inside_right.len(),
+                        state.outside_left.len(),
+                        state.outside_right.len()
+                    )
+                },
+            );
+
+            // A node with cyclic index 0 has no cubical or cyclic
+            // neighbours (its routing table holds only leaf sets, §3.1).
+            if id.cyclic == 0 {
+                report.check(
+                    token,
+                    "cycloid/k0-no-routing-neighbors",
+                    state.cubical_neighbor.is_none()
+                        && state.cyclic_smaller.is_none()
+                        && state.cyclic_larger.is_none(),
+                    || {
+                        format!(
+                            "cyclic index 0 but cubical={:?} smaller={:?} larger={:?}",
+                            state.cubical_neighbor, state.cyclic_smaller, state.cyclic_larger
+                        )
+                    },
+                );
+            }
+
+            // Inside leaf set: the true nearest live local-cycle
+            // predecessors/successors, eagerly repaired on join/leave.
+            let (in_left, in_right) = self.resolve_inside_leafs(id);
+            report.check_eq(
+                token,
+                "cycloid/inside-leaf-set",
+                &state.inside_left,
+                &in_left,
+            );
+            report.check_eq(
+                token,
+                "cycloid/inside-leaf-set",
+                &state.inside_right,
+                &in_right,
+            );
+
+            // Outside leaf set: primaries of the nearest non-empty
+            // adjacent cycles, also eagerly repaired.
+            let (out_left, out_right) = self.resolve_outside_leafs(id);
+            report.check_eq(
+                token,
+                "cycloid/outside-leaf-set",
+                &state.outside_left,
+                &out_left,
+            );
+            report.check_eq(
+                token,
+                "cycloid/outside-leaf-set",
+                &state.outside_right,
+                &out_right,
+            );
+
+            if scope == AuditScope::Full {
+                report.check_eq(
+                    token,
+                    "cycloid/cubical-neighbor",
+                    &state.cubical_neighbor,
+                    &self.resolve_cubical_neighbor(id),
+                );
+                let (smaller, larger) = self.resolve_cyclic_neighbors(id);
+                report.check_eq(
+                    token,
+                    "cycloid/cyclic-neighbors",
+                    &(state.cyclic_smaller, state.cyclic_larger),
+                    &(smaller, larger),
+                );
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CycloidConfig;
+    use crate::CycloidId;
+    use dht_core::rng::stream;
+
+    fn net(n: usize) -> CycloidNetwork {
+        CycloidNetwork::with_nodes(CycloidConfig::seven_entry(5), n, 7)
+    }
+
+    #[test]
+    fn stabilized_network_is_fully_clean() {
+        let net = net(80);
+        let report = net.audit(AuditScope::Full);
+        assert_eq!(report.checked_nodes(), 80);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn online_invariants_survive_graceful_churn_without_stabilization() {
+        let mut net = net(60);
+        let mut rng = stream(3, "cycloid-audit-churn");
+        for step in 0..40 {
+            if step % 3 == 0 {
+                let victim = net.ids().nth(step % net.node_count()).unwrap();
+                net.leave(victim);
+            } else {
+                net.join_random(&mut rng);
+            }
+            let report = net.audit(AuditScope::Online);
+            assert!(report.is_clean(), "after step {step}: {report}");
+        }
+    }
+
+    #[test]
+    fn corrupted_cubical_neighbor_is_caught_by_name() {
+        let mut net = net(80);
+        let id = net.ids().find(|i| i.cyclic > 0).unwrap();
+        let wrong = CycloidId::new(id.cyclic - 1, id.cubical ^ 1);
+        net.node_mut(id).unwrap().cubical_neighbor = Some(wrong);
+        let report = net.audit(AuditScope::Full);
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"cycloid/cubical-neighbor"),
+            "{report}"
+        );
+        // The corruption is in lazily-stabilized state, so the online
+        // audit must NOT flag it.
+        assert!(net.audit(AuditScope::Online).is_clean());
+    }
+
+    #[test]
+    fn corrupted_leaf_set_is_caught_online() {
+        let mut net = net(80);
+        let id = net.ids().next().unwrap();
+        net.node_mut(id).unwrap().inside_right.clear();
+        let report = net.audit(AuditScope::Online);
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"cycloid/inside-leaf-set"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn oversized_state_is_caught_by_name() {
+        let mut net = net(80);
+        let id = net.ids().next().unwrap();
+        // Pad with distinct contacts so the *deduplicated* degree exceeds
+        // the bound, not just the slot count.
+        for c in 0..9u64 {
+            let pad = CycloidId::new(4, c);
+            net.node_mut(id).unwrap().inside_right.push(pad);
+        }
+        let report = net.audit(AuditScope::Online);
+        assert!(
+            report.violated_invariants().contains(&"cycloid/state-size"),
+            "{report}"
+        );
+    }
+}

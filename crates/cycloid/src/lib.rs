@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 pub mod id;
 pub mod lookup;
 pub mod network;

@@ -312,6 +312,10 @@ impl SimOverlay for CycloidNetwork {
             self.refresh_node(id);
         }
     }
+
+    fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
+        dht_core::audit::StateAudit::audit(self, scope)
+    }
 }
 
 #[cfg(test)]

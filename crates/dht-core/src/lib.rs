@@ -4,6 +4,9 @@
 //! (`cycloid`, `chord`, `koorde`, `viceroy`) and the experiment harness have
 //! in common:
 //!
+//! * [`audit`] — protocol-conformance auditing: the [`audit::StateAudit`]
+//!   trait each overlay implements to check its paper-specified routing
+//!   invariants, and the [`audit::AuditReport`] violations land in,
 //! * [`hash`] — the consistent-hashing primitive used to map node names and
 //!   object keys onto identifier spaces,
 //! * [`rng`] — deterministic, seedable randomness so every experiment is
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod hash;
 pub mod lookup;
 pub mod overlay;
@@ -34,6 +38,7 @@ pub mod sim;
 pub mod stats;
 pub mod workload;
 
+pub use audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
 pub use overlay::{NodeToken, Overlay};
 pub use sim::{Membership, QueryLoads, SimOverlay, StepDecision};

@@ -8,6 +8,7 @@
 
 use rand::RngCore;
 
+use crate::audit::{AuditReport, AuditScope};
 use crate::lookup::LookupTrace;
 
 /// Opaque, overlay-assigned identity of a live node.
@@ -95,6 +96,14 @@ pub trait Overlay {
         self.stabilize();
     }
 
+    /// Audits every node's routing state against the overlay's
+    /// paper-specified invariants (see [`crate::audit`]). The default
+    /// reports nothing checked; overlays with a
+    /// [`crate::audit::StateAudit`] impl override this to run it.
+    fn audit_state(&self, scope: AuditScope) -> AuditReport {
+        AuditReport::new(self.name(), scope)
+    }
+
     /// Per-node query loads: number of lookup messages each live node has
     /// received (as source, intermediate, or terminal) since the last
     /// [`Overlay::reset_query_loads`]. Order matches
@@ -164,6 +173,10 @@ impl Overlay for Box<dyn Overlay> {
 
     fn stabilize_node(&mut self, node: NodeToken) {
         (**self).stabilize_node(node);
+    }
+
+    fn audit_state(&self, scope: AuditScope) -> AuditReport {
+        (**self).audit_state(scope)
     }
 
     fn query_loads(&self) -> Vec<u64> {

@@ -45,6 +45,7 @@ use std::collections::HashSet;
 
 use rand::RngCore;
 
+use crate::audit::{AuditReport, AuditScope};
 use crate::hash::IdAllocator;
 use crate::lookup::{HopPhase, LookupOutcome, LookupTrace};
 use crate::overlay::{NodeToken, Overlay};
@@ -457,6 +458,14 @@ pub trait SimOverlay {
         let _ = node;
         self.stabilize_network();
     }
+
+    /// Audits every node's routing state (see [`crate::audit`]). Overlays
+    /// with a [`crate::audit::StateAudit`] impl override this one-liner to
+    /// run it; the default reports nothing checked. The blanket
+    /// [`Overlay`] impl forwards [`Overlay::audit_state`] here.
+    fn audit_network(&self, scope: AuditScope) -> AuditReport {
+        AuditReport::new(self.label(), scope)
+    }
 }
 
 /// Performs one lookup from `src` for `raw_key`, walking the overlay
@@ -609,6 +618,10 @@ impl<T: SimOverlay> Overlay for T {
 
     fn stabilize_node(&mut self, node: NodeToken) {
         self.stabilize_one(node);
+    }
+
+    fn audit_state(&self, scope: AuditScope) -> AuditReport {
+        self.audit_network(scope)
     }
 
     fn query_loads(&self) -> Vec<u64> {

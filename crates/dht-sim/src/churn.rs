@@ -7,6 +7,7 @@
 //! intervals that are uniformly distributed in the 30 s interval. The
 //! network starts with 2048 nodes."
 
+use dht_core::audit::{AuditReport, AuditScope};
 use dht_core::lookup::LookupTrace;
 use dht_core::overlay::Overlay;
 use rand::{Rng, RngCore};
@@ -26,6 +27,9 @@ pub struct ChurnParams {
     pub lookups: usize,
     /// Warm-up lookups discarded before measurement starts.
     pub warmup_lookups: usize,
+    /// Run the online state audit (see [`dht_core::audit`]) after every
+    /// full stabilization round and at the end of the run.
+    pub audit: bool,
 }
 
 impl Default for ChurnParams {
@@ -36,6 +40,7 @@ impl Default for ChurnParams {
             stabilization_period_secs: 30,
             lookups: 10_000,
             warmup_lookups: 200,
+            audit: false,
         }
     }
 }
@@ -55,6 +60,9 @@ pub struct ChurnOutcome {
     pub leaves: usize,
     /// Final network size.
     pub final_size: usize,
+    /// Accumulated online audit (one pass per stabilization round plus a
+    /// final pass), when [`ChurnParams::audit`] was set.
+    pub audit: Option<AuditReport>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +106,9 @@ pub fn run_churn(
         joins: 0,
         leaves: 0,
         final_size: 0,
+        audit: params
+            .audit
+            .then(|| AuditReport::new(overlay.name(), AuditScope::Online)),
     };
     let mut seen_lookups = 0usize;
 
@@ -143,6 +154,13 @@ pub fn run_churn(
                         overlay.stabilize_node(token);
                     }
                 }
+                // The last bucket closes a full stabilization round:
+                // every online invariant must hold right now, mid-churn.
+                if bucket + 1 == period {
+                    if let Some(acc) = outcome.audit.as_mut() {
+                        acc.merge(overlay.audit_state(AuditScope::Online));
+                    }
+                }
                 queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
             }
         }
@@ -151,6 +169,9 @@ pub fn run_churn(
         }
     }
 
+    if let Some(acc) = outcome.audit.as_mut() {
+        acc.merge(overlay.audit_state(AuditScope::Online));
+    }
     outcome.final_size = overlay.len();
     outcome
 }
@@ -168,6 +189,7 @@ mod tests {
             stabilization_period_secs: 30,
             lookups: 300,
             warmup_lookups: 20,
+            audit: false,
         }
     }
 
@@ -202,6 +224,26 @@ mod tests {
             run_churn(net.as_mut(), small_params(0.1), &mut rng).path_lens
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn audited_churn_reports_clean_state() {
+        let mut net = build_overlay(OverlayKind::Chord, 128, 9);
+        let mut rng = stream(10, "audit-churn");
+        let mut params = small_params(0.2);
+        params.audit = true;
+        let out = run_churn(net.as_mut(), params, &mut rng);
+        let audit = out.audit.expect("audit requested");
+        assert!(audit.checked_nodes() > 0, "audit must run at least once");
+        assert!(audit.is_clean(), "{audit}");
+    }
+
+    #[test]
+    fn audit_off_reports_nothing() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 64, 11);
+        let mut rng = stream(12, "no-audit");
+        let out = run_churn(net.as_mut(), small_params(0.1), &mut rng);
+        assert!(out.audit.is_none());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct ChurnExpParams {
     pub rates: Vec<f64>,
     /// Measured lookups per run (10,000 in the paper's setup).
     pub lookups: usize,
+    /// Run the online protocol-invariant audit during every cell (see
+    /// [`dht_core::audit`]).
+    pub audit: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -36,6 +39,7 @@ impl ChurnExpParams {
             nodes: 2048,
             rates: vec![0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40],
             lookups: 10_000,
+            audit: false,
             seed,
         }
     }
@@ -48,6 +52,7 @@ impl ChurnExpParams {
             nodes: 256,
             rates: vec![0.10, 0.40],
             lookups: 400,
+            audit: true,
             seed,
         }
     }
@@ -72,6 +77,8 @@ pub struct ChurnRow {
     pub leaves: usize,
     /// Network size at the end of the run.
     pub final_size: usize,
+    /// Accumulated online audit, when [`ChurnExpParams::audit`] was set.
+    pub audit: Option<dht_core::audit::AuditReport>,
 }
 
 /// Runs the sweep; rows ordered by rate then kind.
@@ -101,6 +108,7 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         stabilization_period_secs: 30,
                         lookups: params.lookups,
                         warmup_lookups: params.lookups / 50,
+                        audit: params.audit,
                     };
                     let out: ChurnOutcome = run_churn(net.as_mut(), churn_params, &mut rng);
                     ChurnRow {
@@ -112,6 +120,7 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         joins: out.joins,
                         leaves: out.leaves,
                         final_size: out.final_size,
+                        audit: out.audit,
                     }
                 }),
             ));
@@ -139,6 +148,8 @@ mod tests {
             assert_eq!(row.failures, 0, "{} at R={}", row.label, row.rate);
             assert_eq!(row.path.n, 400);
             assert!(row.joins > 0 && row.leaves > 0);
+            let audit = row.audit.as_ref().expect("quick params enable auditing");
+            assert!(audit.is_clean(), "{audit}");
         }
     }
 

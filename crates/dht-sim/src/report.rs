@@ -1,5 +1,6 @@
 //! Fixed-width table and CSV rendering for the `repro` binary.
 
+use dht_core::audit::AuditReport;
 use dht_core::stats::Summary;
 
 /// A simple text table builder with fixed-width columns.
@@ -106,6 +107,18 @@ pub fn mean_p01_p99(s: &Summary) -> String {
     format!("{:.2} ({:.0}, {:.0})", s.mean, s.p01, s.p99)
 }
 
+/// Formats an optional [`AuditReport`] as a table cell: `-` when auditing
+/// was off, `clean (N)` after `N` clean node checks, or the violation
+/// count when the audit flagged anything.
+#[must_use]
+pub fn audit_cell(report: Option<&AuditReport>) -> String {
+    match report {
+        None => "-".to_string(),
+        Some(r) if r.is_clean() => format!("clean ({})", r.checked_nodes()),
+        Some(r) => format!("{} violations", r.violations().len()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +154,17 @@ mod tests {
     fn summary_formatting() {
         let s = Summary::of(&[0.0, 1.0, 2.0, 3.0, 4.0]);
         assert_eq!(mean_p01_p99(&s), "2.00 (0, 4)");
+    }
+
+    #[test]
+    fn audit_cell_formatting() {
+        use dht_core::audit::AuditScope;
+        assert_eq!(audit_cell(None), "-");
+        let mut clean = AuditReport::new("demo", AuditScope::Online);
+        clean.note_checked(42);
+        assert_eq!(audit_cell(Some(&clean)), "clean (42)");
+        let mut bad = AuditReport::new("demo", AuditScope::Online);
+        bad.record(1, "demo/broken", "detail".into());
+        assert_eq!(audit_cell(Some(&bad)), "1 violations");
     }
 }

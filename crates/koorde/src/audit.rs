@@ -1,0 +1,148 @@
+//! Conformance audit: checks every node's ring pointers and de Bruijn
+//! state against the live membership.
+//!
+//! Ring pointers (predecessor + successor list) are repaired eagerly by
+//! the graceful join/leave protocol and are checked at
+//! [`AuditScope::Online`]. The de Bruijn pointer and its predecessor
+//! backups are repaired by stabilization (§4.4) *and* opportunistically
+//! during lookups (a querier that times out on a de Bruijn hop adopts the
+//! backup it used), so they are only checked at [`AuditScope::Full`].
+
+use dht_core::audit::{AuditReport, AuditScope, StateAudit};
+use dht_core::sim::SimOverlay;
+
+use crate::network::KoordeNetwork;
+
+impl StateAudit for KoordeNetwork {
+    fn audit(&self, scope: AuditScope) -> AuditReport {
+        let mut report = AuditReport::new(self.label(), scope);
+        let config = self.config();
+        let space = config.space();
+        let r = config.successor_list;
+        for id in self.ids() {
+            report.note_checked(1);
+            let node = self.node(id).expect("live id");
+            report.check_eq(id, "koorde/node-id", &node.id, &id);
+
+            // The paper's seven-entry bound on *outgoing* contacts: one de
+            // Bruijn node, `r` successors, and the de Bruijn backups (§4).
+            let bound = r + config.debruijn_backups + 1;
+            report.check(
+                id,
+                "koorde/state-size",
+                node.degree() <= bound
+                    && node.successors.len() == r
+                    && node.debruijn_preds.len() == config.debruijn_backups,
+                || {
+                    format!(
+                        "degree {} (bound {bound}), {} successors, {} backups",
+                        node.degree(),
+                        node.successors.len(),
+                        node.debruijn_preds.len()
+                    )
+                },
+            );
+
+            // Ring pointers: repaired eagerly on every graceful join/leave.
+            let pred = self.before_point(id).expect("non-empty ring");
+            report.check_eq(id, "koorde/predecessor", &node.predecessor, &pred);
+            let mut expected = Vec::with_capacity(r);
+            let mut cursor = id;
+            for _ in 0..r {
+                let s = self
+                    .successor_of_point((cursor + 1) % space)
+                    .expect("non-empty ring");
+                expected.push(s);
+                cursor = s;
+            }
+            report.check_eq(id, "koorde/successor-list", &node.successors, &expected);
+
+            // De Bruijn pointer `predecessor(2 * id)` plus backups: lazily
+            // stabilized and rewritten by repair-on-use mid-lookup.
+            if scope == AuditScope::Full {
+                let db = self
+                    .at_or_before_point((2 * id) % space)
+                    .expect("non-empty ring");
+                report.check_eq(id, "koorde/debruijn-pointer", &node.debruijn, &db);
+                let mut backups = Vec::with_capacity(config.debruijn_backups);
+                let mut cursor = db;
+                for _ in 0..config.debruijn_backups {
+                    let p = self.before_point(cursor).expect("non-empty ring");
+                    backups.push(p);
+                    cursor = p;
+                }
+                report.check_eq(
+                    id,
+                    "koorde/debruijn-backups",
+                    &node.debruijn_preds,
+                    &backups,
+                );
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::KoordeConfig;
+
+    fn net(n: usize) -> KoordeNetwork {
+        KoordeNetwork::with_nodes(KoordeConfig::new(10), n, 13)
+    }
+
+    #[test]
+    fn stabilized_network_is_fully_clean() {
+        let net = net(90);
+        let report = net.audit(AuditScope::Full);
+        assert_eq!(report.checked_nodes(), 90);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn ring_pointers_survive_graceful_churn_without_stabilization() {
+        let mut net = net(64);
+        for step in 0..30 {
+            if step % 3 == 0 {
+                let victim = net.ids().nth(step % net.node_count()).unwrap();
+                net.leave(victim);
+            } else {
+                net.join_random();
+            }
+            let report = net.audit(AuditScope::Online);
+            assert!(report.is_clean(), "after step {step}: {report}");
+        }
+    }
+
+    #[test]
+    fn corrupted_debruijn_pointer_is_caught_by_name() {
+        let mut net = net(90);
+        let id = net.ids().next().unwrap();
+        let other = net.ids().nth(40).unwrap();
+        let wrong = net.node(id).unwrap().debruijn;
+        let wrong = if wrong == other { id } else { other };
+        net.node_mut(id).unwrap().debruijn = wrong;
+        let report = net.audit(AuditScope::Full);
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"koorde/debruijn-pointer"),
+            "{report}"
+        );
+        // De Bruijn state is lazily stabilized: online audits ignore it.
+        assert!(net.audit(AuditScope::Online).is_clean());
+    }
+
+    #[test]
+    fn corrupted_predecessor_is_caught_online() {
+        let mut net = net(90);
+        let id = net.ids().next().unwrap();
+        net.node_mut(id).unwrap().predecessor = id;
+        let report = net.audit(AuditScope::Online);
+        assert!(
+            report.violated_invariants().contains(&"koorde/predecessor"),
+            "{report}"
+        );
+    }
+}

@@ -29,6 +29,7 @@
 //! assert!(ring.node(src).unwrap().degree() <= 7);
 //! ```
 
+mod audit;
 pub mod network;
 pub mod node;
 

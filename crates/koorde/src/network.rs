@@ -149,6 +149,13 @@ impl KoordeNetwork {
         self.members.get(id)
     }
 
+    /// Exclusive access to one node — for the audit tests, which inject
+    /// corruptions the protocol itself never produces.
+    #[cfg(test)]
+    pub(crate) fn node_mut(&mut self, id: u64) -> Option<&mut KoordeNode> {
+        self.members.get_mut(id)
+    }
+
     /// Total failed lookups so far (de Bruijn pointer and all backups
     /// dead).
     #[must_use]
@@ -483,6 +490,10 @@ impl SimOverlay for KoordeNetwork {
         if self.is_live(node) {
             self.refresh_node(node);
         }
+    }
+
+    fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
+        dht_core::audit::StateAudit::audit(self, scope)
     }
 }
 

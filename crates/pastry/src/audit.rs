@@ -1,0 +1,138 @@
+//! Conformance audit: checks every node's leaf set and prefix routing
+//! table against the live membership.
+//!
+//! Leaf sets are repaired eagerly by the graceful join/leave protocol and
+//! are checked at [`AuditScope::Online`]; routing-table rows are only
+//! repaired by stabilization and are checked at [`AuditScope::Full`].
+
+use dht_core::audit::{AuditReport, AuditScope, StateAudit};
+use dht_core::sim::SimOverlay;
+
+use crate::network::PastryNetwork;
+
+impl StateAudit for PastryNetwork {
+    fn audit(&self, scope: AuditScope) -> AuditReport {
+        let mut report = AuditReport::new(self.label(), scope);
+        let c = self.config();
+        for id in self.ids() {
+            report.note_checked(1);
+            let node = self.node(id).expect("live id");
+            report.check_eq(id, "pastry/node-id", &node.id, &id);
+
+            // Structural shape: `digits × base` slots, and the slot for a
+            // node's own digit in each row is always empty (the row
+            // "points at" the node itself).
+            let slots = (c.digits() * c.base()) as usize;
+            report.check(
+                id,
+                "pastry/table-shape",
+                node.table.len() == slots
+                    && (0..c.digits()).all(|row| {
+                        node.table[(row * c.base() + c.digit(id, row)) as usize].is_none()
+                    }),
+                || {
+                    format!(
+                        "{} slots (expected {slots}) or own-digit slot occupied",
+                        node.table.len()
+                    )
+                },
+            );
+
+            // Leaf set: the true nearest smaller/larger live identifiers,
+            // eagerly repaired on join/leave.
+            let (smaller, larger) = self.resolve_leafs(id);
+            report.check_eq(id, "pastry/leaf-set", &node.leaf_smaller, &smaller);
+            report.check_eq(id, "pastry/leaf-set", &node.leaf_larger, &larger);
+
+            // Prefix table: each slot holds the node resolve_entry picks,
+            // lazily repaired by stabilization.
+            if scope == AuditScope::Full && node.table.len() == slots {
+                for row in 0..c.digits() {
+                    for col in 0..c.base() {
+                        let idx = (row * c.base() + col) as usize;
+                        let expect = self.resolve_entry(id, row, col);
+                        report.check(id, "pastry/prefix-table", node.table[idx] == expect, || {
+                            format!(
+                                "table[{row}][{col}] = {:?}, expected {expect:?}",
+                                node.table[idx]
+                            )
+                        });
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PastryConfig;
+
+    fn net(n: usize) -> PastryNetwork {
+        PastryNetwork::with_nodes(PastryConfig::new(10), n, 5)
+    }
+
+    #[test]
+    fn stabilized_network_is_fully_clean() {
+        let net = net(90);
+        let report = net.audit(AuditScope::Full);
+        assert_eq!(report.checked_nodes(), 90);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn leaf_sets_survive_graceful_churn_without_stabilization() {
+        let mut net = net(64);
+        for step in 0..30 {
+            if step % 3 == 0 {
+                let victim = net.ids().nth(step % net.node_count()).unwrap();
+                net.leave(victim);
+            } else {
+                net.join_random();
+            }
+            let report = net.audit(AuditScope::Online);
+            assert!(report.is_clean(), "after step {step}: {report}");
+        }
+    }
+
+    #[test]
+    fn corrupted_table_entry_is_caught_by_name() {
+        let mut net = net(90);
+        let (id, other) = {
+            let mut ids = net.ids();
+            (ids.next().unwrap(), ids.nth(40).unwrap())
+        };
+        // Overwrite a populated slot with a node that cannot belong there.
+        let idx = net
+            .node(id)
+            .unwrap()
+            .table
+            .iter()
+            .position(|e| e.is_some() && *e != Some(other))
+            .unwrap();
+        net.node_mut(id).unwrap().table[idx] = Some(other);
+        let report = net.audit(AuditScope::Full);
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"pastry/prefix-table"),
+            "{report}"
+        );
+        // The table is lazily stabilized: online audits ignore it.
+        assert!(net.audit(AuditScope::Online).is_clean());
+    }
+
+    #[test]
+    fn corrupted_leaf_set_is_caught_online() {
+        let mut net = net(90);
+        let id = net.ids().next().unwrap();
+        net.node_mut(id).unwrap().leaf_larger.clear();
+        let report = net.audit(AuditScope::Online);
+        assert!(
+            report.violated_invariants().contains(&"pastry/leaf-set"),
+            "{report}"
+        );
+    }
+}

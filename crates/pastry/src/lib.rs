@@ -31,6 +31,7 @@
 //! assert!(trace.path_len() <= 12); // one hop per corrected digit + slack
 //! ```
 
+mod audit;
 pub mod network;
 
 pub use network::{PastryConfig, PastryNetwork, PastryNode};

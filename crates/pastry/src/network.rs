@@ -203,6 +203,13 @@ impl PastryNetwork {
         self.members.get(id)
     }
 
+    /// Exclusive access to one node — for the audit tests, which inject
+    /// corruptions the protocol itself never produces.
+    #[cfg(test)]
+    pub(crate) fn node_mut(&mut self, id: u64) -> Option<&mut PastryNode> {
+        self.members.get_mut(id)
+    }
+
     /// Maps a raw key onto the ring.
     #[must_use]
     pub fn key_of(&self, raw_key: u64) -> u64 {
@@ -521,6 +528,10 @@ impl SimOverlay for PastryNetwork {
         if self.is_live(node) {
             self.refresh_node(node);
         }
+    }
+
+    fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
+        dht_core::audit::StateAudit::audit(self, scope)
     }
 }
 

@@ -31,6 +31,7 @@
 //! assert_eq!(trace.timeouts, 0); // Viceroy never times out
 //! ```
 
+mod audit;
 pub mod network;
 
 pub use network::{ViceroyConfig, ViceroyNetwork, ViceroyNode};

@@ -149,6 +149,19 @@ impl ViceroyNetwork {
         self.members.get(id)
     }
 
+    /// Exclusive access to one node — for the audit tests, which inject
+    /// corruptions the protocol itself never produces.
+    #[cfg(test)]
+    pub(crate) fn node_mut(&mut self, id: u64) -> Option<&mut ViceroyNode> {
+        self.members.get_mut(id)
+    }
+
+    /// The per-level identifier index (`level_sets()[l]` holds level
+    /// `l+1`), for the audit's partition-consistency check.
+    pub(crate) fn level_sets(&self) -> &[BTreeSet<u64>] {
+        &self.by_level
+    }
+
     /// Maps a raw key onto the identifier circle.
     #[must_use]
     pub fn key_of(&self, raw_key: u64) -> u64 {
@@ -466,6 +479,10 @@ impl SimOverlay for ViceroyNetwork {
     }
 
     fn stabilize_one(&mut self, _node: NodeToken) {}
+
+    fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
+        dht_core::audit::StateAudit::audit(self, scope)
+    }
 }
 
 #[cfg(test)]

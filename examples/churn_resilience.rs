@@ -76,6 +76,7 @@ fn main() {
                 stabilization_period_secs: 30,
                 lookups: 2_000,
                 warmup_lookups: 100,
+                audit: true,
             },
             &mut rng,
         );
@@ -83,12 +84,13 @@ fn main() {
             out.path_lens.iter().sum::<usize>() as f64 / out.path_lens.len() as f64;
         let mean_touts: f64 = out.timeouts.iter().sum::<u64>() as f64 / out.timeouts.len() as f64;
         println!(
-            "{:<16} {} joins / {} leaves -> mean path {mean_path:.2}, {mean_touts:.4} timeouts/lookup, {} failures, final size {}",
+            "{:<16} {} joins / {} leaves -> mean path {mean_path:.2}, {mean_touts:.4} timeouts/lookup, {} failures, final size {}, audit {}",
             kind.label(),
             out.joins,
             out.leaves,
             out.failures,
-            out.final_size
+            out.final_size,
+            dht_sim::report::audit_cell(out.audit.as_ref())
         );
     }
 

@@ -34,6 +34,7 @@ pub mod prelude {
     pub use can::{CanConfig, CanNetwork};
     pub use chord::{ChordConfig, ChordNetwork};
     pub use cycloid::{CycloidConfig, CycloidId, CycloidNetwork, Dim};
+    pub use dht_core::audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
     pub use dht_core::hash::hash_str;
     pub use dht_core::lookup::{HopPhase, LookupOutcome, LookupTrace};
     pub use dht_core::overlay::{key_counts, NodeToken, Overlay};

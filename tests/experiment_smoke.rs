@@ -2,10 +2,24 @@
 //! regenerator must produce well-formed rows at quick scale. Protects the
 //! reproduction deliverable itself.
 
+use dht_core::audit::AuditScope;
+use dht_core::overlay::Overlay;
+use dht_core::rng::stream;
 use dht_sim::experiments::{
     churn_exp, hotspot, key_distribution, maintenance, mass_departure, path_length, query_load,
     sparsity, static_tables, ungraceful,
 };
+use dht_sim::{build_overlay, build_overlay_spaced, OverlayKind, ALL_KINDS, PAPER_KINDS};
+use rand::Rng;
+
+/// Builds a fresh overlay and asserts the full-scope protocol audit holds
+/// on every node.
+fn full_audit_clean(kind: OverlayKind, n: usize, seed: u64) {
+    let net = build_overlay(kind, n, seed);
+    let report = net.audit_state(AuditScope::Full);
+    assert_eq!(report.checked_nodes(), net.len(), "{}", kind.label());
+    assert!(report.is_clean(), "{}", report);
+}
 
 #[test]
 fn static_tables_regenerate() {
@@ -112,4 +126,140 @@ fn hotspot_extension_driver() {
     for r in &rows {
         assert!(r.amplification() > 1.0, "{}", r.label);
     }
+}
+
+// --- audit-enabled smoke tests: one per experiments module ----------------
+//
+// Each driver regenerates a figure from networks it builds internally;
+// these companions rebuild the same population shapes and run the
+// protocol-invariant audit over them, so a regression in construction or
+// maintenance is reported with the violated invariant's name instead of a
+// skewed statistic.
+
+#[test]
+fn static_tables_audit_smoke() {
+    // Table 2's degree column describes the same state the audit's
+    // state-size invariants bound; check them on live networks of every
+    // kind the table lists.
+    for kind in ALL_KINDS {
+        full_audit_clean(kind, 64, 10);
+    }
+}
+
+#[test]
+fn path_length_audit_smoke() {
+    // Fig 5-7 populate the full id space (n = d * 2^d); audit that shape.
+    for kind in PAPER_KINDS {
+        full_audit_clean(kind, 160, 11);
+    }
+}
+
+#[test]
+fn key_distribution_audit_smoke() {
+    // Figs 8/9 use a partially filled 2048-slot space.
+    let net = build_overlay_spaced(OverlayKind::Cycloid7, 120, 256, 12);
+    let report = net.audit_state(AuditScope::Full);
+    assert_eq!(report.checked_nodes(), 120);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn query_load_audit_smoke() {
+    // Fig 10 hammers the network with lookups; routing must not perturb
+    // any audited state.
+    let mut net = build_overlay(OverlayKind::Cycloid7, 96, 13);
+    let mut rng = stream(13, "query-load-audit");
+    let tokens = net.node_tokens();
+    for i in 0..400 {
+        let t = net.lookup(tokens[i % tokens.len()], rng.gen());
+        assert!(t.outcome.is_success());
+    }
+    let report = net.audit_state(AuditScope::Full);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn mass_departure_audit_smoke() {
+    // Fig 11 / Table 4: after a 40% crash wave the online audit names the
+    // stale state, and one stabilization round restores a clean full
+    // audit.
+    let mut net = build_overlay(OverlayKind::Chord, 256, 14);
+    let mut rng = stream(14, "mass-departure-audit");
+    for token in net.node_tokens() {
+        if rng.gen_bool(0.4) {
+            net.fail(token);
+        }
+    }
+    let broken = net.audit_state(AuditScope::Online);
+    assert!(
+        broken
+            .violated_invariants()
+            .contains(&"chord/successor-list"),
+        "a 40% crash wave must leave stale successor lists: {broken}"
+    );
+    net.stabilize();
+    let report = net.audit_state(AuditScope::Full);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn churn_audit_smoke() {
+    // Fig 12 / Table 5: quick parameters run with the in-driver online
+    // audit enabled; every cell must come back clean.
+    let rows = churn_exp::measure(&churn_exp::ChurnExpParams::quick(15));
+    for r in &rows {
+        let audit = r.audit.as_ref().expect("quick params enable auditing");
+        assert!(audit.checked_nodes() > 0);
+        assert!(audit.is_clean(), "{} at R={}: {audit}", r.label, r.rate);
+    }
+}
+
+#[test]
+fn sparsity_audit_smoke() {
+    // Figs 13/14 populate a fraction of a fixed id space.
+    for kind in PAPER_KINDS {
+        let net = build_overlay_spaced(kind, 205, 512, 16);
+        let report = net.audit_state(AuditScope::Full);
+        assert_eq!(report.checked_nodes(), net.len(), "{}", kind.label());
+        assert!(report.is_clean(), "{report}");
+    }
+}
+
+#[test]
+fn ungraceful_audit_smoke() {
+    // The extfail extension: crash a fraction, stabilize, audit fully.
+    let mut net = build_overlay(OverlayKind::Cycloid7, 192, 17);
+    let mut rng = stream(17, "ungraceful-audit");
+    for token in net.node_tokens() {
+        if rng.gen_bool(0.25) {
+            net.fail(token);
+        }
+    }
+    net.stabilize();
+    let report = net.audit_state(AuditScope::Full);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn maintenance_audit_smoke() {
+    // The extdegree extension reports degrees; the audit bounds the same
+    // state sizes per node.
+    for kind in dht_sim::EXTENDED_KINDS {
+        full_audit_clean(kind, 96, 18);
+    }
+}
+
+#[test]
+fn hotspot_audit_smoke() {
+    // The exthotspot extension routes many lookups to one key; repeated
+    // convergent routing must leave all state intact.
+    let mut net = build_overlay(OverlayKind::Cycloid7, 96, 19);
+    let tokens = net.node_tokens();
+    let hot_key = 0xdead_beef_u64;
+    for i in 0..300 {
+        let t = net.lookup(tokens[i % tokens.len()], hot_key);
+        assert!(t.outcome.is_success());
+    }
+    let report = net.audit_state(AuditScope::Full);
+    assert!(report.is_clean(), "{report}");
 }

@@ -1,0 +1,169 @@
+//! Deterministic golden-trace tests: fixed-seed lookup traces for every
+//! overlay, compared line-by-line against checked-in files under
+//! `tests/golden/`.
+//!
+//! Each line records one lookup end to end — index, source token, raw key,
+//! outcome, terminal token, timeout count, and the comma-joined hop-phase
+//! tags — so any change to a routing decision (a different next hop, an
+//! extra phase, a new terminal) shifts at least one line and fails the
+//! test for that overlay.
+//!
+//! To regenerate after an *intentional* routing change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_traces
+//! git diff tests/golden/    # review every changed line before committing
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cycloid_repro::prelude::{build_overlay, OverlayKind};
+use dht_core::rng::stream;
+use rand::Rng;
+
+/// Network size for every golden trace.
+const NODES: usize = 64;
+/// Master seed for both the network build and the key stream.
+const SEED: u64 = 42;
+/// Lookups recorded per overlay.
+const LOOKUPS: usize = 48;
+
+/// Replays the fixed workload on a freshly built overlay and renders the
+/// trace file content.
+fn render_traces(kind: OverlayKind) -> String {
+    let mut net = build_overlay(kind, NODES, SEED);
+    let tokens = net.node_tokens();
+    let mut keys = stream(SEED, "golden-keys");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# golden trace: {} n={NODES} seed={SEED} lookups={LOOKUPS}",
+        net.name()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# line: index src key -> outcome @terminal timeouts phases"
+    )
+    .unwrap();
+    for i in 0..LOOKUPS {
+        let src = tokens[i % tokens.len()];
+        let key: u64 = keys.gen();
+        let trace = net.lookup(src, key);
+        let phases = if trace.hops.is_empty() {
+            "-".to_string()
+        } else {
+            trace
+                .hops
+                .iter()
+                .map(|h| h.label())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(
+            out,
+            "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} {phases}",
+            trace.outcome, trace.terminal, trace.timeouts
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares the replayed trace against the checked-in golden file, or
+/// rewrites the file when `GOLDEN_REGEN` is set.
+fn check_golden(kind: OverlayKind, name: &str) {
+    let actual = render_traces(kind);
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\n\
+             regenerate with: GOLDEN_REGEN=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a);
+        let detail = match mismatch {
+            Some((line, (e, a))) => {
+                format!(
+                    "first mismatch at line {}:\n  golden: {e}\n  actual: {a}",
+                    line + 1
+                )
+            }
+            None => format!(
+                "line count differs: golden {} vs actual {}",
+                expected.lines().count(),
+                actual.lines().count()
+            ),
+        };
+        panic!(
+            "routing trace for {name} diverged from {}\n{detail}\n\
+             if the routing change is intentional, regenerate with:\n  \
+             GOLDEN_REGEN=1 cargo test --test golden_traces\n\
+             and review the diff under tests/golden/ before committing",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_cycloid7() {
+    check_golden(OverlayKind::Cycloid7, "cycloid7");
+}
+
+#[test]
+fn golden_cycloid11() {
+    check_golden(OverlayKind::Cycloid11, "cycloid11");
+}
+
+#[test]
+fn golden_chord() {
+    check_golden(OverlayKind::Chord, "chord");
+}
+
+#[test]
+fn golden_koorde() {
+    check_golden(OverlayKind::Koorde, "koorde");
+}
+
+#[test]
+fn golden_pastry() {
+    check_golden(OverlayKind::Pastry, "pastry");
+}
+
+#[test]
+fn golden_viceroy() {
+    check_golden(OverlayKind::Viceroy, "viceroy");
+}
+
+#[test]
+fn golden_can() {
+    check_golden(OverlayKind::Can, "can");
+}
+
+#[test]
+fn golden_workload_is_replayable() {
+    // The harness itself must be deterministic, or the files would churn
+    // on every regeneration.
+    assert_eq!(
+        render_traces(OverlayKind::Chord),
+        render_traces(OverlayKind::Chord)
+    );
+}

@@ -120,6 +120,31 @@ proptest! {
     }
 
     #[test]
+    fn cycloid_audit_stays_clean_under_any_churn(script in churn_script(), seed in 0u64..1000) {
+        // The audit layer re-derives the §3 invariants from scratch; after
+        // any interleaving of joins and graceful leaves the online scope
+        // must hold at every step, and the full scope (which adds the
+        // lazily-repaired cubical/cyclic pointers) after stabilization.
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(7), 80, seed);
+        let mut rng = stream(seed, "audit-script");
+        for (step, &join) in script.iter().enumerate() {
+            if join {
+                let _ = net.join_random(&mut rng);
+            } else if net.node_count() > 4 {
+                let ids: Vec<_> = net.ids().collect();
+                let victim = ids[(rng.gen::<u64>() % ids.len() as u64) as usize];
+                net.leave(victim);
+            }
+            let report = net.audit_state(AuditScope::Online);
+            prop_assert!(report.is_clean(), "after step {}: {}", step, report);
+        }
+        net.stabilize_all();
+        let report = net.audit_state(AuditScope::Full);
+        prop_assert!(report.is_clean(), "after stabilization: {}", report);
+        prop_assert_eq!(report.checked_nodes(), net.node_count());
+    }
+
+    #[test]
     fn owner_is_stable_under_unrelated_churn(seed in 0u64..500) {
         // Adding or removing nodes far from a key must not change its
         // owner unless the owner itself is affected.
