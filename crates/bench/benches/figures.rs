@@ -97,6 +97,7 @@ fn bench_fig12_table5(c: &mut Criterion) {
         lookups: 300,
         audit: false,
         seed: 5,
+        conditions: dht_core::net::NetConditions::ideal(),
     };
     g.bench_function("fig12_table5_churn", |b| {
         b.iter(|| churn_exp::measure(&params))

@@ -8,7 +8,7 @@
 //!
 //! Experiments: `table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10
 //! fig11 table4 fig12 table5 fig13 fig14`, the extensions `extfail
-//! extpath extdegree exthotspot`, and the `all` shorthand.
+//! extpath extdegree exthotspot fault`, and the `all` shorthand.
 //! Flags: `--quick` (reduced workloads), `--seed <u64>` (default 2004),
 //! `--csv` (machine-readable output), `--chart` (terminal line charts
 //! for the line figures).
@@ -19,8 +19,8 @@ use std::time::Instant;
 use bench::render;
 use dht_core::lookup::HopPhase;
 use dht_sim::experiments::{
-    churn_exp, hotspot, key_distribution, maintenance, mass_departure, path_length, query_load,
-    sparsity, ungraceful,
+    churn_exp, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
+    path_length, query_load, sparsity, ungraceful,
 };
 use dht_sim::report::Table;
 
@@ -53,6 +53,7 @@ const ALL: &[&str] = &[
     "extpath",
     "extdegree",
     "exthotspot",
+    "fault",
 ];
 
 fn usage() -> ! {
@@ -250,7 +251,7 @@ fn main() {
                 lookups: 1_000,
                 rates: vec![0.05, 0.20, 0.40],
                 audit: true,
-                seed: opts.seed,
+                ..churn_exp::ChurnExpParams::paper(opts.seed)
             }
         } else {
             churn_exp::ChurnExpParams::paper(opts.seed)
@@ -328,6 +329,23 @@ fn main() {
         };
         let rows = maintenance::measure(&params);
         emit(&render::ext_degree(&rows), opts.csv);
+    }
+
+    if wants("fault") {
+        eprintln!("[repro] running message-loss sweep (fault extension)...");
+        let params = if opts.quick {
+            fault_tolerance::FaultToleranceParams::quick(opts.seed)
+        } else {
+            fault_tolerance::FaultToleranceParams::paper(opts.seed)
+        };
+        let rows = fault_tolerance::measure(&params);
+        emit(&render::fault(&rows), opts.csv);
+        if opts.chart {
+            println!("{}", render::charts::fault(&rows).render());
+        }
+        if rows.iter().any(|r| r.audit.is_some()) {
+            emit(&render::fault_audit(&rows), opts.csv);
+        }
     }
 
     if wants("extfail") {

@@ -2,6 +2,7 @@
 
 use dht_sim::chart::{chart_from_triples, Chart};
 use dht_sim::experiments::churn_exp::ChurnRow;
+use dht_sim::experiments::fault_tolerance::FaultToleranceRow;
 use dht_sim::experiments::key_distribution::KeyDistributionRow;
 use dht_sim::experiments::mass_departure::MassDepartureRow;
 use dht_sim::experiments::path_length::PathLengthRow;
@@ -297,6 +298,60 @@ pub fn churn_audit(rows: &[ChurnRow]) -> Table {
     )
 }
 
+/// Extension: the loss-rate sweep — success, retries, and latency per
+/// overlay under message-level faults.
+#[must_use]
+pub fn fault(rows: &[FaultToleranceRow]) -> Table {
+    let mut t = Table::new(
+        "Extension: lookup resilience under message loss (retry w/ backoff)",
+        &[
+            "loss %",
+            "system",
+            "success %",
+            "path mean",
+            "retries mean (p99)",
+            "msg timeouts mean",
+            "latency ms mean (p50, p99)",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}", 100.0 * r.loss),
+            r.label.clone(),
+            format!("{:.2}", 100.0 * r.success_rate()),
+            f(r.agg.path.mean),
+            format!("{:.3} ({:.0})", r.agg.retries.mean, r.agg.retries.p99),
+            format!("{:.4}", r.agg.msg_timeouts.mean),
+            format!(
+                "{:.1} ({:.1}, {:.1})",
+                r.agg.latency_ms.mean, r.agg.latency_ms.p50, r.agg.latency_ms.p99
+            ),
+        ]);
+    }
+    t
+}
+
+/// Routing-state audit after every lossy cell: message faults must never
+/// mutate routing tables, so every cell must stay clean.
+#[must_use]
+pub fn fault_audit(rows: &[FaultToleranceRow]) -> Table {
+    let triples: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{:.0}%", 100.0 * r.loss),
+                r.label.clone(),
+                audit_cell(r.audit.as_ref()),
+            )
+        })
+        .collect();
+    pivot(
+        "Routing-state audit after lossy lookups (nodes checked)",
+        "loss",
+        &triples,
+    )
+}
+
 /// Fig. 13: mean path length vs degree of sparsity.
 #[must_use]
 pub fn fig13(rows: &[SparsityRow]) -> Table {
@@ -390,6 +445,25 @@ pub mod charts {
             .map(|r| (format!("{:.2}", r.rate), r.label.clone(), r.path.mean))
             .collect();
         chart_from_triples("Fig 12 (chart): mean path length vs churn rate R", &triples)
+    }
+
+    /// The loss sweep as a terminal chart: success rate vs loss.
+    #[must_use]
+    pub fn fault(rows: &[FaultToleranceRow]) -> Chart {
+        let triples: Vec<_> = rows
+            .iter()
+            .map(|r| {
+                (
+                    format!("{:.0}%", 100.0 * r.loss),
+                    r.label.clone(),
+                    100.0 * r.success_rate(),
+                )
+            })
+            .collect();
+        chart_from_triples(
+            "Fault sweep (chart): lookup success % vs message loss",
+            &triples,
+        )
     }
 
     /// Fig. 13 as a terminal chart.

@@ -14,6 +14,10 @@
 //! * [`lookup`] — the per-lookup trace (hops, per-hop phase tags, timeouts,
 //!   success) that every overlay reports and every figure of the paper is
 //!   computed from,
+//! * [`net`] — the deterministic unreliable-network model: a seeded
+//!   [`net::FaultPlan`] (message loss / delay / duplication) plus a
+//!   [`net::RetryPolicy`] (attempts, exponential backoff) applied by the
+//!   shared walk engine to every per-hop contact,
 //! * [`overlay`] — the [`overlay::Overlay`] trait: the uniform simulation
 //!   interface (join / graceful leave / lookup / stabilize / query loads),
 //! * [`ring`] — modular-ring interval and distance arithmetic shared by the
@@ -31,6 +35,7 @@
 pub mod audit;
 pub mod hash;
 pub mod lookup;
+pub mod net;
 pub mod overlay;
 pub mod ring;
 pub mod rng;
@@ -40,6 +45,7 @@ pub mod workload;
 
 pub use audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
+pub use net::{DelayModel, FaultPlan, NetConditions, NetCosts, RetryPolicy};
 pub use overlay::{NodeToken, Overlay};
 pub use sim::{Membership, QueryLoads, SimOverlay, StepDecision};
 pub use stats::Summary;

@@ -4,8 +4,11 @@
 //! A lookup walks node-to-node through an overlay. The overlay records one
 //! [`HopPhase`] per forwarding step, a timeout count (each attempt to
 //! contact a departed node, §4.3: "the number of timeouts experienced by a
-//! lookup is equal to the number of departed nodes encountered"), and the
-//! final [`LookupOutcome`].
+//! lookup is equal to the number of departed nodes encountered"), the
+//! message-level bill under the active fault plan (see [`crate::net`]),
+//! and the final [`LookupOutcome`].
+
+use crate::net::NetCosts;
 
 /// The routing phase a single hop was taken in.
 ///
@@ -82,6 +85,11 @@ pub struct LookupTrace {
     pub outcome: LookupOutcome,
     /// Opaque token of the node the lookup terminated at.
     pub terminal: u64,
+    /// Message-level costs under the active [`crate::net::FaultPlan`]:
+    /// retries, message timeouts, duplicates, and simulated end-to-end
+    /// latency. All-zero when faults are disabled and no stale entry was
+    /// hit.
+    pub net: NetCosts,
 }
 
 impl LookupTrace {
@@ -93,6 +101,7 @@ impl LookupTrace {
             timeouts: 0,
             outcome: LookupOutcome::Found,
             terminal,
+            net: NetCosts::default(),
         }
     }
 
@@ -200,6 +209,7 @@ mod tests {
             timeouts: 0,
             outcome: LookupOutcome::Found,
             terminal: 0,
+            net: NetCosts::default(),
         }
     }
 

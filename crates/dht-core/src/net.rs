@@ -1,0 +1,475 @@
+//! Deterministic message-level fault injection and retry policy.
+//!
+//! The paper's churn evaluation (§4.3–§4.4) counts only *node*-level
+//! failures: a "timeout" is an attempt to contact a departed node
+//! through a stale routing-table entry. Real deployments also lose,
+//! delay, and duplicate individual messages, and the querier responds
+//! with retries and exponential backoff. This module models that layer
+//! for the shared walk engine ([`crate::sim::walk`]):
+//!
+//! * [`FaultPlan`] — a seeded per-message fault model: loss
+//!   probability, round-trip delay distribution in simulated
+//!   microseconds, and optional duplication of delivered messages.
+//! * [`RetryPolicy`] — what the querier does about it: a bounded number
+//!   of attempts per contact, a base timeout, and exponential backoff
+//!   with a cap.
+//! * [`NetConditions`] — the live session combining both plus a
+//!   monotone message counter, owned by every
+//!   [`crate::sim::Membership`]. All fault draws are pure functions of
+//!   `(plan seed, message sequence number)`, so a fixed-seed run is
+//!   bit-identical across executions, independent of the overlay's own
+//!   RNG streams.
+//! * [`NetCosts`] — the per-lookup bill: retries, message-level
+//!   timeouts, duplicate deliveries, and end-to-end simulated latency.
+//!
+//! # Two kinds of timeout
+//!
+//! The engine distinguishes the §4.3 *stale-entry* timeout (the
+//! contacted node has departed; no retry can help; reported in
+//! [`crate::lookup::LookupTrace::timeouts`]) from the *message* timeout
+//! introduced here (the node is live but every one of the
+//! [`RetryPolicy::max_attempts`] sends was lost; reported in
+//! [`NetCosts::msg_timeouts`]). Both cost the querier the full retry
+//! cycle of waiting — it cannot tell the cases apart on the wire — but
+//! only the former may feed repair-on-use, because the latter's target
+//! is still alive and evicting it would let the fault layer mutate
+//! routing state.
+//!
+//! # Zero-cost when disabled
+//!
+//! With [`FaultPlan::none`] every send is delivered on the first
+//! attempt with zero delay: no retries, no message timeouts, no added
+//! latency, and — critically — no change to any routing decision, so
+//! every fixed-seed trace is bit-identical to the engine without this
+//! layer. With `loss = 0.0` and a non-zero delay model, hop counts are
+//! still exactly those of the fault-free engine; only
+//! [`NetCosts::latency_us`] changes.
+
+use crate::hash::splitmix64;
+
+/// Simulated time in microseconds (matches the discrete-event engine's
+/// clock resolution).
+pub type SimMicros = u64;
+
+/// Round-trip delay distribution for one delivered message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Every delivered message takes exactly this round trip, in µs.
+    Constant(SimMicros),
+    /// Round trips drawn uniformly from `[lo, hi]` µs (inclusive).
+    Uniform(SimMicros, SimMicros),
+}
+
+impl DelayModel {
+    /// The round trip for a message whose fault draw is `r`.
+    #[must_use]
+    fn sample(self, r: u64) -> SimMicros {
+        match self {
+            DelayModel::Constant(rtt) => rtt,
+            DelayModel::Uniform(lo, hi) => {
+                let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                let span = hi - lo;
+                if span == 0 {
+                    return lo;
+                }
+                // Lemire reduction onto [0, span] (span < 2^64, so +1 fits
+                // in u128).
+                lo + ((u128::from(r) * (u128::from(span) + 1)) >> 64) as u64
+            }
+        }
+    }
+}
+
+/// A deterministic, seeded per-message fault model.
+///
+/// Every message the walk engine sends consumes one sequence number from
+/// the owning [`NetConditions`]; the loss/delay/duplication draws for
+/// that message are pure functions of `(seed, sequence number)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault draw stream (independent of every overlay RNG).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any single message is lost.
+    pub loss: f64,
+    /// Round-trip delay of delivered messages.
+    pub delay: DelayModel,
+    /// Probability in `[0, 1]` that a delivered message is duplicated.
+    /// Duplicates are idempotent: they are counted
+    /// ([`NetCosts::duplicates`]) but never alter routing.
+    pub duplicate: f64,
+}
+
+impl FaultPlan {
+    /// The ideal network: nothing is lost, delayed, or duplicated.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            loss: 0.0,
+            delay: DelayModel::Constant(0),
+            duplicate: 0.0,
+        }
+    }
+
+    /// A lossy wide-area profile: the given loss rate, 20–80 ms round
+    /// trips, and 1% duplication.
+    #[must_use]
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        Self {
+            seed,
+            loss,
+            delay: DelayModel::Uniform(20_000, 80_000),
+            duplicate: 0.01,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Retry/backoff behaviour of the querier for one contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total sends per contact (first attempt included). At least 1.
+    pub max_attempts: u32,
+    /// Timeout the querier waits before the first retry, in µs.
+    pub base_timeout_us: SimMicros,
+    /// Multiplier applied to the timeout after every failed attempt.
+    pub backoff_factor: u32,
+    /// Upper bound on any single backoff wait, in µs.
+    pub max_timeout_us: SimMicros,
+}
+
+impl RetryPolicy {
+    /// The default querier: 4 attempts, 250 ms base timeout, doubling
+    /// backoff capped at 2 s.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            max_attempts: 4,
+            base_timeout_us: 250_000,
+            backoff_factor: 2,
+            max_timeout_us: 2_000_000,
+        }
+    }
+
+    /// The timeout waited after the `attempt`-th send (1-based) goes
+    /// unanswered: `base * factor^(attempt-1)`, capped.
+    ///
+    /// # Panics
+    /// Panics if `attempt` is zero (attempts are 1-based).
+    #[must_use]
+    pub fn timeout_us(&self, attempt: u32) -> SimMicros {
+        assert!(attempt >= 1, "attempts are 1-based");
+        let factor = u64::from(self.backoff_factor).saturating_pow(attempt - 1);
+        self.base_timeout_us
+            .saturating_mul(factor)
+            .min(self.max_timeout_us)
+    }
+
+    /// Total time spent declaring one contact unreachable: the sum of
+    /// all [`RetryPolicy::max_attempts`] timeouts.
+    #[must_use]
+    pub fn give_up_us(&self) -> SimMicros {
+        (1..=self.max_attempts.max(1))
+            .map(|a| self.timeout_us(a))
+            .fold(0u64, SimMicros::saturating_add)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Outcome of one contact (one candidate, up to
+/// [`RetryPolicy::max_attempts`] sends) under the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactOutcome {
+    /// `true` iff some send was answered within the attempt budget.
+    pub delivered: bool,
+    /// Sends consumed (1 when the first attempt got through).
+    pub attempts: u32,
+    /// Wall-clock cost of the contact: backoff waits for every lost
+    /// send, plus the round trip of the delivered one.
+    pub latency_us: SimMicros,
+    /// `true` iff the delivered message was duplicated in flight.
+    pub duplicated: bool,
+}
+
+/// The live network conditions of one simulated overlay: the fault
+/// plan, the retry policy, and the monotone message counter the
+/// deterministic draws are derived from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConditions {
+    /// Per-message fault model.
+    pub plan: FaultPlan,
+    /// Querier retry/backoff behaviour.
+    pub retry: RetryPolicy,
+    /// Next message sequence number (monotone across all walks).
+    seq: u64,
+}
+
+impl NetConditions {
+    /// Conditions combining `plan` and `retry`, starting at message
+    /// sequence zero.
+    #[must_use]
+    pub fn new(plan: FaultPlan, retry: RetryPolicy) -> Self {
+        Self {
+            plan,
+            retry,
+            seq: 0,
+        }
+    }
+
+    /// The ideal network with the standard retry policy — the default
+    /// of every [`crate::sim::Membership`].
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::new(FaultPlan::none(), RetryPolicy::standard())
+    }
+
+    /// Number of messages sent so far under these conditions.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.seq
+    }
+
+    /// Draws the per-message fault word for the next send.
+    fn next_draw(&mut self) -> u64 {
+        let r = splitmix64(self.plan.seed ^ splitmix64(self.seq ^ 0x006d_6573_7361_6765));
+        self.seq += 1;
+        r
+    }
+
+    /// Contacts a *live* node: sends until a message gets through or the
+    /// attempt budget is spent, accumulating backoff waits and the final
+    /// round trip.
+    pub fn contact(&mut self) -> ContactOutcome {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut latency: SimMicros = 0;
+        for attempt in 1..=max_attempts {
+            let r = self.next_draw();
+            if !roll(r, self.plan.loss) {
+                latency = latency.saturating_add(self.plan.delay.sample(splitmix64(r ^ 0x0072_7474)));
+                return ContactOutcome {
+                    delivered: true,
+                    attempts: attempt,
+                    latency_us: latency,
+                    duplicated: roll(splitmix64(r ^ 0x0064_7570), self.plan.duplicate),
+                };
+            }
+            latency = latency.saturating_add(self.retry.timeout_us(attempt));
+        }
+        ContactOutcome {
+            delivered: false,
+            attempts: max_attempts,
+            latency_us: latency,
+            duplicated: false,
+        }
+    }
+
+    /// Wall-clock cost of contacting a *departed* node (the §4.3
+    /// stale-entry timeout): no send can be answered, so the querier
+    /// burns the full retry cycle before giving up. Consumes no fault
+    /// draws — a dead node answers nothing whether or not the network
+    /// also lost the request.
+    #[must_use]
+    pub fn stale_wait_us(&self) -> SimMicros {
+        self.retry.give_up_us()
+    }
+}
+
+impl Default for NetConditions {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Converts a fault word into a Bernoulli outcome with probability `p`.
+fn roll(r: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    ((r >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+}
+
+/// The message-level bill of one lookup, accumulated by the walk engine
+/// alongside the hop trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCosts {
+    /// Re-sends forced by message loss (attempts beyond the first, over
+    /// all contacts of the walk). Stale-entry detection is *not*
+    /// counted here — see the module docs.
+    pub retries: u32,
+    /// Contacts of live nodes abandoned because every send was lost.
+    pub msg_timeouts: u32,
+    /// Delivered messages that were duplicated in flight (idempotent).
+    pub duplicates: u32,
+    /// Simulated end-to-end latency: per-hop round trips, backoff waits
+    /// for lost sends, and full retry cycles for stale entries and
+    /// unreachable contacts.
+    pub latency_us: SimMicros,
+}
+
+impl NetCosts {
+    /// Folds one contact outcome into the bill.
+    pub fn absorb(&mut self, outcome: &ContactOutcome) {
+        self.retries += outcome.attempts.saturating_sub(1);
+        if !outcome.delivered {
+            self.msg_timeouts += 1;
+        }
+        if outcome.duplicated {
+            self.duplicates += 1;
+        }
+        self.latency_us = self.latency_us.saturating_add(outcome.latency_us);
+    }
+
+    /// Adds the cost of one stale-entry (departed node) detection.
+    pub fn absorb_stale(&mut self, wait_us: SimMicros) {
+        self.latency_us = self.latency_us.saturating_add(wait_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_contact_is_free_and_instant() {
+        let mut net = NetConditions::ideal();
+        for _ in 0..100 {
+            let c = net.contact();
+            assert!(c.delivered);
+            assert_eq!(c.attempts, 1);
+            assert_eq!(c.latency_us, 0);
+            assert!(!c.duplicated);
+        }
+        assert_eq!(net.messages_sent(), 100);
+    }
+
+    #[test]
+    fn total_loss_exhausts_exactly_max_attempts() {
+        let plan = FaultPlan {
+            seed: 3,
+            loss: 1.0,
+            delay: DelayModel::Constant(5_000),
+            duplicate: 0.0,
+        };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_timeout_us: 100,
+            backoff_factor: 2,
+            max_timeout_us: 10_000,
+        };
+        let mut net = NetConditions::new(plan, retry);
+        let c = net.contact();
+        assert!(!c.delivered);
+        assert_eq!(c.attempts, 3);
+        assert_eq!(c.latency_us, 100 + 200 + 400);
+        assert_eq!(net.messages_sent(), 3);
+    }
+
+    #[test]
+    fn backoff_caps_at_max_timeout() {
+        let retry = RetryPolicy {
+            max_attempts: 10,
+            base_timeout_us: 1_000,
+            backoff_factor: 10,
+            max_timeout_us: 50_000,
+        };
+        assert_eq!(retry.timeout_us(1), 1_000);
+        assert_eq!(retry.timeout_us(2), 10_000);
+        assert_eq!(retry.timeout_us(3), 50_000, "capped");
+        assert_eq!(retry.timeout_us(9), 50_000, "saturates without overflow");
+        assert_eq!(
+            retry.give_up_us(),
+            1_000 + 10_000 + 8 * 50_000,
+            "give-up time sums every capped wait"
+        );
+    }
+
+    #[test]
+    fn delay_models_stay_in_bounds() {
+        assert_eq!(DelayModel::Constant(7).sample(u64::MAX), 7);
+        for r in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000, 12345] {
+            let d = DelayModel::Uniform(10, 20).sample(r);
+            assert!((10..=20).contains(&d), "draw {d} outside [10, 20]");
+        }
+        // Reversed and degenerate bounds are tolerated.
+        assert!((10..=20).contains(&DelayModel::Uniform(20, 10).sample(99)));
+        assert_eq!(DelayModel::Uniform(5, 5).sample(42), 5);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed_and_seq() {
+        let plan = FaultPlan::lossy(11, 0.5);
+        let run = || {
+            let mut net = NetConditions::new(plan, RetryPolicy::standard());
+            (0..50).map(|_| net.contact()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // A different seed yields a different outcome sequence.
+        let mut other = NetConditions::new(FaultPlan::lossy(12, 0.5), RetryPolicy::standard());
+        let theirs: Vec<ContactOutcome> = (0..50).map(|_| other.contact()).collect();
+        assert_ne!(run(), theirs);
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let plan = FaultPlan {
+            seed: 5,
+            loss: 0.2,
+            delay: DelayModel::Constant(0),
+            duplicate: 0.0,
+        };
+        // Single-attempt policy so every contact is one Bernoulli draw.
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            base_timeout_us: 1,
+            backoff_factor: 1,
+            max_timeout_us: 1,
+        };
+        let mut net = NetConditions::new(plan, retry);
+        let lost = (0..10_000).filter(|_| !net.contact().delivered).count();
+        assert!(
+            (1_700..=2_300).contains(&lost),
+            "empirical loss {lost}/10000 should be ~2000"
+        );
+    }
+
+    #[test]
+    fn net_costs_absorb_contacts() {
+        let mut costs = NetCosts::default();
+        costs.absorb(&ContactOutcome {
+            delivered: true,
+            attempts: 3,
+            latency_us: 900,
+            duplicated: true,
+        });
+        costs.absorb(&ContactOutcome {
+            delivered: false,
+            attempts: 4,
+            latency_us: 1_500,
+            duplicated: false,
+        });
+        costs.absorb_stale(2_000);
+        assert_eq!(costs.retries, 2 + 3);
+        assert_eq!(costs.msg_timeouts, 1);
+        assert_eq!(costs.duplicates, 1);
+        assert_eq!(costs.latency_us, 900 + 1_500 + 2_000);
+    }
+
+    #[test]
+    fn stale_wait_matches_give_up_cycle() {
+        let net = NetConditions::ideal();
+        assert_eq!(net.stale_wait_us(), net.retry.give_up_us());
+    }
+}

@@ -10,6 +10,7 @@ use rand::RngCore;
 
 use crate::audit::{AuditReport, AuditScope};
 use crate::lookup::LookupTrace;
+use crate::net::NetConditions;
 
 /// Opaque, overlay-assigned identity of a live node.
 ///
@@ -112,6 +113,21 @@ pub trait Overlay {
 
     /// Zeroes all query-load counters.
     fn reset_query_loads(&mut self);
+
+    /// The network conditions (fault plan + retry policy) lookups run
+    /// under. The default is an ideal network; overlays on the shared
+    /// substrate store these in their [`crate::sim::Membership`].
+    fn net_conditions(&self) -> NetConditions {
+        NetConditions::ideal()
+    }
+
+    /// Replaces the network conditions every subsequent lookup runs under.
+    /// The default (for overlays not on the shared substrate) ignores the
+    /// request, matching the ideal network [`Overlay::net_conditions`]
+    /// reports.
+    fn set_net_conditions(&mut self, net: NetConditions) {
+        let _ = net;
+    }
 }
 
 /// Forwarding impl so factory-built `Box<dyn Overlay>` values satisfy
@@ -185,6 +201,14 @@ impl Overlay for Box<dyn Overlay> {
 
     fn reset_query_loads(&mut self) {
         (**self).reset_query_loads();
+    }
+
+    fn net_conditions(&self) -> NetConditions {
+        (**self).net_conditions()
+    }
+
+    fn set_net_conditions(&mut self, net: NetConditions) {
+        (**self).set_net_conditions(net);
     }
 }
 

@@ -48,6 +48,7 @@ use rand::RngCore;
 use crate::audit::{AuditReport, AuditScope};
 use crate::hash::IdAllocator;
 use crate::lookup::{HopPhase, LookupOutcome, LookupTrace};
+use crate::net::{NetConditions, NetCosts};
 use crate::overlay::{NodeToken, Overlay};
 
 /// Per-node lookup-message counters (the paper's §4.2 congestion
@@ -135,17 +136,19 @@ pub struct Membership<S> {
     nodes: BTreeMap<NodeToken, S>,
     loads: QueryLoads,
     alloc: IdAllocator,
+    net: NetConditions,
 }
 
 impl<S> Membership<S> {
     /// Empty membership whose identifier allocator is seeded with
-    /// `seed`.
+    /// `seed`. Network conditions start ideal (no message faults).
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self {
             nodes: BTreeMap::new(),
             loads: QueryLoads::new(),
             alloc: IdAllocator::new(seed),
+            net: NetConditions::ideal(),
         }
     }
 
@@ -321,6 +324,27 @@ impl<S> Membership<S> {
     #[must_use]
     pub fn loads(&self) -> &QueryLoads {
         &self.loads
+    }
+
+    // ------------------------------------------------------------------
+    // Network conditions (message-level fault injection)
+    // ------------------------------------------------------------------
+
+    /// The active network conditions (fault plan + retry policy).
+    #[must_use]
+    pub fn net_conditions(&self) -> &NetConditions {
+        &self.net
+    }
+
+    /// Mutable access to the network conditions — the walk engine draws
+    /// per-message faults through this.
+    pub fn net_conditions_mut(&mut self) -> &mut NetConditions {
+        &mut self.net
+    }
+
+    /// Installs new network conditions, resetting the message counter.
+    pub fn set_net_conditions(&mut self, net: NetConditions) {
+        self.net = net;
     }
 }
 
@@ -505,6 +529,7 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
     let mut cur = src;
     let mut hops: Vec<HopPhase> = Vec::new();
     let mut timeouts: u32 = 0;
+    let mut costs = NetCosts::default();
     if count_loads {
         net.membership_mut().count_query(cur);
     }
@@ -522,8 +547,12 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
                 let mut next: Option<(HopPhase, NodeToken)> = None;
                 // A stale entry costs one timeout; trying the same dead
                 // node twice within one step does not (the querier
-                // remembers who just failed to answer).
+                // remembers who just failed to answer). The same memory
+                // covers live candidates whose messages the fault plan
+                // swallowed (`unreachable_seen`): one exhausted retry
+                // cycle per step, never two.
                 let mut dead_seen: HashSet<NodeToken> = HashSet::new();
+                let mut unreachable_seen: HashSet<NodeToken> = HashSet::new();
                 let mut step_dead: Vec<NodeToken> = Vec::new();
                 for (phase, cand) in candidates {
                     if cand == cur || !net.admit(&state, cur, cand) {
@@ -532,8 +561,24 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
                     if !net.membership().contains(cand) {
                         if dead_seen.insert(cand) {
                             timeouts += 1;
+                            costs.absorb_stale(net.membership().net_conditions().stale_wait_us());
                             step_dead.push(cand);
                         }
+                        continue;
+                    }
+                    if unreachable_seen.contains(&cand) {
+                        continue;
+                    }
+                    // The candidate is live: contact it under the fault
+                    // plan, retrying per the policy.
+                    let contact = net.membership_mut().net_conditions_mut().contact();
+                    costs.absorb(&contact);
+                    if !contact.delivered {
+                        // A message timeout, not a stale entry: the node
+                        // is alive, so it must NOT be reported through
+                        // `timed_out` — repair-on-use evicting it would
+                        // let the fault layer mutate routing state.
+                        unreachable_seen.insert(cand);
                         continue;
                     }
                     next = Some((phase, cand));
@@ -559,6 +604,7 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
         timeouts,
         outcome,
         terminal: cur,
+        net: costs,
     }
 }
 
@@ -630,6 +676,14 @@ impl<T: SimOverlay> Overlay for T {
 
     fn reset_query_loads(&mut self) {
         self.membership_mut().reset_query_loads();
+    }
+
+    fn net_conditions(&self) -> NetConditions {
+        *self.membership().net_conditions()
+    }
+
+    fn set_net_conditions(&mut self, net: NetConditions) {
+        self.membership_mut().set_net_conditions(net);
     }
 }
 
@@ -853,5 +907,121 @@ mod tests {
         let t = walk(&mut net, 0, 40, true);
         assert_eq!(t.outcome, LookupOutcome::HopBudgetExhausted);
         assert_eq!(t.path_len(), 1, "budget of one hop");
+    }
+
+    use crate::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
+
+    #[test]
+    fn ideal_network_walk_has_zero_net_costs() {
+        let mut net = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+        let t = walk(&mut net, 0, 40, true);
+        assert_eq!(t.net, NetCosts::default());
+    }
+
+    #[test]
+    fn zero_loss_with_delay_keeps_hops_identical_but_bills_latency() {
+        let mut ideal = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+        let baseline = walk(&mut ideal, 0, 40, true);
+
+        let mut delayed = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+        let plan = FaultPlan {
+            seed: 11,
+            loss: 0.0,
+            delay: DelayModel::Uniform(10_000, 30_000),
+            duplicate: 0.0,
+        };
+        delayed
+            .membership_mut()
+            .set_net_conditions(NetConditions::new(plan, RetryPolicy::standard()));
+        let t = walk(&mut delayed, 0, 40, true);
+        assert_eq!(t.hops, baseline.hops, "delay must not change routing");
+        assert_eq!(t.outcome, baseline.outcome);
+        assert_eq!(t.net.retries, 0);
+        assert_eq!(t.net.msg_timeouts, 0);
+        let hops = t.path_len() as u64;
+        assert!(
+            t.net.latency_us >= hops * 10_000 && t.net.latency_us <= hops * 30_000,
+            "one RTT draw per hop, within the delay bounds"
+        );
+    }
+
+    #[test]
+    fn lossy_walk_is_deterministic_and_counts_retries() {
+        let run = || {
+            let mut ring = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+            let plan = FaultPlan {
+                seed: 7,
+                loss: 0.4,
+                delay: DelayModel::Constant(1_000),
+                duplicate: 0.1,
+            };
+            ring.membership_mut()
+                .set_net_conditions(NetConditions::new(plan, RetryPolicy::standard()));
+            let mut traces = Vec::new();
+            for key in 0..32u64 {
+                traces.push(walk(&mut ring, 0, key, false));
+            }
+            traces
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hops, y.hops);
+            assert_eq!(x.net, y.net);
+        }
+        let retries: u32 = a.iter().map(|t| t.net.retries).sum();
+        assert!(retries > 0, "40% loss over 32 walks must trigger retries");
+    }
+
+    #[test]
+    fn total_loss_strands_the_source_without_mutating_state() {
+        let mut ring = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+        let before: Vec<u64> = ring.members.tokens();
+        let plan = FaultPlan {
+            seed: 3,
+            loss: 1.0,
+            delay: DelayModel::Constant(0),
+            duplicate: 0.0,
+        };
+        let retry = RetryPolicy::standard();
+        ring.membership_mut()
+            .set_net_conditions(NetConditions::new(plan, retry));
+        let t = walk(&mut ring, 0, 40, true);
+        assert_eq!(t.outcome, LookupOutcome::Stuck);
+        assert_eq!(t.path_len(), 0, "no message ever delivered");
+        assert_eq!(t.timeouts, 0, "live-node losses are not stale timeouts");
+        // Each distinct candidate is tried exactly once per step, and each
+        // failed contact burns exactly max_attempts sends.
+        assert_eq!(t.net.retries, t.net.msg_timeouts * (retry.max_attempts - 1));
+        assert!(t.net.msg_timeouts > 0);
+        assert_eq!(
+            ring.members.tokens(),
+            before,
+            "faults never touch membership"
+        );
+    }
+
+    #[test]
+    fn stale_entries_bill_a_full_retry_cycle_of_latency() {
+        let mut ring = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+        assert!(ring.node_leave(16));
+        let retry = RetryPolicy::standard();
+        ring.membership_mut().set_net_conditions(NetConditions::new(
+            FaultPlan {
+                seed: 5,
+                loss: 0.0,
+                delay: DelayModel::Constant(0),
+                duplicate: 0.0,
+            },
+            retry,
+        ));
+        let t = walk(&mut ring, 0, 40, true);
+        assert_eq!(t.timeouts, 1);
+        assert_eq!(t.net.retries, 0, "stale contacts are not message retries");
+        assert_eq!(
+            t.net.latency_us,
+            retry.give_up_us(),
+            "the one dead contact costs one exhausted retry cycle"
+        );
     }
 }

@@ -86,8 +86,11 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    // Nearest-rank is 1-based; `ceil` sends q = 0.0 to rank 0, which we
+    // define explicitly as the minimum (rank 1) rather than relying on the
+    // lower clamp bound to catch it.
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -150,5 +153,54 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn percentile_rejects_bad_quantile() {
         let _ = percentile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percentile_extreme_quantiles_are_min_and_max() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0, "q = 0 is the minimum");
+        assert_eq!(
+            percentile_sorted(&sorted, 1.0),
+            100.0,
+            "q = 1 is the maximum"
+        );
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample_for_all_quantiles() {
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_sorted(&[7.5], q), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_two_samples_split_at_the_median() {
+        let sorted = [1.0, 2.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.01), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.50), 1.0, "rank ceil(1.0) = 1");
+        assert_eq!(percentile_sorted(&sorted, 0.51), 2.0, "rank ceil(1.02) = 2");
+        assert_eq!(percentile_sorted(&sorted, 0.99), 2.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_empty_sample_is_zero_at_any_quantile() {
+        assert_eq!(percentile_sorted(&[], 0.0), 0.0);
+        assert_eq!(percentile_sorted(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn of_counts_survives_u64_max() {
+        let s = Summary::of_counts(&[u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(s.n, 3);
+        let expect = u64::MAX as f64;
+        assert_eq!(s.mean, expect);
+        assert_eq!(s.min, expect);
+        assert_eq!(s.max, expect);
+        assert_eq!(s.p01, expect);
+        assert_eq!(s.p99, expect);
+        assert_eq!(s.std_dev, 0.0, "identical samples have zero spread");
+        assert!(s.mean.is_finite());
     }
 }

@@ -9,6 +9,7 @@
 
 use dht_core::audit::{AuditReport, AuditScope};
 use dht_core::lookup::LookupTrace;
+use dht_core::net::NetConditions;
 use dht_core::overlay::Overlay;
 use rand::{Rng, RngCore};
 
@@ -30,6 +31,9 @@ pub struct ChurnParams {
     /// Run the online state audit (see [`dht_core::audit`]) after every
     /// full stabilization round and at the end of the run.
     pub audit: bool,
+    /// Network conditions (fault plan + retry policy) lookups run under,
+    /// so message loss and churn compose. Default: an ideal network.
+    pub conditions: NetConditions,
 }
 
 impl Default for ChurnParams {
@@ -41,6 +45,7 @@ impl Default for ChurnParams {
             lookups: 10_000,
             warmup_lookups: 200,
             audit: false,
+            conditions: NetConditions::ideal(),
         }
     }
 }
@@ -60,6 +65,11 @@ pub struct ChurnOutcome {
     pub leaves: usize,
     /// Final network size.
     pub final_size: usize,
+    /// Message retries of every measured lookup (loss-induced re-sends;
+    /// all-zero under an ideal [`ChurnParams::conditions`]).
+    pub retries: Vec<u64>,
+    /// Simulated end-to-end latency of every measured lookup, in µs.
+    pub latency_us: Vec<u64>,
     /// Accumulated online audit (one pass per stabilization round plus a
     /// final pass), when [`ChurnParams::audit`] was set.
     pub audit: Option<AuditReport>,
@@ -88,6 +98,7 @@ pub fn run_churn(
     rng: &mut impl RngCore,
 ) -> ChurnOutcome {
     assert!(overlay.len() > 1, "churn needs a populated overlay");
+    overlay.set_net_conditions(params.conditions);
     let period = params.stabilization_period_secs.max(1);
     let mut queue: EventQueue<Event> = EventQueue::new();
     queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
@@ -106,6 +117,8 @@ pub fn run_churn(
         joins: 0,
         leaves: 0,
         final_size: 0,
+        retries: Vec::with_capacity(params.lookups),
+        latency_us: Vec::with_capacity(params.lookups),
         audit: params
             .audit
             .then(|| AuditReport::new(overlay.name(), AuditScope::Online)),
@@ -122,6 +135,8 @@ pub fn run_churn(
                     if seen_lookups > params.warmup_lookups {
                         outcome.path_lens.push(trace.path_len());
                         outcome.timeouts.push(u64::from(trace.timeouts));
+                        outcome.retries.push(u64::from(trace.net.retries));
+                        outcome.latency_us.push(trace.net.latency_us);
                         if !trace.outcome.is_success() {
                             outcome.failures += 1;
                         }
@@ -190,6 +205,7 @@ mod tests {
             lookups: 300,
             warmup_lookups: 20,
             audit: false,
+            conditions: NetConditions::ideal(),
         }
     }
 
@@ -244,6 +260,29 @@ mod tests {
         let mut rng = stream(12, "no-audit");
         let out = run_churn(net.as_mut(), small_params(0.1), &mut rng);
         assert!(out.audit.is_none());
+    }
+
+    #[test]
+    fn lossy_churn_composes_and_stays_deterministic() {
+        use dht_core::net::{FaultPlan, RetryPolicy};
+        let run = || {
+            let mut net = build_overlay(OverlayKind::Cycloid7, 128, 21);
+            let mut rng = stream(22, "lossy-churn");
+            let mut params = small_params(0.2);
+            params.conditions =
+                NetConditions::new(FaultPlan::lossy(5, 0.05), RetryPolicy::standard());
+            run_churn(net.as_mut(), params, &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.path_lens, b.path_lens);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.latency_us, b.latency_us);
+        assert_eq!(a.retries.len(), 300);
+        assert!(a.retries.iter().sum::<u64>() > 0, "5% loss must retry");
+        // Zero-hop lookups (source owns the key) legitimately bill nothing,
+        // so check the aggregate rather than every sample.
+        assert!(a.latency_us.iter().sum::<u64>() > 0, "hops are billed");
     }
 
     #[test]

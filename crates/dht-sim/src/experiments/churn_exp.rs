@@ -6,6 +6,7 @@
 //! the network starts with 2048 nodes.
 
 use crossbeam::thread;
+use dht_core::net::NetConditions;
 use dht_core::rng::stream_indexed;
 use dht_core::stats::Summary;
 
@@ -26,6 +27,9 @@ pub struct ChurnExpParams {
     /// Run the online protocol-invariant audit during every cell (see
     /// [`dht_core::audit`]).
     pub audit: bool,
+    /// Network conditions lookups run under, so message loss composes
+    /// with churn. Default: an ideal network (the paper's setting).
+    pub conditions: NetConditions,
     /// Master seed.
     pub seed: u64,
 }
@@ -40,6 +44,7 @@ impl ChurnExpParams {
             rates: vec![0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40],
             lookups: 10_000,
             audit: false,
+            conditions: NetConditions::ideal(),
             seed,
         }
     }
@@ -53,6 +58,7 @@ impl ChurnExpParams {
             rates: vec![0.10, 0.40],
             lookups: 400,
             audit: true,
+            conditions: NetConditions::ideal(),
             seed,
         }
     }
@@ -77,6 +83,11 @@ pub struct ChurnRow {
     pub leaves: usize,
     /// Network size at the end of the run.
     pub final_size: usize,
+    /// Per-lookup message-retry distribution (all-zero under the ideal
+    /// default [`ChurnExpParams::conditions`]).
+    pub retries: Summary,
+    /// Per-lookup simulated end-to-end latency in milliseconds.
+    pub latency_ms: Summary,
     /// Accumulated online audit, when [`ChurnExpParams::audit`] was set.
     pub audit: Option<dht_core::audit::AuditReport>,
 }
@@ -109,8 +120,14 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         lookups: params.lookups,
                         warmup_lookups: params.lookups / 50,
                         audit: params.audit,
+                        conditions: params.conditions,
                     };
                     let out: ChurnOutcome = run_churn(net.as_mut(), churn_params, &mut rng);
+                    let latency_ms: Vec<f64> = out
+                        .latency_us
+                        .iter()
+                        .map(|&us| us as f64 / 1_000.0)
+                        .collect();
                     ChurnRow {
                         label: net.name(),
                         rate,
@@ -120,6 +137,8 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         joins: out.joins,
                         leaves: out.leaves,
                         final_size: out.final_size,
+                        retries: Summary::of_counts(&out.retries),
+                        latency_ms: Summary::of(&latency_ms),
                         audit: out.audit,
                     }
                 }),

@@ -6,6 +6,7 @@
 //! set for fast smoke runs.
 
 pub mod churn_exp;
+pub mod fault_tolerance;
 pub mod hotspot;
 pub mod key_distribution;
 pub mod maintenance;
@@ -36,6 +37,16 @@ pub struct LookupAggregate {
     pub failures: usize,
     /// Per-phase hop accounting.
     pub breakdown: PhaseBreakdown,
+    /// Per-lookup message-retry distribution (loss-induced re-sends only;
+    /// all-zero on an ideal network).
+    pub retries: Summary,
+    /// Per-lookup message-timeout distribution: live contacts abandoned
+    /// after the retry policy's final attempt. Distinct from
+    /// [`LookupAggregate::timeouts`], the §4.3 stale-entry count.
+    pub msg_timeouts: Summary,
+    /// Per-lookup simulated end-to-end latency in milliseconds (RTT draws
+    /// plus backoff waits under the active fault plan).
+    pub latency_ms: Summary,
 }
 
 /// Runs a batch of lookup requests and aggregates the traces.
@@ -43,12 +54,18 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
     let n_start = overlay.len();
     let mut paths = Vec::with_capacity(reqs.len());
     let mut timeouts = Vec::with_capacity(reqs.len());
+    let mut retries = Vec::with_capacity(reqs.len());
+    let mut msg_timeouts = Vec::with_capacity(reqs.len());
+    let mut latency_ms = Vec::with_capacity(reqs.len());
     let mut failures = 0usize;
     let mut breakdown = PhaseBreakdown::new();
     for req in reqs {
         let trace = overlay.lookup(req.src, req.raw_key);
         paths.push(trace.path_len());
         timeouts.push(u64::from(trace.timeouts));
+        retries.push(u64::from(trace.net.retries));
+        msg_timeouts.push(u64::from(trace.net.msg_timeouts));
+        latency_ms.push(trace.net.latency_us as f64 / 1_000.0);
         if !trace.outcome.is_success() {
             failures += 1;
         }
@@ -61,6 +78,9 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
         timeouts: Summary::of_counts(&timeouts),
         failures,
         breakdown,
+        retries: Summary::of_counts(&retries),
+        msg_timeouts: Summary::of_counts(&msg_timeouts),
+        latency_ms: Summary::of(&latency_ms),
     }
 }
 
@@ -100,5 +120,26 @@ mod tests {
         assert_eq!(agg.failures, 0);
         assert_eq!(agg.breakdown.lookups(), 200);
         assert!(agg.path.mean > 0.0);
+        assert_eq!(agg.retries.max, 0.0, "ideal network never retries");
+        assert_eq!(agg.msg_timeouts.max, 0.0);
+        assert_eq!(agg.latency_ms.max, 0.0, "ideal network is instantaneous");
+    }
+
+    #[test]
+    fn run_requests_bills_faults_when_enabled() {
+        use dht_core::net::{FaultPlan, NetConditions, RetryPolicy};
+        let mut net = build_overlay(OverlayKind::Cycloid7, 64, 1);
+        net.set_net_conditions(NetConditions::new(
+            FaultPlan::lossy(9, 0.10),
+            RetryPolicy::standard(),
+        ));
+        let reqs = random_pairs(net.as_ref(), 200, &mut stream(2, "agg"));
+        let agg = run_requests(net.as_mut(), &reqs);
+        assert!(
+            agg.retries.max > 0.0,
+            "10% loss over 200 lookups must retry"
+        );
+        assert!(agg.latency_ms.mean > 0.0, "delay model bills every hop");
+        assert_eq!(agg.failures, 0, "retry policy rides out 10% loss");
     }
 }

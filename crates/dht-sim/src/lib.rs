@@ -7,9 +7,10 @@
 //! * [`event`] — a minimal discrete-event queue with Poisson arrival
 //!   streams,
 //! * [`churn`] — the §4.4 continuous join/leave simulation (lookups at one
-//!   per second, churn at rate `R`, stabilization every 30 s),
+//!   per second, churn at rate `R`, stabilization every 30 s), optionally
+//!   composed with a message-level [`dht_core::net::FaultPlan`],
 //! * [`experiments`] — one driver per table/figure, returning structured
-//!   rows,
+//!   rows, including the [`experiments::fault_tolerance`] loss-rate sweep,
 //! * [`report`] — fixed-width table and CSV rendering for the `repro`
 //!   binary,
 //! * [`chart`] — terminal line charts so the figures render as figures.

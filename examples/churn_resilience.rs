@@ -77,6 +77,7 @@ fn main() {
                 lookups: 2_000,
                 warmup_lookups: 100,
                 audit: true,
+                ..ChurnParams::default()
             },
             &mut rng,
         );

@@ -6,8 +6,8 @@ use dht_core::audit::AuditScope;
 use dht_core::overlay::Overlay;
 use dht_core::rng::stream;
 use dht_sim::experiments::{
-    churn_exp, hotspot, key_distribution, maintenance, mass_departure, path_length, query_load,
-    sparsity, static_tables, ungraceful,
+    churn_exp, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
+    path_length, query_load, sparsity, static_tables, ungraceful,
 };
 use dht_sim::{build_overlay, build_overlay_spaced, OverlayKind, ALL_KINDS, PAPER_KINDS};
 use rand::Rng;
@@ -125,6 +125,49 @@ fn hotspot_extension_driver() {
     let rows = hotspot::measure(&hotspot::HotspotParams::quick(9));
     for r in &rows {
         assert!(r.amplification() > 1.0, "{}", r.label);
+    }
+}
+
+#[test]
+fn fault_tolerance_extension_driver() {
+    let params = fault_tolerance::FaultToleranceParams::quick(20);
+    let rows = fault_tolerance::measure(&params);
+    // All 8 kinds x 6 loss rates.
+    assert_eq!(rows.len(), params.kinds.len() * params.losses.len());
+    assert_eq!(rows.len(), 48);
+    for r in &rows {
+        assert_eq!(r.agg.path.n, params.lookups, "{} at {}", r.label, r.loss);
+        assert!(r.success_rate() > 0.9, "{} at {}% loss", r.label, r.loss);
+        assert!(r.agg.latency_ms.mean > 0.0, "{}", r.label);
+        if r.loss == 0.0 {
+            assert_eq!(r.agg.retries.max, 0.0, "{}", r.label);
+            assert_eq!(r.agg.failures, 0, "{}", r.label);
+        }
+    }
+    // Rows are ordered loss-major: for every kind, the zero-loss cell
+    // retries nothing and the 20%-loss cell retries plenty.
+    let kinds = params.kinds.len();
+    for (k, kind) in params.kinds.iter().enumerate() {
+        let first = &rows[k];
+        let last = &rows[(params.losses.len() - 1) * kinds + k];
+        assert_eq!(first.agg.retries.mean, 0.0, "{}", kind.label());
+        assert!(
+            last.agg.retries.mean > first.agg.retries.mean,
+            "{}: retries must grow with loss",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn fault_tolerance_audit_smoke() {
+    // Quick params run with per-cell full-scope audits: message faults
+    // must never mutate routing state at any loss rate.
+    let rows = fault_tolerance::measure(&fault_tolerance::FaultToleranceParams::quick(21));
+    for r in &rows {
+        let audit = r.audit.as_ref().expect("quick params enable auditing");
+        assert!(audit.checked_nodes() > 0);
+        assert!(audit.is_clean(), "{} at {}% loss: {audit}", r.label, r.loss);
     }
 }
 

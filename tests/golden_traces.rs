@@ -8,6 +8,11 @@
 //! extra phase, a new terminal) shifts at least one line and fails the
 //! test for that overlay.
 //!
+//! The `*_lossy` variants replay the same workload under a fixed
+//! [`FaultPlan`] (10% loss, 20–80 ms RTT, 2% duplication) and additionally
+//! pin each lookup's message retries and simulated latency, covering the
+//! deterministic fault path end to end.
+//!
 //! To regenerate after an *intentional* routing change:
 //!
 //! ```text
@@ -19,6 +24,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use cycloid_repro::prelude::{build_overlay, OverlayKind};
+use dht_core::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
 use dht_core::rng::stream;
 use rand::Rng;
 
@@ -29,10 +35,28 @@ const SEED: u64 = 42;
 /// Lookups recorded per overlay.
 const LOOKUPS: usize = 48;
 
+/// The fixed fault plan behind every `*_lossy` golden file.
+fn lossy_conditions() -> NetConditions {
+    NetConditions::new(
+        FaultPlan {
+            seed: 7,
+            loss: 0.10,
+            delay: DelayModel::Uniform(20_000, 80_000),
+            duplicate: 0.02,
+        },
+        RetryPolicy::standard(),
+    )
+}
+
 /// Replays the fixed workload on a freshly built overlay and renders the
-/// trace file content.
-fn render_traces(kind: OverlayKind) -> String {
+/// trace file content. With `conditions`, lookups run under that fault
+/// plan and every line additionally pins retries and latency; without,
+/// the format is byte-identical to the pre-fault-layer files.
+fn render_traces(kind: OverlayKind, conditions: Option<NetConditions>) -> String {
     let mut net = build_overlay(kind, NODES, SEED);
+    if let Some(c) = conditions {
+        net.set_net_conditions(c);
+    }
     let tokens = net.node_tokens();
     let mut keys = stream(SEED, "golden-keys");
     let mut out = String::new();
@@ -42,11 +66,32 @@ fn render_traces(kind: OverlayKind) -> String {
         net.name()
     )
     .unwrap();
-    writeln!(
-        out,
-        "# line: index src key -> outcome @terminal timeouts phases"
-    )
-    .unwrap();
+    if let Some(c) = conditions {
+        writeln!(
+            out,
+            "# fault plan: seed={} loss={} delay={:?} duplicate={} retry(max_attempts={} base_us={} factor={} cap_us={})",
+            c.plan.seed,
+            c.plan.loss,
+            c.plan.delay,
+            c.plan.duplicate,
+            c.retry.max_attempts,
+            c.retry.base_timeout_us,
+            c.retry.backoff_factor,
+            c.retry.max_timeout_us
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "# line: index src key -> outcome @terminal timeouts retries latency_us phases"
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "# line: index src key -> outcome @terminal timeouts phases"
+        )
+        .unwrap();
+    }
     for i in 0..LOOKUPS {
         let src = tokens[i % tokens.len()];
         let key: u64 = keys.gen();
@@ -61,12 +106,21 @@ fn render_traces(kind: OverlayKind) -> String {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        writeln!(
-            out,
-            "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} {phases}",
-            trace.outcome, trace.terminal, trace.timeouts
-        )
-        .unwrap();
+        if conditions.is_some() {
+            writeln!(
+                out,
+                "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} retries={} latency_us={} {phases}",
+                trace.outcome, trace.terminal, trace.timeouts, trace.net.retries, trace.net.latency_us
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} {phases}",
+                trace.outcome, trace.terminal, trace.timeouts
+            )
+            .unwrap();
+        }
     }
     out
 }
@@ -80,7 +134,11 @@ fn golden_path(name: &str) -> PathBuf {
 /// Compares the replayed trace against the checked-in golden file, or
 /// rewrites the file when `GOLDEN_REGEN` is set.
 fn check_golden(kind: OverlayKind, name: &str) {
-    let actual = render_traces(kind);
+    check_golden_with(kind, name, None);
+}
+
+fn check_golden_with(kind: OverlayKind, name: &str, conditions: Option<NetConditions>) {
+    let actual = render_traces(kind, conditions);
     let path = golden_path(name);
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
@@ -159,11 +217,29 @@ fn golden_can() {
 }
 
 #[test]
+fn golden_cycloid7_lossy() {
+    check_golden_with(
+        OverlayKind::Cycloid7,
+        "cycloid7_lossy",
+        Some(lossy_conditions()),
+    );
+}
+
+#[test]
+fn golden_chord_lossy() {
+    check_golden_with(OverlayKind::Chord, "chord_lossy", Some(lossy_conditions()));
+}
+
+#[test]
 fn golden_workload_is_replayable() {
     // The harness itself must be deterministic, or the files would churn
     // on every regeneration.
     assert_eq!(
-        render_traces(OverlayKind::Chord),
-        render_traces(OverlayKind::Chord)
+        render_traces(OverlayKind::Chord, None),
+        render_traces(OverlayKind::Chord, None)
+    );
+    assert_eq!(
+        render_traces(OverlayKind::Chord, Some(lossy_conditions())),
+        render_traces(OverlayKind::Chord, Some(lossy_conditions()))
     );
 }
