@@ -4,23 +4,32 @@
 //! cargo run --release -p bench --bin repro -- all
 //! cargo run --release -p bench --bin repro -- fig5 fig7 --quick
 //! cargo run --release -p bench --bin repro -- table4 --seed 7 --csv
+//! cargo run --release -p bench --bin repro -- path --quick --metrics-out bench-out
+//! cargo run --release -p bench --bin repro -- metrics --metrics-out bench-out
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10
 //! fig11 table4 fig12 table5 fig13 fig14`, the extensions `extfail
-//! extpath extdegree exthotspot fault`, and the `all` shorthand.
+//! extpath extdegree exthotspot fault`, the `all` shorthand, the `path`
+//! alias (figs 5–7), and `metrics` (summarise previously written
+//! `BENCH_*.json` files).
 //! Flags: `--quick` (reduced workloads), `--seed <u64>` (default 2004),
 //! `--csv` (machine-readable output), `--chart` (terminal line charts
-//! for the line figures).
+//! for the line figures), `--metrics-out <dir>` (write one versioned
+//! `BENCH_<experiment>.json` per experiment group), `--quiet` (suppress
+//! progress lines; `REPRO_LOG=debug|info|quiet` overrides).
 
 use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
 use std::time::Instant;
 
-use bench::render;
+use bench::{metrics_io, render};
 use dht_core::lookup::HopPhase;
+use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Progress};
 use dht_sim::experiments::{
     churn_exp, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
-    path_length, query_load, sparsity, ungraceful,
+    path_length, query_load, sparsity, static_tables, ungraceful,
 };
 use dht_sim::report::Table;
 
@@ -30,6 +39,8 @@ struct Options {
     quick: bool,
     csv: bool,
     chart: bool,
+    quiet: bool,
+    metrics_out: Option<PathBuf>,
     seed: u64,
 }
 
@@ -58,8 +69,9 @@ const ALL: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--seed N]\n\
-         experiments: {} all",
+        "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--quiet]\n\
+         \x20            [--seed N] [--metrics-out DIR]\n\
+         experiments: {} all path metrics",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -71,6 +83,8 @@ fn parse_args() -> Options {
         quick: false,
         csv: false,
         chart: false,
+        quiet: false,
+        metrics_out: None,
         seed: 2004, // IPPS 2004
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -79,6 +93,11 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--csv" => opts.csv = true,
             "--chart" => opts.chart = true,
+            "--quiet" => opts.quiet = true,
+            "--metrics-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.metrics_out = Some(PathBuf::from(v));
+            }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
@@ -86,6 +105,13 @@ fn parse_args() -> Options {
             "--help" | "-h" => usage(),
             "all" => {
                 opts.experiments.extend(ALL.iter().map(|s| s.to_string()));
+            }
+            "path" => {
+                opts.experiments
+                    .extend(["fig5", "fig6", "fig7"].map(str::to_string));
+            }
+            "metrics" => {
+                opts.experiments.insert("metrics".to_string());
             }
             name if ALL.contains(&name) => {
                 opts.experiments.insert(name.to_string());
@@ -108,13 +134,90 @@ fn emit(table: &Table, csv: bool) {
     }
 }
 
+/// Summarises previously exported `BENCH_*.json` files from `dir`.
+/// Exits nonzero when the directory is unreadable or any document fails
+/// schema validation.
+fn run_metrics(dir: &std::path::Path, csv: bool, progress: &Progress) {
+    let entries = match metrics_io::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("[repro] error: cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!(
+            "[repro] error: no BENCH_*.json files in {} (run an experiment with --metrics-out first)",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    let mut files = Vec::new();
+    let mut bad = 0usize;
+    for (path, loaded) in entries {
+        match loaded {
+            Ok(file) => files.push(file),
+            Err(e) => {
+                bad += 1;
+                eprintln!("[repro] error: {}: {e}", path.display());
+            }
+        }
+    }
+    progress.info(format!(
+        "validated {} benchmark file(s) in {}",
+        files.len(),
+        dir.display()
+    ));
+    emit(&render::metrics_summary(&files), csv);
+    if bad > 0 {
+        eprintln!("[repro] error: {bad} invalid benchmark file(s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    let progress = Progress::from_env(
+        "repro",
+        "REPRO_LOG",
+        if opts.quiet {
+            LogLevel::Quiet
+        } else {
+            LogLevel::Info
+        },
+    );
     let wants = |name: &str| opts.experiments.contains(name);
     let started = Instant::now();
 
+    // Writes one versioned BENCH_<experiment>.json when --metrics-out is
+    // set; a write failure is fatal (CI consumes these files).
+    let write_bench = |experiment: &str, reg: &MetricsRegistry| {
+        let Some(dir) = &opts.metrics_out else {
+            return;
+        };
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("[repro] error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let meta = BenchMeta {
+            experiment: experiment.to_string(),
+            git_rev: metrics_io::git_rev(),
+            seed: opts.seed,
+            quick: opts.quick,
+        };
+        let path = dir.join(format!("BENCH_{experiment}.json"));
+        if let Err(e) = fs::write(&path, to_bench_json(&meta, reg)) {
+            eprintln!("[repro] error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        progress.info(format!("wrote {}", path.display()));
+    };
+
     if wants("table1") {
         emit(&render::table1(), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        static_tables::register_metrics(&mut reg);
+        write_bench("static_tables", &reg);
     }
     if wants("table2") {
         emit(&render::table2(), opts.csv);
@@ -125,7 +228,7 @@ fn main() {
 
     // Figs. 5/6/7 share one sweep.
     if wants("fig5") || wants("fig6") || wants("fig7") {
-        eprintln!("[repro] running path-length sweep (figs 5-7)...");
+        progress.info("running path-length sweep (figs 5-7)...");
         let params = if opts.quick {
             path_length::PathLengthParams::quick(opts.seed)
         } else {
@@ -158,10 +261,13 @@ fn main() {
                 opts.csv,
             );
         }
+        let mut reg = MetricsRegistry::new();
+        path_length::register_metrics(&rows, &mut reg);
+        write_bench("path_length", &reg);
     }
 
     if wants("fig8") {
-        eprintln!("[repro] running key-distribution sweep (fig 8, dense)...");
+        progress.info("running key-distribution sweep (fig 8, dense)...");
         let params = if opts.quick {
             key_distribution::KeyDistributionParams {
                 nodes: 2000,
@@ -179,10 +285,13 @@ fn main() {
             ),
             opts.csv,
         );
+        let mut reg = MetricsRegistry::new();
+        key_distribution::register_metrics(&rows, &mut reg);
+        write_bench("key_distribution_dense", &reg);
     }
 
     if wants("fig9") {
-        eprintln!("[repro] running key-distribution sweep (fig 9, sparse)...");
+        progress.info("running key-distribution sweep (fig 9, sparse)...");
         let params = if opts.quick {
             key_distribution::KeyDistributionParams {
                 nodes: 1000,
@@ -200,10 +309,13 @@ fn main() {
             ),
             opts.csv,
         );
+        let mut reg = MetricsRegistry::new();
+        key_distribution::register_metrics(&rows, &mut reg);
+        write_bench("key_distribution_sparse", &reg);
     }
 
     if wants("fig10") {
-        eprintln!("[repro] running query-load sweep (fig 10)...");
+        progress.info("running query-load sweep (fig 10)...");
         let params = if opts.quick {
             query_load::QueryLoadParams {
                 sizes: vec![64, 512],
@@ -215,10 +327,13 @@ fn main() {
         };
         let rows = query_load::measure(&params);
         emit(&render::fig10(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        query_load::register_metrics(&rows, &mut reg);
+        write_bench("query_load", &reg);
     }
 
     if wants("fig11") || wants("table4") {
-        eprintln!("[repro] running mass-departure sweep (fig 11 / table 4)...");
+        progress.info("running mass-departure sweep (fig 11 / table 4)...");
         let params = if opts.quick {
             mass_departure::MassDepartureParams {
                 kinds: dht_sim::PAPER_KINDS.to_vec(),
@@ -240,10 +355,13 @@ fn main() {
             emit(&render::table4(&rows), opts.csv);
             emit(&render::table4_failures(&rows), opts.csv);
         }
+        let mut reg = MetricsRegistry::new();
+        mass_departure::register_metrics(&rows, &mut reg);
+        write_bench("mass_departure", &reg);
     }
 
     if wants("fig12") || wants("table5") {
-        eprintln!("[repro] running churn sweep (fig 12 / table 5)...");
+        progress.info("running churn sweep (fig 12 / table 5)...");
         let params = if opts.quick {
             churn_exp::ChurnExpParams {
                 kinds: dht_sim::PAPER_KINDS.to_vec(),
@@ -269,10 +387,13 @@ fn main() {
         if rows.iter().any(|r| r.audit.is_some()) {
             emit(&render::churn_audit(&rows), opts.csv);
         }
+        let mut reg = MetricsRegistry::new();
+        churn_exp::register_metrics(&rows, &mut reg);
+        write_bench("churn", &reg);
     }
 
     if wants("fig13") || wants("fig14") {
-        eprintln!("[repro] running sparsity sweep (figs 13-14)...");
+        progress.info("running sparsity sweep (figs 13-14)...");
         let params = if opts.quick {
             sparsity::SparsityParams {
                 kinds: dht_sim::PAPER_KINDS.to_vec(),
@@ -294,10 +415,13 @@ fn main() {
         if wants("fig14") {
             emit(&render::fig14(&rows), opts.csv);
         }
+        let mut reg = MetricsRegistry::new();
+        sparsity::register_metrics(&rows, &mut reg);
+        write_bench("sparsity", &reg);
     }
 
     if wants("extpath") {
-        eprintln!("[repro] running extended path-length comparison (Pastry, CAN)...");
+        progress.info("running extended path-length comparison (Pastry, CAN)...");
         let params = path_length::PathLengthParams {
             kinds: dht_sim::EXTENDED_KINDS.to_vec(),
             sizes: vec![(4, 64), (5, 160), (6, 384)],
@@ -307,10 +431,13 @@ fn main() {
         };
         let rows = path_length::measure(&params);
         emit(&render::ext_path(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        path_length::register_metrics(&rows, &mut reg);
+        write_bench("ext_path", &reg);
     }
 
     if wants("exthotspot") {
-        eprintln!("[repro] running hot-spot workload extension...");
+        progress.info("running hot-spot workload extension...");
         let params = if opts.quick {
             hotspot::HotspotParams::quick(opts.seed)
         } else {
@@ -318,10 +445,13 @@ fn main() {
         };
         let rows = hotspot::measure(&params);
         emit(&render::ext_hotspot(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        hotspot::register_metrics(&rows, &mut reg);
+        write_bench("hotspot", &reg);
     }
 
     if wants("extdegree") {
-        eprintln!("[repro] measuring maintenance degrees (extension)...");
+        progress.info("measuring maintenance degrees (extension)...");
         let params = if opts.quick {
             maintenance::MaintenanceParams::quick(opts.seed)
         } else {
@@ -329,10 +459,13 @@ fn main() {
         };
         let rows = maintenance::measure(&params);
         emit(&render::ext_degree(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        maintenance::register_metrics(&rows, &mut reg);
+        write_bench("maintenance", &reg);
     }
 
     if wants("fault") {
-        eprintln!("[repro] running message-loss sweep (fault extension)...");
+        progress.info("running message-loss sweep (fault extension)...");
         let params = if opts.quick {
             fault_tolerance::FaultToleranceParams::quick(opts.seed)
         } else {
@@ -346,10 +479,13 @@ fn main() {
         if rows.iter().any(|r| r.audit.is_some()) {
             emit(&render::fault_audit(&rows), opts.csv);
         }
+        let mut reg = MetricsRegistry::new();
+        fault_tolerance::register_metrics(&rows, &mut reg);
+        write_bench("fault", &reg);
     }
 
     if wants("extfail") {
-        eprintln!("[repro] running ungraceful-failure extension...");
+        progress.info("running ungraceful-failure extension...");
         let params = if opts.quick {
             ungraceful::UngracefulParams::quick(opts.seed)
         } else {
@@ -357,12 +493,25 @@ fn main() {
         };
         let rows = ungraceful::measure(&params);
         emit(&render::ext_failures(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        ungraceful::register_metrics(&rows, &mut reg);
+        write_bench("ungraceful", &reg);
     }
 
-    eprintln!(
-        "[repro] done in {:.1}s (seed {}, {})",
+    // Reader side, after any producers so `repro path metrics
+    // --metrics-out d` summarises what this very invocation wrote.
+    if wants("metrics") {
+        let dir = opts
+            .metrics_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("bench-out"));
+        run_metrics(&dir, opts.csv, &progress);
+    }
+
+    progress.info(format!(
+        "done in {:.1}s (seed {}, {})",
         started.elapsed().as_secs_f64(),
         opts.seed,
         if opts.quick { "quick" } else { "paper scale" }
-    );
+    ));
 }

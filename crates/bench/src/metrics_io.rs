@@ -1,0 +1,223 @@
+//! Reading and validating the `BENCH_*.json` documents `repro` writes.
+//!
+//! The schema (version 1) is produced by
+//! [`dht_core::obs::to_bench_json`]; this module is the consuming side:
+//! it re-parses the documents with the same zero-dependency JSON reader
+//! and checks every field the writer promises, so a drifting writer
+//! fails the `metrics` subcommand (and CI) instead of silently emitting
+//! documents downstream tooling cannot read.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dht_core::obs::json::{self, Json};
+use dht_core::obs::SCHEMA_VERSION;
+
+/// Short git revision of the working tree, or `"unknown"` when git (or
+/// the repository) is unavailable — e.g. when building from a tarball.
+#[must_use]
+pub fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One loaded and schema-validated benchmark document.
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// Where the document was read from.
+    pub path: PathBuf,
+    /// The parsed document.
+    pub doc: Json,
+}
+
+fn require_str(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field \"{key}\""))
+}
+
+fn require_num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field \"{key}\""))
+}
+
+fn validate_metric(entry: &Json) -> Result<(), String> {
+    let name = require_str(entry, "name")?;
+    let kind = require_str(entry, "type")?;
+    let ctx = |e: String| format!("metric \"{name}\": {e}");
+    match kind.as_str() {
+        "counter" | "gauge" => {
+            require_num(entry, "value").map_err(ctx)?;
+        }
+        "timer" => {
+            require_num(entry, "total_us").map_err(ctx)?;
+            require_num(entry, "spans").map_err(ctx)?;
+            require_num(entry, "max_us").map_err(ctx)?;
+        }
+        "histogram" => {
+            let count = require_num(entry, "count").map_err(ctx)?;
+            require_num(entry, "sum").map_err(ctx)?;
+            require_num(entry, "min").map_err(ctx)?;
+            require_num(entry, "max").map_err(ctx)?;
+            require_num(entry, "mean").map_err(ctx)?;
+            let buckets = entry
+                .get("buckets")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ctx("missing or non-array field \"buckets\"".into()))?;
+            let mut bucket_total = 0.0;
+            let mut prev_le = -1.0;
+            for b in buckets {
+                let le = require_num(b, "le").map_err(&ctx)?;
+                let c = require_num(b, "count").map_err(&ctx)?;
+                if le <= prev_le {
+                    return Err(ctx(format!("bucket bounds not increasing at le={le}")));
+                }
+                prev_le = le;
+                bucket_total += c;
+            }
+            if bucket_total != count {
+                return Err(ctx(format!(
+                    "bucket counts sum to {bucket_total}, document says count={count}"
+                )));
+            }
+        }
+        other => return Err(ctx(format!("unknown metric type \"{other}\""))),
+    }
+    Ok(())
+}
+
+/// Validates a parsed document against schema version
+/// [`SCHEMA_VERSION`]: the header fields must be present with the right
+/// types, every metric entry must carry its type-specific fields, and
+/// histogram buckets must be strictly increasing and sum to `count`.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let version = require_num(doc, "schema_version")?;
+    if version != f64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    require_str(doc, "experiment")?;
+    require_str(doc, "git_rev")?;
+    require_num(doc, "seed")?;
+    doc.get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing or non-boolean field \"quick\"")?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_array)
+        .ok_or("missing or non-array field \"metrics\"")?;
+    for entry in metrics {
+        validate_metric(entry)?;
+    }
+    Ok(())
+}
+
+/// Parses and validates one document's text.
+pub fn parse_and_validate(text: &str) -> Result<Json, String> {
+    let doc = json::parse(text)?;
+    validate(&doc)?;
+    Ok(doc)
+}
+
+/// Loads every `BENCH_*.json` in `dir`, sorted by file name. I/O errors
+/// surface as `Err`; schema violations surface per file in the returned
+/// `Result`s so one bad document doesn't hide the rest.
+pub fn read_dir(dir: &Path) -> io::Result<Vec<(PathBuf, Result<BenchFile, String>)>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let loaded = fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_and_validate(&text))
+            .map(|doc| BenchFile {
+                path: path.clone(),
+                doc,
+            });
+        out.push((path, loaded));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::obs::{to_bench_json, BenchMeta, MetricsRegistry};
+
+    fn sample_doc() -> String {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a.lookups").add(10);
+        reg.gauge("a.lookups_per_sec").set(123.5);
+        let h = reg.histogram("a.hops");
+        h.record(1);
+        h.record(3);
+        h.record(9);
+        reg.timer("a.wall").record_us(42);
+        to_bench_json(
+            &BenchMeta {
+                experiment: "sample".into(),
+                git_rev: "deadbee".into(),
+                seed: 7,
+                quick: true,
+            },
+            &reg,
+        )
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let doc = parse_and_validate(&sample_doc()).expect("round-trip");
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("sample"));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = sample_doc().replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_metric_fields() {
+        let text = sample_doc().replacen("\"value\"", "\"val\"", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_histogram_count() {
+        let text = sample_doc().replacen("\"count\": 3", "\"count\": 4", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_and_validate("{not json").is_err());
+    }
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+}

@@ -585,6 +585,56 @@ pub fn ext_failures(rows: &[UngracefulRow]) -> Table {
     t
 }
 
+/// The `repro metrics` summary: one row per metric across every loaded
+/// `BENCH_*.json` document, with a compact type-appropriate value cell.
+#[must_use]
+pub fn metrics_summary(files: &[crate::metrics_io::BenchFile]) -> Table {
+    use dht_core::obs::json::Json;
+    let mut t = Table::new(
+        "Benchmark metrics (BENCH_*.json)",
+        &["experiment", "metric", "type", "value"],
+    );
+    for file in files {
+        let experiment = file
+            .doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let metrics = file
+            .doc
+            .get("metrics")
+            .and_then(Json::as_array)
+            .unwrap_or(&[]);
+        for m in metrics {
+            let name = m.get("name").and_then(Json::as_str).unwrap_or("?");
+            let kind = m.get("type").and_then(Json::as_str).unwrap_or("?");
+            let num = |key: &str| m.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            let value = match kind {
+                "counter" => format!("{}", num("value")),
+                "gauge" => f(num("value")),
+                "timer" => format!("{} µs over {} span(s)", num("total_us"), num("spans")),
+                "histogram" => {
+                    format!(
+                        "n={} mean={} max={}",
+                        num("count"),
+                        f(num("mean")),
+                        num("max")
+                    )
+                }
+                _ => "-".to_string(),
+            };
+            t.row(vec![
+                experiment.clone(),
+                name.to_string(),
+                kind.to_string(),
+                value,
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,109 @@
+//! Schema conformance of the `BENCH_*.json` documents `repro` writes.
+//!
+//! The synthetic tests run everywhere. The last test is the CI leg's
+//! checker: after the workflow runs `repro path --quick --metrics-out
+//! bench-out/`, it re-runs this suite with `METRICS_OUT_DIR=bench-out`
+//! and the test validates every written document end to end — schema
+//! validity plus the acceptance floor: throughput, a per-phase hop
+//! histogram, and a wall-clock timer for every overlay in the sweep.
+
+use bench::metrics_io::{self, BenchFile};
+use dht_core::obs::json::Json;
+use dht_core::obs::{to_bench_json, BenchMeta, MetricsRegistry};
+use std::path::Path;
+
+fn meta() -> BenchMeta {
+    BenchMeta {
+        experiment: "schema_test".into(),
+        git_rev: metrics_io::git_rev(),
+        seed: 2004,
+        quick: true,
+    }
+}
+
+#[test]
+fn empty_registry_round_trips() {
+    let reg = MetricsRegistry::new();
+    let doc = metrics_io::parse_and_validate(&to_bench_json(&meta(), &reg)).expect("valid");
+    assert_eq!(
+        doc.get("metrics").and_then(Json::as_array).map(<[_]>::len),
+        Some(0)
+    );
+}
+
+#[test]
+fn every_metric_kind_round_trips() {
+    let mut reg = MetricsRegistry::new();
+    reg.counter("c").add(3);
+    reg.gauge("g").set(-1.25);
+    let h = reg.histogram("h");
+    for v in [0, 1, 2, 1000, u64::MAX] {
+        h.record(v);
+    }
+    reg.timer("t").record_us(17);
+    let text = to_bench_json(&meta(), &reg);
+    let doc = metrics_io::parse_and_validate(&text).expect("valid");
+    let metrics = doc.get("metrics").and_then(Json::as_array).unwrap();
+    assert_eq!(metrics.len(), 4);
+}
+
+#[test]
+fn validator_rejects_each_missing_header_field() {
+    let reg = MetricsRegistry::new();
+    let good = to_bench_json(&meta(), &reg);
+    for field in ["schema_version", "experiment", "git_rev", "seed", "quick"] {
+        let broken = good.replacen(&format!("\"{field}\""), "\"renamed\"", 1);
+        let err = metrics_io::parse_and_validate(&broken)
+            .expect_err("renamed header field must fail validation");
+        assert!(err.contains(field), "{field}: {err}");
+    }
+}
+
+/// CI checker: validates the documents a prior `repro ... --metrics-out`
+/// invocation wrote to `$METRICS_OUT_DIR`. When a `BENCH_path_length.json`
+/// is present (the `repro path` leg), additionally requires the
+/// acceptance-floor metrics for every overlay in the sweep.
+#[test]
+fn written_bench_files_conform() {
+    let Some(dir) = std::env::var_os("METRICS_OUT_DIR") else {
+        eprintln!("METRICS_OUT_DIR not set; skipping on-disk validation");
+        return;
+    };
+    let dir = Path::new(&dir);
+    let entries = metrics_io::read_dir(dir).expect("readable metrics dir");
+    assert!(
+        !entries.is_empty(),
+        "no BENCH_*.json in {} — did repro run with --metrics-out?",
+        dir.display()
+    );
+    let mut files: Vec<BenchFile> = Vec::new();
+    for (path, loaded) in entries {
+        files.push(loaded.unwrap_or_else(|e| panic!("{}: {e}", path.display())));
+    }
+    let path_length = files
+        .iter()
+        .find(|f| f.doc.get("experiment").and_then(Json::as_str) == Some("path_length"));
+    if let Some(file) = path_length {
+        let metrics = file.doc.get("metrics").and_then(Json::as_array).unwrap();
+        let names: Vec<&str> = metrics
+            .iter()
+            .filter_map(|m| m.get("name").and_then(Json::as_str))
+            .collect();
+        for overlay in ["Cycloid(7)", "Cycloid(11)", "Chord", "Koorde", "Viceroy"] {
+            let has = |suffix: &str| {
+                names
+                    .iter()
+                    .any(|n| n.starts_with(&format!("{overlay}/")) && n.ends_with(suffix))
+            };
+            assert!(has(".lookups_per_sec"), "{overlay}: missing throughput");
+            assert!(has(".hops"), "{overlay}: missing hop histogram");
+            assert!(
+                names
+                    .iter()
+                    .any(|n| n.starts_with(&format!("{overlay}/")) && n.contains(".hops.")),
+                "{overlay}: missing per-phase hop histograms"
+            );
+            assert!(has(".wall"), "{overlay}: missing wall-clock timer");
+        }
+    }
+}

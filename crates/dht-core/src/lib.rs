@@ -18,6 +18,10 @@
 //!   [`net::FaultPlan`] (message loss / delay / duplication) plus a
 //!   [`net::RetryPolicy`] (attempts, exponential backoff) applied by the
 //!   shared walk engine to every per-hop contact,
+//! * [`obs`] — observability: zero-cost-when-disabled structured event
+//!   tracing ([`obs::TraceSink`], [`obs::SinkHandle`]), the metrics
+//!   registry behind the `BENCH_*.json` export, and a leveled progress
+//!   logger,
 //! * [`overlay`] — the [`overlay::Overlay`] trait: the uniform simulation
 //!   interface (join / graceful leave / lookup / stabilize / query loads),
 //! * [`ring`] — modular-ring interval and distance arithmetic shared by the
@@ -36,6 +40,7 @@ pub mod audit;
 pub mod hash;
 pub mod lookup;
 pub mod net;
+pub mod obs;
 pub mod overlay;
 pub mod ring;
 pub mod rng;
@@ -46,6 +51,10 @@ pub mod workload;
 pub use audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
 pub use net::{DelayModel, FaultPlan, NetConditions, NetCosts, RetryPolicy};
+pub use obs::{
+    Event, JsonlSink, LogLevel, MetricsRegistry, NullSink, Progress, RingBufferSink, SinkHandle,
+    TimeoutKind, TraceSink,
+};
 pub use overlay::{NodeToken, Overlay};
 pub use sim::{Membership, QueryLoads, SimOverlay, StepDecision};
 pub use stats::Summary;

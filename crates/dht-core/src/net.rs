@@ -46,6 +46,7 @@
 //! [`NetCosts::latency_us`] changes.
 
 use crate::hash::splitmix64;
+use crate::obs::{Event, SinkHandle, TimeoutKind};
 
 /// Simulated time in microseconds (matches the discrete-event engine's
 /// clock resolution).
@@ -255,7 +256,8 @@ impl NetConditions {
         for attempt in 1..=max_attempts {
             let r = self.next_draw();
             if !roll(r, self.plan.loss) {
-                latency = latency.saturating_add(self.plan.delay.sample(splitmix64(r ^ 0x0072_7474)));
+                latency =
+                    latency.saturating_add(self.plan.delay.sample(splitmix64(r ^ 0x0072_7474)));
                 return ContactOutcome {
                     delivered: true,
                     attempts: attempt,
@@ -271,6 +273,35 @@ impl NetConditions {
             latency_us: latency,
             duplicated: false,
         }
+    }
+
+    /// Like [`NetConditions::contact`], but reports retries and
+    /// message timeouts as structured events through `sink` (tagged
+    /// with the `lookup` id and the `target` token). The fault draws
+    /// are identical to an untraced contact — tracing never perturbs
+    /// the message sequence.
+    pub fn contact_traced(
+        &mut self,
+        sink: &SinkHandle,
+        lookup: u64,
+        target: u64,
+    ) -> ContactOutcome {
+        let outcome = self.contact();
+        if outcome.attempts > 1 {
+            sink.emit(|| Event::Retry {
+                lookup,
+                target,
+                attempts: outcome.attempts,
+            });
+        }
+        if !outcome.delivered {
+            sink.emit(|| Event::Timeout {
+                lookup,
+                target,
+                kind: TimeoutKind::Message,
+            });
+        }
+        outcome
     }
 
     /// Wall-clock cost of contacting a *departed* node (the §4.3
@@ -465,6 +496,58 @@ mod tests {
         assert_eq!(costs.msg_timeouts, 1);
         assert_eq!(costs.duplicates, 1);
         assert_eq!(costs.latency_us, 900 + 1_500 + 2_000);
+    }
+
+    #[test]
+    fn traced_contact_matches_untraced_and_emits_events() {
+        use crate::obs::RingBufferSink;
+        use std::sync::{Arc, Mutex};
+        let plan = FaultPlan {
+            seed: 3,
+            loss: 0.5,
+            delay: DelayModel::Constant(100),
+            duplicate: 0.0,
+        };
+        let mut plain = NetConditions::new(plan, RetryPolicy::standard());
+        let mut traced = NetConditions::new(plan, RetryPolicy::standard());
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(1024)));
+        let sink = SinkHandle::new(Arc::clone(&ring));
+        let a: Vec<ContactOutcome> = (0..40).map(|_| plain.contact()).collect();
+        let b: Vec<ContactOutcome> = (0..40)
+            .map(|i| traced.contact_traced(&sink, i, 7))
+            .collect();
+        assert_eq!(a, b, "tracing must not perturb the fault stream");
+        let events = ring.lock().unwrap().snapshot();
+        let retried = a.iter().filter(|c| c.attempts > 1).count();
+        let undelivered = a.iter().filter(|c| !c.delivered).count();
+        assert!(retried > 0, "50% loss must force retries");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::Retry { .. }))
+                .count(),
+            retried
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(
+                    e,
+                    Event::Timeout {
+                        kind: TimeoutKind::Message,
+                        ..
+                    }
+                ))
+                .count(),
+            undelivered
+        );
+        // A disabled handle is also transparent.
+        let mut silent = NetConditions::new(plan, RetryPolicy::standard());
+        let none = SinkHandle::disabled();
+        let c: Vec<ContactOutcome> = (0..40)
+            .map(|i| silent.contact_traced(&none, i, 7))
+            .collect();
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -1,0 +1,653 @@
+//! Metrics registry: counters, gauges, log-scale histograms, and
+//! wall-clock timers, serialisable to the versioned `BENCH_*.json`
+//! benchmark export.
+//!
+//! Experiments populate a [`MetricsRegistry`] as they run; the `repro`
+//! binary serialises it with [`to_bench_json`] when `--metrics-out` is
+//! given. The schema is documented in `EXPERIMENTS.md` and validated by
+//! `crates/bench/tests/metrics_schema.rs`; bump [`SCHEMA_VERSION`] on
+//! any incompatible change.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use super::json::{escape, num};
+
+/// Version stamp written into every `BENCH_*.json`. Consumers must
+/// reject files with a version they do not understand.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A saturating event counter.
+///
+/// Increments saturate at `u64::MAX` instead of wrapping, so a
+/// long-running registry degrades to a pegged value rather than a
+/// nonsense small one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// Replaces the gauge value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds exact zeros and
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`, so 64 value buckets
+/// cover the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-shape log₂-bucket histogram over `u64` observations.
+///
+/// The bucket layout is the same for every histogram (no configuration),
+/// which makes [`Histogram::merge`] a plain element-wise add — the
+/// property the per-thread experiment drivers rely on. Alongside the
+/// buckets it tracks exact `count`, `sum`, `min`, and `max`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket that would hold `value`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            // value in [2^(i-1), 2^i) => ilog2(value) == i-1.
+            value.ilog2() as usize + 1
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`0` for bucket 0, `2^i - 1`
+    /// otherwise; bucket 64's bound is `u64::MAX`).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            0
+        } else if i == HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (element-wise bucket add; min/max/sum
+    /// combine exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all observations, or `0.0` if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts (index by [`Histogram::bucket_index`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs — the compact
+    /// form written to the JSON export.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_bound(i), c))
+            .collect()
+    }
+}
+
+/// Accumulated wall-clock time over any number of spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timer {
+    total_us: u64,
+    spans: u64,
+    max_us: u64,
+}
+
+impl Timer {
+    /// Starts a span; pass the result to [`Timer::record`] to stop it.
+    #[must_use]
+    pub fn start() -> TimerSpan {
+        TimerSpan {
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops `span` and folds its elapsed wall-clock time in.
+    pub fn record(&mut self, span: TimerSpan) {
+        // `as_micros` of an Instant delta fits u64 for ~584k years.
+        self.record_us(span.started.elapsed().as_micros() as u64);
+    }
+
+    /// Folds in an externally measured duration (microseconds).
+    pub fn record_us(&mut self, us: u64) {
+        self.total_us = self.total_us.saturating_add(us);
+        self.spans = self.spans.saturating_add(1);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Total recorded time in microseconds.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.total_us
+    }
+
+    /// Number of recorded spans.
+    #[must_use]
+    pub fn spans(&self) -> u64 {
+        self.spans
+    }
+
+    /// Longest single span in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+}
+
+/// An in-flight wall-clock span (see [`Timer::start`]).
+#[derive(Debug)]
+pub struct TimerSpan {
+    started: Instant,
+}
+
+/// One named metric in a [`MetricsRegistry`].
+// The `Histogram` variant dominates the enum size (its fixed bucket
+// array), but registries hold at most a few thousand entries inside a
+// `BTreeMap` and are never moved in bulk, so boxing would only add an
+// indirection to every record call.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A saturating counter.
+    Counter(Counter),
+    /// An instantaneous value.
+    Gauge(Gauge),
+    /// A log₂-bucket histogram.
+    Histogram(Histogram),
+    /// Accumulated wall-clock spans.
+    Timer(Timer),
+}
+
+impl Metric {
+    /// Schema `type` string for the JSON export.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+/// A flat, name-keyed collection of metrics.
+///
+/// Accessors create the metric on first use and panic if an existing
+/// name is re-used with a different kind — mixed kinds under one name
+/// are always a programming error, never data.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created empty on first access.
+    ///
+    /// # Panics
+    /// If `name` already holds a non-counter metric.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created at `0.0` on first access.
+    ///
+    /// # Panics
+    /// If `name` already holds a non-gauge metric.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created empty on first access.
+    ///
+    /// # Panics
+    /// If `name` already holds a non-histogram metric.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// The timer named `name`, created empty on first access.
+    ///
+    /// # Panics
+    /// If `name` already holds a non-timer metric.
+    pub fn timer(&mut self, name: &str) -> &mut Timer {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(Timer::default()))
+        {
+            Metric::Timer(t) => t,
+            other => panic!("metric '{name}' is a {}, not a timer", other.kind()),
+        }
+    }
+
+    /// Read-only view of a metric, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// All metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+/// Provenance stamped into every `BENCH_*.json` alongside the metrics.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// Experiment name (also the file stem: `BENCH_<experiment>.json`).
+    pub experiment: String,
+    /// Short git revision of the producing tree, or `"unknown"`.
+    pub git_rev: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Whether the run used `--quick` parameters.
+    pub quick: bool,
+}
+
+/// Serialises a registry to the versioned `BENCH_*.json` document.
+///
+/// Layout (schema version [`SCHEMA_VERSION`]):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "experiment": "path",
+///   "git_rev": "abc1234",
+///   "seed": 42,
+///   "quick": true,
+///   "metrics": [
+///     {"name": "...", "type": "counter", "value": 10},
+///     {"name": "...", "type": "gauge", "value": 1.5},
+///     {"name": "...", "type": "timer", "total_us": 9, "spans": 1, "max_us": 9},
+///     {"name": "...", "type": "histogram", "count": 3, "sum": 7,
+///      "min": 1, "max": 4, "mean": 2.33,
+///      "buckets": [{"le": 1, "count": 2}, {"le": 7, "count": 1}]}
+///   ]
+/// }
+/// ```
+#[must_use]
+pub fn to_bench_json(meta: &BenchMeta, reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"experiment\": \"{}\",", escape(&meta.experiment));
+    let _ = writeln!(out, "  \"git_rev\": \"{}\",", escape(&meta.git_rev));
+    let _ = writeln!(out, "  \"seed\": {},", meta.seed);
+    let _ = writeln!(out, "  \"quick\": {},", meta.quick);
+    out.push_str("  \"metrics\": [\n");
+    let total = reg.len();
+    for (i, (name, metric)) in reg.iter().enumerate() {
+        let mut entry = format!(
+            "    {{\"name\": \"{}\", \"type\": \"{}\"",
+            escape(name),
+            metric.kind()
+        );
+        match metric {
+            Metric::Counter(c) => {
+                let _ = write!(entry, ", \"value\": {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = write!(entry, ", \"value\": {}", num(g.get()));
+            }
+            Metric::Timer(t) => {
+                let _ = write!(
+                    entry,
+                    ", \"total_us\": {}, \"spans\": {}, \"max_us\": {}",
+                    t.total_us(),
+                    t.spans(),
+                    t.max_us()
+                );
+            }
+            Metric::Histogram(h) => {
+                let _ = write!(
+                    entry,
+                    ", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}",
+                    h.count(),
+                    h.sum(),
+                    h.min().unwrap_or(0),
+                    h.max().unwrap_or(0),
+                    num(h.mean())
+                );
+                entry.push_str(", \"buckets\": [");
+                for (j, (le, count)) in h.nonzero_buckets().into_iter().enumerate() {
+                    if j > 0 {
+                        entry.push_str(", ");
+                    }
+                    let _ = write!(entry, "{{\"le\": {le}, \"count\": {count}}}");
+                }
+                entry.push(']');
+            }
+        }
+        entry.push('}');
+        if i + 1 < total {
+            entry.push(',');
+        }
+        let _ = writeln!(out, "{entry}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exact zeros; bucket i covers [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        // Upper bounds line up with the index rule: a value lands in the
+        // first bucket whose bound is >= value.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let ub = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(ub), i, "bound of bucket {i}");
+            if i > 0 && i < HISTOGRAM_BUCKETS - 1 {
+                assert_eq!(Histogram::bucket_index(ub + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarises() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 14);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(8));
+        assert!((h.mean() - 2.8).abs() < 1e-12);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[4], 1); // 8
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (3, 2), (15, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_is_element_wise_add() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [1, 5, 9] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0, 5, 1000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal recording everything in one");
+        let empty = Histogram::new();
+        let mut c = whole.clone();
+        c.merge(&empty);
+        assert_eq!(c, whole, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn timer_is_monotone() {
+        let mut t = Timer::default();
+        let span = Timer::start();
+        // Burn a little time so elapsed is visibly non-negative even on
+        // coarse clocks.
+        std::hint::black_box((0..1000).sum::<u64>());
+        t.record(span);
+        assert_eq!(t.spans(), 1);
+        assert!(t.max_us() <= t.total_us());
+        let before = t.total_us();
+        t.record_us(250);
+        assert_eq!(t.spans(), 2);
+        assert_eq!(t.total_us(), before + 250, "totals only ever grow");
+        assert!(t.max_us() >= 250);
+    }
+
+    #[test]
+    fn registry_creates_on_first_use_and_checks_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").inc();
+        reg.gauge("b").set(1.5);
+        reg.histogram("c").record(7);
+        reg.timer("d").record_us(10);
+        assert_eq!(reg.len(), 4);
+        match reg.get("a") {
+            Some(Metric::Counter(c)) => assert_eq!(c.get(), 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let names: Vec<_> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"], "iteration is name-sorted");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn registry_panics_on_kind_mismatch() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_parser() {
+        use super::super::json::{parse, Json};
+        let mut reg = MetricsRegistry::new();
+        reg.counter("lookups").add(100);
+        reg.gauge("lookups_per_sec").set(123.5);
+        reg.histogram("hops").record(3);
+        reg.histogram("hops").record(9);
+        reg.timer("wall").record_us(4200);
+        let meta = BenchMeta {
+            experiment: "unit".to_string(),
+            git_rev: "deadbeef".to_string(),
+            seed: 42,
+            quick: true,
+        };
+        let doc = parse(&to_bench_json(&meta, &reg)).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(f64::from(SCHEMA_VERSION))
+        );
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("unit"));
+        assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        let metrics = doc.get("metrics").and_then(Json::as_array).unwrap();
+        assert_eq!(metrics.len(), 4);
+        let hops = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some("hops"))
+            .unwrap();
+        assert_eq!(hops.get("type").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(hops.get("count").and_then(Json::as_f64), Some(2.0));
+        let buckets = hops.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].get("le").and_then(Json::as_f64), Some(3.0));
+    }
+}

@@ -11,6 +11,7 @@ use rand::RngCore;
 use crate::audit::{AuditReport, AuditScope};
 use crate::lookup::LookupTrace;
 use crate::net::NetConditions;
+use crate::obs::SinkHandle;
 
 /// Opaque, overlay-assigned identity of a live node.
 ///
@@ -128,6 +129,21 @@ pub trait Overlay {
     fn set_net_conditions(&mut self, net: NetConditions) {
         let _ = net;
     }
+
+    /// The trace sink handle lookups emit structured events through
+    /// (see [`crate::obs`]). The default reports tracing disabled;
+    /// overlays on the shared substrate store the handle in their
+    /// [`crate::sim::Membership`].
+    fn trace_sink(&self) -> SinkHandle {
+        SinkHandle::disabled()
+    }
+
+    /// Installs a trace sink handle. The default (for overlays not on
+    /// the shared substrate) ignores the request, matching the disabled
+    /// handle [`Overlay::trace_sink`] reports.
+    fn set_trace_sink(&mut self, sink: SinkHandle) {
+        let _ = sink;
+    }
 }
 
 /// Forwarding impl so factory-built `Box<dyn Overlay>` values satisfy
@@ -209,6 +225,14 @@ impl Overlay for Box<dyn Overlay> {
 
     fn set_net_conditions(&mut self, net: NetConditions) {
         (**self).set_net_conditions(net);
+    }
+
+    fn trace_sink(&self) -> SinkHandle {
+        (**self).trace_sink()
+    }
+
+    fn set_trace_sink(&mut self, sink: SinkHandle) {
+        (**self).set_trace_sink(sink);
     }
 }
 

@@ -49,6 +49,7 @@ use crate::audit::{AuditReport, AuditScope};
 use crate::hash::IdAllocator;
 use crate::lookup::{HopPhase, LookupOutcome, LookupTrace};
 use crate::net::{NetConditions, NetCosts};
+use crate::obs::{Event, SinkHandle, TimeoutKind};
 use crate::overlay::{NodeToken, Overlay};
 
 /// Per-node lookup-message counters (the paper's §4.2 congestion
@@ -137,11 +138,13 @@ pub struct Membership<S> {
     loads: QueryLoads,
     alloc: IdAllocator,
     net: NetConditions,
+    sink: SinkHandle,
 }
 
 impl<S> Membership<S> {
     /// Empty membership whose identifier allocator is seeded with
-    /// `seed`. Network conditions start ideal (no message faults).
+    /// `seed`. Network conditions start ideal (no message faults) and
+    /// tracing starts disabled.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self {
@@ -149,6 +152,7 @@ impl<S> Membership<S> {
             loads: QueryLoads::new(),
             alloc: IdAllocator::new(seed),
             net: NetConditions::ideal(),
+            sink: SinkHandle::disabled(),
         }
     }
 
@@ -346,6 +350,23 @@ impl<S> Membership<S> {
     pub fn set_net_conditions(&mut self, net: NetConditions) {
         self.net = net;
     }
+
+    // ------------------------------------------------------------------
+    // Structured event tracing
+    // ------------------------------------------------------------------
+
+    /// The installed trace sink handle (disabled by default).
+    #[must_use]
+    pub fn trace_sink(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// Installs a trace sink handle; the walk engine emits structured
+    /// events through it (see [`crate::obs`]). Pass
+    /// [`SinkHandle::disabled`] to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
 }
 
 /// What one node decides about a lookup it currently holds.
@@ -509,7 +530,7 @@ pub fn walk<T: SimOverlay + ?Sized>(
         "lookup source {src} is not live"
     );
     let state = net.begin_walk(src, raw_key);
-    walk_from(net, src, state, count_loads)
+    walk_inner(net, src, state, count_loads, Some(raw_key))
 }
 
 /// Like [`walk`], but with an already-initialized walk state — the
@@ -518,13 +539,34 @@ pub fn walk<T: SimOverlay + ?Sized>(
 pub fn walk_from<T: SimOverlay + ?Sized>(
     net: &mut T,
     src: NodeToken,
+    state: T::Walk,
+    count_loads: bool,
+) -> LookupTrace {
+    walk_inner(net, src, state, count_loads, None)
+}
+
+/// The iterative walk loop shared by [`walk`] and [`walk_from`].
+/// `raw_key` is purely informational (it tags the `LookupStart` event);
+/// routing reads only the walk state.
+fn walk_inner<T: SimOverlay + ?Sized>(
+    net: &mut T,
+    src: NodeToken,
     mut state: T::Walk,
     count_loads: bool,
+    raw_key: Option<u64>,
 ) -> LookupTrace {
     assert!(
         net.membership().contains(src),
         "lookup source {src} is not live"
     );
+    // One cheap clone per walk; disabled handles clone a `None`.
+    let sink = net.membership().trace_sink().clone();
+    let lookup_id = sink.next_lookup_id();
+    sink.emit(|| Event::LookupStart {
+        lookup: lookup_id,
+        src,
+        key: raw_key,
+    });
     let budget = net.hop_budget();
     let mut cur = src;
     let mut hops: Vec<HopPhase> = Vec::new();
@@ -563,6 +605,11 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
                             timeouts += 1;
                             costs.absorb_stale(net.membership().net_conditions().stale_wait_us());
                             step_dead.push(cand);
+                            sink.emit(|| Event::Timeout {
+                                lookup: lookup_id,
+                                target: cand,
+                                kind: TimeoutKind::Stale,
+                            });
                         }
                         continue;
                     }
@@ -571,7 +618,10 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
                     }
                     // The candidate is live: contact it under the fault
                     // plan, retrying per the policy.
-                    let contact = net.membership_mut().net_conditions_mut().contact();
+                    let contact = net
+                        .membership_mut()
+                        .net_conditions_mut()
+                        .contact_traced(&sink, lookup_id, cand);
                     costs.absorb(&contact);
                     if !contact.delivered {
                         // A message timeout, not a stale entry: the node
@@ -587,6 +637,13 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
                 match next {
                     Some((phase, cand)) => {
                         net.on_hop(&mut state, cur, phase, cand, &step_dead);
+                        sink.emit(|| Event::Hop {
+                            lookup: lookup_id,
+                            index: hops.len() as u32,
+                            from: cur,
+                            to: cand,
+                            phase,
+                        });
                         hops.push(phase);
                         cur = cand;
                         if count_loads {
@@ -599,6 +656,14 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
         }
     };
 
+    sink.emit(|| Event::LookupEnd {
+        lookup: lookup_id,
+        outcome,
+        terminal: cur,
+        hops: hops.len() as u32,
+        timeouts,
+        latency_us: costs.latency_us,
+    });
     LookupTrace {
         hops,
         timeouts,
@@ -684,6 +749,14 @@ impl<T: SimOverlay> Overlay for T {
 
     fn set_net_conditions(&mut self, net: NetConditions) {
         self.membership_mut().set_net_conditions(net);
+    }
+
+    fn trace_sink(&self) -> SinkHandle {
+        self.membership().trace_sink().clone()
+    }
+
+    fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.membership_mut().set_trace_sink(sink);
     }
 }
 
@@ -910,6 +983,94 @@ mod tests {
     }
 
     use crate::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
+
+    #[test]
+    fn walk_emits_structured_events_matching_the_trace() {
+        use crate::obs::RingBufferSink;
+        use std::sync::{Arc, Mutex};
+        let mut net = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+        assert!(net.node_leave(16));
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(256)));
+        net.membership_mut()
+            .set_trace_sink(SinkHandle::new(Arc::clone(&ring)));
+        let trace = walk(&mut net, 0, 40, true);
+        let events = ring.lock().unwrap().snapshot();
+        // Exactly one lookup: start, per-hop, one stale timeout, end.
+        assert!(matches!(
+            events.first(),
+            Some(Event::LookupStart {
+                src: 0,
+                key: Some(40),
+                ..
+            })
+        ));
+        let hop_events: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Hop {
+                    index, from, to, ..
+                } => Some((*index, *from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hop_events.len(), trace.path_len());
+        for (i, window) in hop_events.windows(2).enumerate() {
+            assert_eq!(window[0].0 as usize, i, "hop indices are sequential");
+            assert_eq!(window[0].2, window[1].1, "hops chain from -> to");
+        }
+        let stale = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Timeout {
+                        kind: TimeoutKind::Stale,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(stale as u32, trace.timeouts);
+        match events.last() {
+            Some(Event::LookupEnd {
+                outcome,
+                terminal,
+                hops,
+                timeouts,
+                ..
+            }) => {
+                assert_eq!(*outcome, trace.outcome);
+                assert_eq!(*terminal, trace.terminal);
+                assert_eq!(*hops as usize, trace.path_len());
+                assert_eq!(*timeouts, trace.timeouts);
+            }
+            other => panic!("last event should be LookupEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_routing() {
+        use crate::obs::NullSink;
+        let run = |sink: Option<SinkHandle>| {
+            let mut ring = StaleRing::with_tokens(&[0, 16, 32, 48], 64);
+            assert!(ring.node_leave(16));
+            if let Some(s) = sink {
+                ring.membership_mut().set_trace_sink(s);
+            }
+            (0..24u64)
+                .map(|key| walk(&mut ring, 0, key, true))
+                .collect::<Vec<_>>()
+        };
+        let silent = run(None);
+        let traced = run(Some(SinkHandle::new(NullSink)));
+        for (a, b) in silent.iter().zip(&traced) {
+            assert_eq!(a.hops, b.hops);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.terminal, b.terminal);
+            assert_eq!(a.timeouts, b.timeouts);
+            assert_eq!(a.net, b.net);
+        }
+    }
 
     #[test]
     fn ideal_network_walk_has_zero_net_costs() {

@@ -10,13 +10,14 @@
 use dht_core::audit::{AuditReport, AuditScope};
 use dht_core::lookup::LookupTrace;
 use dht_core::net::NetConditions;
+use dht_core::obs::{Event as TraceEvent, SinkHandle};
 use dht_core::overlay::Overlay;
 use rand::{Rng, RngCore};
 
 use crate::event::{exp_delay, EventQueue, SECOND};
 
 /// Parameters of one churn run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChurnParams {
     /// Lookup arrival rate per second (the paper uses 1.0).
     pub lookup_rate: f64,
@@ -34,6 +35,10 @@ pub struct ChurnParams {
     /// Network conditions (fault plan + retry policy) lookups run under,
     /// so message loss and churn compose. Default: an ideal network.
     pub conditions: NetConditions,
+    /// Trace sink installed on the overlay for the run: the walk engine
+    /// emits lookup events through it, and the churn engine adds
+    /// `Join`/`Leave`/`StabilizeRound`/`AuditRun`. Default: disabled.
+    pub sink: SinkHandle,
 }
 
 impl Default for ChurnParams {
@@ -46,6 +51,7 @@ impl Default for ChurnParams {
             warmup_lookups: 200,
             audit: false,
             conditions: NetConditions::ideal(),
+            sink: SinkHandle::disabled(),
         }
     }
 }
@@ -73,6 +79,17 @@ pub struct ChurnOutcome {
     /// Accumulated online audit (one pass per stabilization round plus a
     /// final pass), when [`ChurnParams::audit`] was set.
     pub audit: Option<AuditReport>,
+    /// Largest network size observed during the run (the peak
+    /// `Membership` population).
+    pub peak_size: usize,
+    /// Per-node stabilization routines invoked — the run's maintenance
+    /// message proxy.
+    pub stabilize_calls: u64,
+    /// Full stabilization rounds completed.
+    pub stabilize_rounds: u64,
+    /// Wall-clock time spent inside audit passes, in µs (zero when
+    /// auditing is off).
+    pub audit_us: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +116,7 @@ pub fn run_churn(
 ) -> ChurnOutcome {
     assert!(overlay.len() > 1, "churn needs a populated overlay");
     overlay.set_net_conditions(params.conditions);
+    overlay.set_trace_sink(params.sink.clone());
     let period = params.stabilization_period_secs.max(1);
     let mut queue: EventQueue<Event> = EventQueue::new();
     queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
@@ -122,8 +140,33 @@ pub fn run_churn(
         audit: params
             .audit
             .then(|| AuditReport::new(overlay.name(), AuditScope::Online)),
+        peak_size: overlay.len(),
+        stabilize_calls: 0,
+        stabilize_rounds: 0,
+        audit_us: 0,
     };
     let mut seen_lookups = 0usize;
+
+    // One timed online audit pass: merged into the accumulated report,
+    // billed to `audit_us`, and announced through the sink.
+    let audit_pass = |overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome| {
+        if outcome.audit.is_none() {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let report = overlay.audit_state(AuditScope::Online);
+        outcome.audit_us = outcome
+            .audit_us
+            .saturating_add(started.elapsed().as_micros() as u64);
+        params.sink.emit(|| TraceEvent::AuditRun {
+            clean: report.is_clean(),
+            checked: report.checked_nodes() as u64,
+            violations: report.violations().len() as u64,
+        });
+        if let Some(acc) = outcome.audit.as_mut() {
+            acc.merge(report);
+        }
+    };
 
     while let Some((_, event)) = queue.pop() {
         match event {
@@ -147,8 +190,10 @@ pub fn run_churn(
                 }
             }
             Event::Join => {
-                if overlay.join(rng).is_some() {
+                if let Some(node) = overlay.join(rng) {
                     outcome.joins += 1;
+                    outcome.peak_size = outcome.peak_size.max(overlay.len());
+                    params.sink.emit(|| TraceEvent::Join { node });
                 }
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
             }
@@ -158,6 +203,10 @@ pub fn run_churn(
                     if let Some(node) = overlay.random_node(rng) {
                         if overlay.leave(node) {
                             outcome.leaves += 1;
+                            params.sink.emit(|| TraceEvent::Leave {
+                                node,
+                                graceful: true,
+                            });
                         }
                     }
                 }
@@ -167,14 +216,19 @@ pub fn run_churn(
                 for token in overlay.node_tokens() {
                     if dht_core::hash::splitmix64(token) % period == bucket {
                         overlay.stabilize_node(token);
+                        outcome.stabilize_calls += 1;
                     }
                 }
                 // The last bucket closes a full stabilization round:
                 // every online invariant must hold right now, mid-churn.
                 if bucket + 1 == period {
-                    if let Some(acc) = outcome.audit.as_mut() {
-                        acc.merge(overlay.audit_state(AuditScope::Online));
-                    }
+                    let round = outcome.stabilize_rounds;
+                    outcome.stabilize_rounds += 1;
+                    params.sink.emit(|| TraceEvent::StabilizeRound {
+                        round,
+                        nodes: overlay.len() as u64,
+                    });
+                    audit_pass(overlay, &mut outcome);
                 }
                 queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
             }
@@ -184,9 +238,7 @@ pub fn run_churn(
         }
     }
 
-    if let Some(acc) = outcome.audit.as_mut() {
-        acc.merge(overlay.audit_state(AuditScope::Online));
-    }
+    audit_pass(overlay, &mut outcome);
     outcome.final_size = overlay.len();
     outcome
 }
@@ -206,6 +258,7 @@ mod tests {
             warmup_lookups: 20,
             audit: false,
             conditions: NetConditions::ideal(),
+            sink: SinkHandle::disabled(),
         }
     }
 
@@ -283,6 +336,56 @@ mod tests {
         // Zero-hop lookups (source owns the key) legitimately bill nothing,
         // so check the aggregate rather than every sample.
         assert!(a.latency_us.iter().sum::<u64>() > 0, "hops are billed");
+    }
+
+    #[test]
+    fn churn_tracks_maintenance_counters() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 256, 1);
+        let mut rng = stream(2, "counters");
+        let out = run_churn(net.as_mut(), small_params(0.2), &mut rng);
+        assert!(out.peak_size >= 256, "peak covers at least the start size");
+        assert!(out.peak_size >= out.final_size);
+        assert!(out.stabilize_calls > 0, "stabilization must run");
+        assert!(out.stabilize_rounds > 0, "at least one full round");
+        assert_eq!(out.audit_us, 0, "no audit requested, no audit time");
+    }
+
+    #[test]
+    fn churn_emits_membership_and_round_events() {
+        use dht_core::obs::RingBufferSink;
+        use std::sync::{Arc, Mutex};
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(1 << 16)));
+        let mut net = build_overlay(OverlayKind::Chord, 128, 9);
+        let mut rng = stream(10, "churn-events");
+        let mut params = small_params(0.3);
+        params.audit = true;
+        params.sink = SinkHandle::new(Arc::clone(&ring));
+        let out = run_churn(net.as_mut(), params, &mut rng);
+        let events = ring.lock().unwrap().snapshot();
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::Join { .. })),
+            out.joins,
+            "one Join event per executed join"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::Leave { graceful: true, .. })),
+            out.leaves
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::StabilizeRound { .. })) as u64,
+            out.stabilize_rounds
+        );
+        // One audit per round plus the final pass.
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::AuditRun { .. })) as u64,
+            out.stabilize_rounds + 1
+        );
+        assert!(out.audit_us > 0, "audit passes are timed");
+        assert!(
+            count(&|e| matches!(e, TraceEvent::LookupStart { .. })) > 0,
+            "lookup events flow through the same sink"
+        );
     }
 
     #[test]

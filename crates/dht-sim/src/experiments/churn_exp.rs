@@ -7,6 +7,7 @@
 
 use crossbeam::thread;
 use dht_core::net::NetConditions;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::stats::Summary;
 
@@ -90,6 +91,14 @@ pub struct ChurnRow {
     pub latency_ms: Summary,
     /// Accumulated online audit, when [`ChurnExpParams::audit`] was set.
     pub audit: Option<dht_core::audit::AuditReport>,
+    /// Largest network size observed during the run.
+    pub peak_size: usize,
+    /// Per-node stabilization routines invoked (maintenance proxy).
+    pub stabilize_calls: u64,
+    /// Full stabilization rounds completed.
+    pub stabilize_rounds: u64,
+    /// Wall-clock time spent in audit passes, in µs.
+    pub audit_us: u64,
 }
 
 /// Runs the sweep; rows ordered by rate then kind.
@@ -121,6 +130,7 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         warmup_lookups: params.lookups / 50,
                         audit: params.audit,
                         conditions: params.conditions,
+                        sink: dht_core::obs::SinkHandle::disabled(),
                     };
                     let out: ChurnOutcome = run_churn(net.as_mut(), churn_params, &mut rng);
                     let latency_ms: Vec<f64> = out
@@ -140,6 +150,10 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         retries: Summary::of_counts(&out.retries),
                         latency_ms: Summary::of(&latency_ms),
                         audit: out.audit,
+                        peak_size: out.peak_size,
+                        stabilize_calls: out.stabilize_calls,
+                        stabilize_rounds: out.stabilize_rounds,
+                        audit_us: out.audit_us,
                     }
                 }),
             ));
@@ -152,6 +166,36 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers every row's lookup and maintenance metrics, keyed
+/// `{overlay}/R={rate}`: membership-event and stabilization counters, the
+/// peak/final size gauges, and the accumulated audit wall-clock timer.
+pub fn register_metrics(rows: &[ChurnRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/R={}", row.label, row.rate);
+        reg.counter(&format!("{prefix}.lookups"))
+            .add(row.path.n as u64);
+        reg.counter(&format!("{prefix}.failures"))
+            .add(row.failures as u64);
+        reg.counter(&format!("{prefix}.joins"))
+            .add(row.joins as u64);
+        reg.counter(&format!("{prefix}.leaves"))
+            .add(row.leaves as u64);
+        reg.counter(&format!("{prefix}.stabilize_calls"))
+            .add(row.stabilize_calls);
+        reg.counter(&format!("{prefix}.stabilize_rounds"))
+            .add(row.stabilize_rounds);
+        reg.gauge(&format!("{prefix}.peak_size"))
+            .set(row.peak_size as f64);
+        reg.gauge(&format!("{prefix}.final_size"))
+            .set(row.final_size as f64);
+        reg.gauge(&format!("{prefix}.mean_path")).set(row.path.mean);
+        reg.gauge(&format!("{prefix}.mean_timeouts"))
+            .set(row.timeouts.mean);
+        reg.timer(&format!("{prefix}.audit_wall"))
+            .record_us(row.audit_us);
+    }
 }
 
 #[cfg(test)]

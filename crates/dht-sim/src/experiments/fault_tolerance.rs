@@ -13,6 +13,7 @@
 use crossbeam::thread;
 use dht_core::audit::{AuditReport, AuditScope};
 use dht_core::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::workload::random_pairs;
 
@@ -148,6 +149,17 @@ pub fn measure(params: &FaultToleranceParams) -> Vec<FaultToleranceRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers every row's lookup metrics plus a success-rate gauge, keyed
+/// `{overlay}/loss={p}`.
+pub fn register_metrics(rows: &[FaultToleranceRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/loss={}", row.label, row.loss);
+        super::register_lookup_metrics(reg, &prefix, &row.agg);
+        reg.gauge(&format!("{prefix}.success_rate"))
+            .set(row.success_rate());
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! routing paths converging towards them.
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::stats::Summary;
 use dht_core::workload::{random_pairs, zipf_pairs, ZipfKeys};
@@ -126,6 +127,17 @@ pub fn measure(params: &HotspotParams) -> Vec<HotspotRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers both workloads' query-load distributions and the hot-spot
+/// amplification factor, keyed `{overlay}.{uniform|zipf}`.
+pub fn register_metrics(rows: &[HotspotRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        super::register_summary_gauges(reg, &format!("{}.uniform", row.label), &row.uniform);
+        super::register_summary_gauges(reg, &format!("{}.zipf", row.label), &row.zipf);
+        reg.gauge(&format!("{}.amplification", row.label))
+            .set(row.amplification());
+    }
 }
 
 #[cfg(test)]

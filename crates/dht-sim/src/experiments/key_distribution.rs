@@ -7,6 +7,7 @@
 //! population of the same 2048-slot space).
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::overlay::key_counts;
 use dht_core::rng::stream;
 use dht_core::stats::Summary;
@@ -122,6 +123,15 @@ pub fn measure(params: &KeyDistributionParams) -> Vec<KeyDistributionRow> {
     })
     .expect("thread scope failed");
     rows
+}
+
+/// Registers every row's keys-per-node distribution, keyed
+/// `{overlay}/keys={count}.keys_per_node`.
+pub fn register_metrics(rows: &[KeyDistributionRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/keys={}.keys_per_node", row.label, row.keys);
+        super::register_summary_gauges(reg, &prefix, &row.per_node);
+    }
 }
 
 #[cfg(test)]

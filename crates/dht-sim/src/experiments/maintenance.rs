@@ -12,6 +12,7 @@
 
 use chord::{ChordConfig, ChordNetwork};
 use cycloid::{CycloidConfig, CycloidNetwork};
+use dht_core::obs::MetricsRegistry;
 use dht_core::stats::Summary;
 use koorde::{KoordeConfig, KoordeNetwork};
 use pastry::{PastryConfig, PastryNetwork};
@@ -197,6 +198,24 @@ pub fn measure(params: &MaintenanceParams) -> Vec<MaintenanceRow> {
     }
 
     rows
+}
+
+/// Registers every row's in/out-degree distributions, keyed
+/// `{overlay}/n={n}.{in_degree|out_degree}`.
+pub fn register_metrics(rows: &[MaintenanceRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/n={}", row.label, row.n);
+        crate::experiments::register_summary_gauges(
+            reg,
+            &format!("{prefix}.out_degree"),
+            &row.out_degree,
+        );
+        crate::experiments::register_summary_gauges(
+            reg,
+            &format!("{prefix}.in_degree"),
+            &row.in_degree,
+        );
+    }
 }
 
 #[cfg(test)]

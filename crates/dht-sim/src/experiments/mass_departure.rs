@@ -9,6 +9,7 @@
 //! stabilization runs.
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::{stream, stream_indexed};
 use dht_core::workload::random_pairs;
 use rand::Rng;
@@ -118,6 +119,17 @@ pub fn measure(params: &MassDepartureParams) -> Vec<MassDepartureRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers every row's lookup metrics plus a survivor-count gauge,
+/// keyed `{overlay}/p={p}`.
+pub fn register_metrics(rows: &[MassDepartureRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/p={}", row.agg.label, row.p);
+        super::register_lookup_metrics(reg, &prefix, &row.agg);
+        reg.gauge(&format!("{prefix}.survivors"))
+            .set(row.survivors as f64);
+    }
 }
 
 #[cfg(test)]

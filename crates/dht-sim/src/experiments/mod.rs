@@ -17,10 +17,21 @@ pub mod sparsity;
 pub mod static_tables;
 pub mod ungraceful;
 
-use dht_core::lookup::PhaseBreakdown;
+use dht_core::lookup::{HopPhase, PhaseBreakdown};
+use dht_core::obs::{Histogram, MetricsRegistry};
 use dht_core::overlay::Overlay;
 use dht_core::stats::Summary;
 use dht_core::workload::LookupRequest;
+
+/// Every [`HopPhase`] variant, for phase-indexed accounting.
+const ALL_PHASES: [HopPhase; 6] = [
+    HopPhase::Ascending,
+    HopPhase::Descending,
+    HopPhase::TraverseCycle,
+    HopPhase::DeBruijn,
+    HopPhase::Successor,
+    HopPhase::Finger,
+];
 
 /// Aggregate statistics of one batch of lookups on one overlay.
 #[derive(Debug, Clone)]
@@ -47,6 +58,30 @@ pub struct LookupAggregate {
     /// Per-lookup simulated end-to-end latency in milliseconds (RTT draws
     /// plus backoff waits under the active fault plan).
     pub latency_ms: Summary,
+    /// Path-length histogram (log₂ buckets) over all lookups.
+    pub path_hist: Histogram,
+    /// Per-phase hop-count histograms: for every routing phase the batch
+    /// used at least once, the distribution of per-lookup hop counts in
+    /// that phase. Keyed for export by [`HopPhase::label`].
+    pub phase_hists: Vec<(HopPhase, Histogram)>,
+    /// Per-lookup simulated latency histogram, in µs.
+    pub latency_hist: Histogram,
+    /// Total stale-entry timeouts across the batch.
+    pub timeouts_total: u64,
+    /// Total message retries across the batch.
+    pub retries_total: u64,
+    /// Total message timeouts across the batch.
+    pub msg_timeouts_total: u64,
+    /// Wall-clock time the batch took, in µs.
+    pub elapsed_us: u64,
+}
+
+impl LookupAggregate {
+    /// Measured throughput: lookups completed per wall-clock second.
+    #[must_use]
+    pub fn lookups_per_sec(&self) -> f64 {
+        self.path.n as f64 / (self.elapsed_us.max(1) as f64 / 1_000_000.0)
+    }
 }
 
 /// Runs a batch of lookup requests and aggregates the traces.
@@ -59,6 +94,12 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
     let mut latency_ms = Vec::with_capacity(reqs.len());
     let mut failures = 0usize;
     let mut breakdown = PhaseBreakdown::new();
+    let mut path_hist = Histogram::new();
+    let mut latency_hist = Histogram::new();
+    // Per-lookup hop counts for every phase; histograms are built only
+    // for phases the batch actually used.
+    let mut phase_counts: [Vec<u64>; 6] = Default::default();
+    let started = std::time::Instant::now();
     for req in reqs {
         let trace = overlay.lookup(req.src, req.raw_key);
         paths.push(trace.path_len());
@@ -69,7 +110,23 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
         if !trace.outcome.is_success() {
             failures += 1;
         }
+        path_hist.record(trace.path_len() as u64);
+        latency_hist.record(trace.net.latency_us);
+        for (i, &phase) in ALL_PHASES.iter().enumerate() {
+            phase_counts[i].push(trace.hops_in_phase(phase) as u64);
+        }
         breakdown.record(&trace);
+    }
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let mut phase_hists = Vec::new();
+    for (i, &phase) in ALL_PHASES.iter().enumerate() {
+        if phase_counts[i].iter().any(|&c| c > 0) {
+            let mut h = Histogram::new();
+            for &c in &phase_counts[i] {
+                h.record(c);
+            }
+            phase_hists.push((phase, h));
+        }
     }
     LookupAggregate {
         label: overlay.name(),
@@ -81,7 +138,56 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
         retries: Summary::of_counts(&retries),
         msg_timeouts: Summary::of_counts(&msg_timeouts),
         latency_ms: Summary::of(&latency_ms),
+        path_hist,
+        phase_hists,
+        latency_hist,
+        timeouts_total: timeouts.iter().sum(),
+        retries_total: retries.iter().sum(),
+        msg_timeouts_total: msg_timeouts.iter().sum(),
+        elapsed_us,
     }
+}
+
+/// Registers one aggregate's metrics under `prefix` — the uniform export
+/// every lookup-batch experiment shares: lookup/failure counters, the
+/// path-length histogram, per-phase hop histograms keyed by
+/// [`HopPhase::label`], fault counters, the latency histogram, the batch
+/// wall-clock timer, and the throughput gauge.
+pub fn register_lookup_metrics(reg: &mut MetricsRegistry, prefix: &str, agg: &LookupAggregate) {
+    reg.counter(&format!("{prefix}.lookups"))
+        .add(agg.path.n as u64);
+    reg.counter(&format!("{prefix}.failures"))
+        .add(agg.failures as u64);
+    reg.histogram(&format!("{prefix}.hops"))
+        .merge(&agg.path_hist);
+    for (phase, hist) in &agg.phase_hists {
+        reg.histogram(&format!("{prefix}.hops.{}", phase.label()))
+            .merge(hist);
+    }
+    reg.counter(&format!("{prefix}.stale_timeouts"))
+        .add(agg.timeouts_total);
+    reg.counter(&format!("{prefix}.retries"))
+        .add(agg.retries_total);
+    reg.counter(&format!("{prefix}.msg_timeouts"))
+        .add(agg.msg_timeouts_total);
+    reg.histogram(&format!("{prefix}.latency_us"))
+        .merge(&agg.latency_hist);
+    reg.timer(&format!("{prefix}.wall"))
+        .record_us(agg.elapsed_us);
+    reg.gauge(&format!("{prefix}.lookups_per_sec"))
+        .set(agg.lookups_per_sec());
+}
+
+/// Registers a [`Summary`]'s headline statistics under `prefix`: a
+/// `.samples` counter plus `.mean`, `.p01`, `.p99`, and `.max` gauges.
+/// Used by the experiments whose rows carry distributions rather than
+/// full lookup aggregates (query load, key distribution, degrees).
+pub fn register_summary_gauges(reg: &mut MetricsRegistry, prefix: &str, s: &Summary) {
+    reg.counter(&format!("{prefix}.samples")).add(s.n as u64);
+    reg.gauge(&format!("{prefix}.mean")).set(s.mean);
+    reg.gauge(&format!("{prefix}.p01")).set(s.p01);
+    reg.gauge(&format!("{prefix}.p99")).set(s.p99);
+    reg.gauge(&format!("{prefix}.max")).set(s.max);
 }
 
 /// The paper's network sizes: `n = d * 2^d` for `d = 3..=8`
@@ -123,6 +229,51 @@ mod tests {
         assert_eq!(agg.retries.max, 0.0, "ideal network never retries");
         assert_eq!(agg.msg_timeouts.max, 0.0);
         assert_eq!(agg.latency_ms.max, 0.0, "ideal network is instantaneous");
+    }
+
+    #[test]
+    fn aggregate_histograms_match_summaries() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 64, 1);
+        let reqs = random_pairs(net.as_ref(), 200, &mut stream(2, "hist"));
+        let agg = run_requests(net.as_mut(), &reqs);
+        assert_eq!(agg.path_hist.count(), 200);
+        assert_eq!(agg.path_hist.max(), Some(agg.path.max as u64));
+        assert_eq!(agg.path_hist.min(), Some(agg.path.min as u64));
+        assert!((agg.path_hist.mean() - agg.path.mean).abs() < 1e-9);
+        assert_eq!(agg.latency_hist.count(), 200);
+        assert!(!agg.phase_hists.is_empty(), "Cycloid routes in phases");
+        // Per-phase per-lookup counts must sum to the total hop count.
+        let phase_sum: u64 = agg.phase_hists.iter().map(|(_, h)| h.sum()).sum();
+        assert_eq!(phase_sum, agg.path_hist.sum());
+        assert_eq!(agg.timeouts_total, 0);
+        assert!(agg.lookups_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn register_lookup_metrics_exports_uniform_names() {
+        use dht_core::obs::Metric;
+        let mut net = build_overlay(OverlayKind::Cycloid7, 64, 1);
+        let reqs = random_pairs(net.as_ref(), 100, &mut stream(2, "reg"));
+        let agg = run_requests(net.as_mut(), &reqs);
+        let mut reg = MetricsRegistry::new();
+        register_lookup_metrics(&mut reg, "Cycloid(7)/n=64", &agg);
+        match reg.get("Cycloid(7)/n=64.lookups") {
+            Some(Metric::Counter(c)) => assert_eq!(c.get(), 100),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match reg.get("Cycloid(7)/n=64.hops") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 100),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(
+            reg.iter().any(|(name, _)| name.contains(".hops.")),
+            "per-phase histograms registered"
+        );
+        match reg.get("Cycloid(7)/n=64.wall") {
+            Some(Metric::Timer(t)) => assert_eq!(t.spans(), 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(reg.get("Cycloid(7)/n=64.lookups_per_sec").is_some());
     }
 
     #[test]

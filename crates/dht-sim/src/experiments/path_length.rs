@@ -6,6 +6,7 @@
 //! to random destinations."
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::workload::per_node_uniform;
 
@@ -113,6 +114,14 @@ pub fn measure(params: &PathLengthParams) -> Vec<PathLengthRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers every row's lookup metrics, keyed `{overlay}/n={n}`.
+pub fn register_metrics(rows: &[PathLengthRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/n={}", row.agg.label, row.n);
+        super::register_lookup_metrics(reg, &prefix, &row.agg);
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! mean and the 1st/99th percentiles for networks of 64 and 2048 nodes.
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::stats::Summary;
 use dht_core::workload::per_node_uniform;
@@ -110,6 +111,15 @@ pub fn measure(params: &QueryLoadParams) -> Vec<QueryLoadRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers every row's per-node query-load distribution, keyed
+/// `{overlay}/n={n}.load`.
+pub fn register_metrics(rows: &[QueryLoadRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/n={}.load", row.label, row.n);
+        super::register_summary_gauges(reg, &prefix, &row.load);
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! successor hops as sparsity grows.
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::workload::random_pairs;
 
@@ -111,6 +112,16 @@ pub fn measure(params: &SparsityParams) -> Vec<SparsityRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers every row's lookup metrics plus a node-count gauge, keyed
+/// `{overlay}/sparsity={s}`.
+pub fn register_metrics(rows: &[SparsityRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let prefix = format!("{}/sparsity={}", row.agg.label, row.sparsity);
+        super::register_lookup_metrics(reg, &prefix, &row.agg);
+        reg.gauge(&format!("{prefix}.nodes")).set(row.n as f64);
+    }
 }
 
 #[cfg(test)]

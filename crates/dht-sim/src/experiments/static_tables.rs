@@ -2,6 +2,7 @@
 //! from the implementations themselves rather than transcribed.
 
 use cycloid::{CycloidConfig, CycloidId, CycloidNetwork};
+use dht_core::obs::MetricsRegistry;
 
 /// One row of Table 1 (architectural comparison of representative DHTs).
 #[derive(Debug, Clone)]
@@ -163,6 +164,18 @@ pub fn table3() -> Vec<Table3Row> {
             koorde: "Successor",
         },
     ]
+}
+
+/// Registers Table 1's measured degree bounds: one
+/// `table1.{system}.degree` gauge per system whose routing-table size the
+/// live implementation bounds by a constant (the `O(...)` rows have no
+/// numeric value to export).
+pub fn register_metrics(reg: &mut MetricsRegistry) {
+    for row in table1() {
+        if let Ok(d) = row.table_size.parse::<f64>() {
+            reg.gauge(&format!("table1.{}.degree", row.system)).set(d);
+        }
+    }
 }
 
 #[cfg(test)]

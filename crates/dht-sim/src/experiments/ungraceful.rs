@@ -14,6 +14,7 @@
 //! crashes.
 
 use crossbeam::thread;
+use dht_core::obs::MetricsRegistry;
 use dht_core::rng::{stream, stream_indexed};
 use dht_core::workload::random_pairs;
 use rand::Rng;
@@ -131,6 +132,18 @@ pub fn measure(params: &UngracefulParams) -> Vec<UngracefulRow> {
     rows.into_iter()
         .map(|r| r.expect("all cells filled"))
         .collect()
+}
+
+/// Registers both phases' lookup metrics plus a survivor-count gauge,
+/// keyed `{overlay}/p={p}/{before|after}`.
+pub fn register_metrics(rows: &[UngracefulRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        let base = format!("{}/p={}", row.before_stabilize.label, row.p);
+        super::register_lookup_metrics(reg, &format!("{base}/before"), &row.before_stabilize);
+        super::register_lookup_metrics(reg, &format!("{base}/after"), &row.after_stabilize);
+        reg.gauge(&format!("{base}.survivors"))
+            .set(row.survivors as f64);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Shared golden-trace harness: replays a fixed-seed lookup workload on
+//! a freshly built overlay and renders the line-per-lookup trace format
+//! the files under `tests/golden/` pin. Used by `golden_traces.rs` (the
+//! byte-level regression tests) and `obs_traces.rs` (which re-runs the
+//! same workload with event sinks installed to prove tracing never
+//! perturbs routing).
+#![allow(dead_code)] // each test binary uses its own subset
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cycloid_repro::prelude::{build_overlay, OverlayKind};
+use dht_core::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
+use dht_core::obs::SinkHandle;
+use dht_core::rng::stream;
+use rand::Rng;
+
+/// Network size for every golden trace.
+pub const NODES: usize = 64;
+/// Master seed for both the network build and the key stream.
+pub const SEED: u64 = 42;
+/// Lookups recorded per overlay.
+pub const LOOKUPS: usize = 48;
+
+/// Every overlay kind with a plain (fault-free) golden file, paired with
+/// its file stem under `tests/golden/`.
+pub const GOLDEN_KINDS: [(OverlayKind, &str); 7] = [
+    (OverlayKind::Cycloid7, "cycloid7"),
+    (OverlayKind::Cycloid11, "cycloid11"),
+    (OverlayKind::Chord, "chord"),
+    (OverlayKind::Koorde, "koorde"),
+    (OverlayKind::Pastry, "pastry"),
+    (OverlayKind::Viceroy, "viceroy"),
+    (OverlayKind::Can, "can"),
+];
+
+/// The fixed fault plan behind every `*_lossy` golden file.
+pub fn lossy_conditions() -> NetConditions {
+    NetConditions::new(
+        FaultPlan {
+            seed: 7,
+            loss: 0.10,
+            delay: DelayModel::Uniform(20_000, 80_000),
+            duplicate: 0.02,
+        },
+        RetryPolicy::standard(),
+    )
+}
+
+/// Absolute path of one golden file.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Replays the fixed workload on a freshly built overlay and renders the
+/// trace file content with no event sink installed. With `conditions`,
+/// lookups run under that fault plan and every line additionally pins
+/// retries and latency; without, the format is byte-identical to the
+/// pre-fault-layer files.
+pub fn render_traces(kind: OverlayKind, conditions: Option<NetConditions>) -> String {
+    render_traces_with_sink(kind, conditions, SinkHandle::disabled())
+}
+
+/// [`render_traces`] with an event sink installed before the workload
+/// runs. The rendered text must not depend on the sink — `obs_traces.rs`
+/// pins that equivalence against the checked-in golden files.
+pub fn render_traces_with_sink(
+    kind: OverlayKind,
+    conditions: Option<NetConditions>,
+    sink: SinkHandle,
+) -> String {
+    let mut net = build_overlay(kind, NODES, SEED);
+    if let Some(c) = conditions {
+        net.set_net_conditions(c);
+    }
+    net.set_trace_sink(sink);
+    let tokens = net.node_tokens();
+    let mut keys = stream(SEED, "golden-keys");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# golden trace: {} n={NODES} seed={SEED} lookups={LOOKUPS}",
+        net.name()
+    )
+    .unwrap();
+    if let Some(c) = conditions {
+        writeln!(
+            out,
+            "# fault plan: seed={} loss={} delay={:?} duplicate={} retry(max_attempts={} base_us={} factor={} cap_us={})",
+            c.plan.seed,
+            c.plan.loss,
+            c.plan.delay,
+            c.plan.duplicate,
+            c.retry.max_attempts,
+            c.retry.base_timeout_us,
+            c.retry.backoff_factor,
+            c.retry.max_timeout_us
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "# line: index src key -> outcome @terminal timeouts retries latency_us phases"
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "# line: index src key -> outcome @terminal timeouts phases"
+        )
+        .unwrap();
+    }
+    for i in 0..LOOKUPS {
+        let src = tokens[i % tokens.len()];
+        let key: u64 = keys.gen();
+        let trace = net.lookup(src, key);
+        let phases = if trace.hops.is_empty() {
+            "-".to_string()
+        } else {
+            trace
+                .hops
+                .iter()
+                .map(|h| h.label())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        if conditions.is_some() {
+            writeln!(
+                out,
+                "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} retries={} latency_us={} {phases}",
+                trace.outcome, trace.terminal, trace.timeouts, trace.net.retries, trace.net.latency_us
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} {phases}",
+                trace.outcome, trace.terminal, trace.timeouts
+            )
+            .unwrap();
+        }
+    }
+    out
+}

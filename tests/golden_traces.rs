@@ -1,6 +1,7 @@
 //! Deterministic golden-trace tests: fixed-seed lookup traces for every
 //! overlay, compared line-by-line against checked-in files under
-//! `tests/golden/`.
+//! `tests/golden/`. The rendering harness lives in `tests/common/` and
+//! is shared with `obs_traces.rs`.
 //!
 //! Each line records one lookup end to end — index, source token, raw key,
 //! outcome, terminal token, timeout count, and the comma-joined hop-phase
@@ -9,9 +10,9 @@
 //! test for that overlay.
 //!
 //! The `*_lossy` variants replay the same workload under a fixed
-//! [`FaultPlan`] (10% loss, 20–80 ms RTT, 2% duplication) and additionally
-//! pin each lookup's message retries and simulated latency, covering the
-//! deterministic fault path end to end.
+//! [`FaultPlan`](dht_core::net::FaultPlan) (10% loss, 20–80 ms RTT, 2%
+//! duplication) and additionally pin each lookup's message retries and
+//! simulated latency, covering the deterministic fault path end to end.
 //!
 //! To regenerate after an *intentional* routing change:
 //!
@@ -20,116 +21,11 @@
 //! git diff tests/golden/    # review every changed line before committing
 //! ```
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
+mod common;
 
-use cycloid_repro::prelude::{build_overlay, OverlayKind};
-use dht_core::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
-use dht_core::rng::stream;
-use rand::Rng;
-
-/// Network size for every golden trace.
-const NODES: usize = 64;
-/// Master seed for both the network build and the key stream.
-const SEED: u64 = 42;
-/// Lookups recorded per overlay.
-const LOOKUPS: usize = 48;
-
-/// The fixed fault plan behind every `*_lossy` golden file.
-fn lossy_conditions() -> NetConditions {
-    NetConditions::new(
-        FaultPlan {
-            seed: 7,
-            loss: 0.10,
-            delay: DelayModel::Uniform(20_000, 80_000),
-            duplicate: 0.02,
-        },
-        RetryPolicy::standard(),
-    )
-}
-
-/// Replays the fixed workload on a freshly built overlay and renders the
-/// trace file content. With `conditions`, lookups run under that fault
-/// plan and every line additionally pins retries and latency; without,
-/// the format is byte-identical to the pre-fault-layer files.
-fn render_traces(kind: OverlayKind, conditions: Option<NetConditions>) -> String {
-    let mut net = build_overlay(kind, NODES, SEED);
-    if let Some(c) = conditions {
-        net.set_net_conditions(c);
-    }
-    let tokens = net.node_tokens();
-    let mut keys = stream(SEED, "golden-keys");
-    let mut out = String::new();
-    writeln!(
-        out,
-        "# golden trace: {} n={NODES} seed={SEED} lookups={LOOKUPS}",
-        net.name()
-    )
-    .unwrap();
-    if let Some(c) = conditions {
-        writeln!(
-            out,
-            "# fault plan: seed={} loss={} delay={:?} duplicate={} retry(max_attempts={} base_us={} factor={} cap_us={})",
-            c.plan.seed,
-            c.plan.loss,
-            c.plan.delay,
-            c.plan.duplicate,
-            c.retry.max_attempts,
-            c.retry.base_timeout_us,
-            c.retry.backoff_factor,
-            c.retry.max_timeout_us
-        )
-        .unwrap();
-        writeln!(
-            out,
-            "# line: index src key -> outcome @terminal timeouts retries latency_us phases"
-        )
-        .unwrap();
-    } else {
-        writeln!(
-            out,
-            "# line: index src key -> outcome @terminal timeouts phases"
-        )
-        .unwrap();
-    }
-    for i in 0..LOOKUPS {
-        let src = tokens[i % tokens.len()];
-        let key: u64 = keys.gen();
-        let trace = net.lookup(src, key);
-        let phases = if trace.hops.is_empty() {
-            "-".to_string()
-        } else {
-            trace
-                .hops
-                .iter()
-                .map(|h| h.label())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        if conditions.is_some() {
-            writeln!(
-                out,
-                "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} retries={} latency_us={} {phases}",
-                trace.outcome, trace.terminal, trace.timeouts, trace.net.retries, trace.net.latency_us
-            )
-            .unwrap();
-        } else {
-            writeln!(
-                out,
-                "{i:02} src={src:#x} key={key:#018x} -> {:?} @{:#x} timeouts={} {phases}",
-                trace.outcome, trace.terminal, trace.timeouts
-            )
-            .unwrap();
-        }
-    }
-    out
-}
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(format!("{name}.txt"))
-}
+use common::{golden_path, lossy_conditions, render_traces};
+use cycloid_repro::prelude::OverlayKind;
+use dht_core::net::NetConditions;
 
 /// Compares the replayed trace against the checked-in golden file, or
 /// rewrites the file when `GOLDEN_REGEN` is set.

@@ -1,0 +1,139 @@
+//! Observability regression tests: installing an event sink must never
+//! change routing.
+//!
+//! The acceptance bar for the tracing layer is that every golden trace
+//! under `tests/golden/` stays **byte-identical** when a sink is
+//! installed — first with the no-op [`NullSink`] (the hot-path guarantee)
+//! and, property-tested across seeds, with a recording
+//! [`RingBufferSink`] (the any-sink guarantee: emission happens after the
+//! routing and fault draws, so what the sink does cannot feed back).
+
+mod common;
+
+use std::sync::{Arc, Mutex};
+
+use common::{golden_path, lossy_conditions, render_traces, render_traces_with_sink, GOLDEN_KINDS};
+use cycloid_repro::prelude::{build_overlay, OverlayKind};
+use dht_core::obs::{Event, NullSink, RingBufferSink, SinkHandle};
+use dht_core::rng::stream;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// The tentpole pin: with a `NullSink` installed, every checked-in golden
+/// file — plain and lossy — is reproduced byte for byte. No regeneration
+/// allowed; a mismatch means event emission perturbed routing.
+#[test]
+fn null_sink_keeps_golden_traces_byte_identical() {
+    for (kind, name) in GOLDEN_KINDS {
+        let rendered = render_traces_with_sink(kind, None, SinkHandle::new(NullSink));
+        let golden = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden file for {name}: {e}"));
+        assert_eq!(golden, rendered, "{name}: NullSink changed the trace");
+    }
+    for (kind, name) in [
+        (OverlayKind::Cycloid7, "cycloid7_lossy"),
+        (OverlayKind::Chord, "chord_lossy"),
+    ] {
+        let rendered =
+            render_traces_with_sink(kind, Some(lossy_conditions()), SinkHandle::new(NullSink));
+        let golden = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden file for {name}: {e}"));
+        assert_eq!(golden, rendered, "{name}: NullSink changed the lossy trace");
+    }
+}
+
+/// A recording sink is held to the same standard as the no-op one: the
+/// rendered workload must match the disabled-handle rendering exactly,
+/// including under message faults.
+#[test]
+fn ring_buffer_sink_keeps_golden_traces_byte_identical() {
+    for (kind, name) in GOLDEN_KINDS {
+        let sink = SinkHandle::new(RingBufferSink::new(1 << 14));
+        assert_eq!(
+            render_traces(kind, None),
+            render_traces_with_sink(kind, None, sink),
+            "{name}: RingBufferSink changed the trace"
+        );
+    }
+    let sink = SinkHandle::new(RingBufferSink::new(1 << 14));
+    assert_eq!(
+        render_traces(OverlayKind::Chord, Some(lossy_conditions())),
+        render_traces_with_sink(OverlayKind::Chord, Some(lossy_conditions()), sink),
+        "RingBufferSink changed the lossy trace"
+    );
+}
+
+/// The recorded event stream agrees with the returned traces: one
+/// `LookupStart`/`LookupEnd` pair per lookup and one `Hop` per entry in
+/// `LookupTrace::hops`, in order.
+#[test]
+fn recorded_events_match_returned_traces() {
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(1 << 14)));
+    let mut net = build_overlay(OverlayKind::Cycloid7, 64, 42);
+    net.set_trace_sink(SinkHandle::new(Arc::clone(&ring)));
+    let tokens = net.node_tokens();
+    let mut keys = stream(42, "obs-events");
+    let mut total_hops = 0usize;
+    let lookups = 32;
+    for i in 0..lookups {
+        let trace = net.lookup(tokens[i % tokens.len()], keys.gen());
+        total_hops += trace.hops.len();
+    }
+    let events = ring.lock().unwrap().snapshot();
+    let starts = events
+        .iter()
+        .filter(|e| matches!(e, Event::LookupStart { .. }))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e, Event::LookupEnd { .. }))
+        .count();
+    let hops = events
+        .iter()
+        .filter(|e| matches!(e, Event::Hop { .. }))
+        .count();
+    assert_eq!(starts, lookups);
+    assert_eq!(ends, lookups);
+    assert_eq!(hops, total_hops);
+    // Hop indices restart at 0 within each lookup and increase by one.
+    let mut expected_index = 0u32;
+    for event in &events {
+        match event {
+            Event::LookupStart { .. } => expected_index = 0,
+            Event::Hop { index, .. } => {
+                assert_eq!(*index, expected_index, "hop indices must be sequential");
+                expected_index += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Across seeds and overlay kinds, runs with a `NullSink` and with a
+    /// `RingBufferSink` produce identical lookup traces — outcome,
+    /// terminal, hop sequence, timeout count, and message costs.
+    #[test]
+    fn sinks_never_perturb_lookups(seed in 0u64..1000, kind_ix in 0usize..GOLDEN_KINDS.len()) {
+        let (kind, _) = GOLDEN_KINDS[kind_ix];
+        let mut null_net = build_overlay(kind, 48, seed);
+        null_net.set_trace_sink(SinkHandle::new(NullSink));
+        let mut ring_net = build_overlay(kind, 48, seed);
+        ring_net.set_trace_sink(SinkHandle::new(RingBufferSink::new(1 << 12)));
+        let tokens = null_net.node_tokens();
+        let mut keys = stream(seed, "obs-prop");
+        for i in 0..16usize {
+            let src = tokens[i % tokens.len()];
+            let key: u64 = keys.gen();
+            let a = null_net.lookup(src, key);
+            let b = ring_net.lookup(src, key);
+            prop_assert_eq!(&a.hops, &b.hops);
+            prop_assert_eq!(a.outcome, b.outcome);
+            prop_assert_eq!(a.terminal, b.terminal);
+            prop_assert_eq!(a.timeouts, b.timeouts);
+            prop_assert_eq!(a.net, b.net);
+        }
+    }
+}
