@@ -37,6 +37,7 @@ fn bench_fig5_6_7(c: &mut Criterion) {
         per_node_factor: 0.25,
         per_node_cap: Some(4),
         seed: 1,
+        jobs: 1,
     };
     g.bench_function("fig5_6_7_path_length_sweep", |b| {
         b.iter(|| path_length::measure(&params))
@@ -66,6 +67,7 @@ fn bench_fig10(c: &mut Criterion) {
         sizes: vec![64],
         per_node_cap: Some(8),
         seed: 3,
+        jobs: 1,
     };
     g.bench_function("fig10_query_load", |b| {
         b.iter(|| query_load::measure(&params))
@@ -81,6 +83,7 @@ fn bench_fig11_table4(c: &mut Criterion) {
         probabilities: vec![0.3],
         lookups: 500,
         seed: 4,
+        jobs: 1,
     };
     g.bench_function("fig11_table4_mass_departure", |b| {
         b.iter(|| mass_departure::measure(&params))
@@ -97,6 +100,7 @@ fn bench_fig12_table5(c: &mut Criterion) {
         lookups: 300,
         audit: false,
         seed: 5,
+        jobs: 1,
         conditions: dht_core::net::NetConditions::ideal(),
     };
     g.bench_function("fig12_table5_churn", |b| {
@@ -113,6 +117,7 @@ fn bench_fig13_14(c: &mut Criterion) {
         sparsities: vec![0.0, 0.5],
         lookups: 400,
         seed: 6,
+        jobs: 1,
     };
     g.bench_function("fig13_14_sparsity", |b| {
         b.iter(|| sparsity::measure(&params))

@@ -17,7 +17,12 @@
 //! `--csv` (machine-readable output), `--chart` (terminal line charts
 //! for the line figures), `--metrics-out <dir>` (write one versioned
 //! `BENCH_<experiment>.json` per experiment group), `--quiet` (suppress
-//! progress lines; `REPRO_LOG=debug|info|quiet` overrides).
+//! progress lines; `REPRO_LOG=debug|info|quiet` overrides), and
+//! `--jobs <N>` (worker threads per lookup batch; default: available
+//! parallelism). Results are bit-identical for every `--jobs` value —
+//! the flag only changes wall clock. The extra `throughput` subcommand
+//! (not part of `all`) measures the sequential-vs-sharded speedup and
+//! exports it as `BENCH_lookup_throughput.json`.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -29,7 +34,7 @@ use dht_core::lookup::HopPhase;
 use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Progress};
 use dht_sim::experiments::{
     churn_exp, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
-    path_length, query_load, sparsity, static_tables, ungraceful,
+    path_length, query_load, sparsity, static_tables, throughput, ungraceful,
 };
 use dht_sim::report::Table;
 
@@ -42,6 +47,7 @@ struct Options {
     quiet: bool,
     metrics_out: Option<PathBuf>,
     seed: u64,
+    jobs: usize,
 }
 
 const ALL: &[&str] = &[
@@ -71,7 +77,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--quiet]\n\
          \x20            [--seed N] [--metrics-out DIR]\n\
-         experiments: {} all path metrics",
+         \x20            [--jobs N]\n\
+         experiments: {} all path metrics throughput",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -86,6 +93,7 @@ fn parse_args() -> Options {
         quiet: false,
         metrics_out: None,
         seed: 2004, // IPPS 2004
+        jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -102,6 +110,13 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.jobs = v.parse().unwrap_or_else(|_| usage());
+                if opts.jobs == 0 {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             "all" => {
                 opts.experiments.extend(ALL.iter().map(|s| s.to_string()));
@@ -112,6 +127,9 @@ fn parse_args() -> Options {
             }
             "metrics" => {
                 opts.experiments.insert("metrics".to_string());
+            }
+            "throughput" => {
+                opts.experiments.insert("throughput".to_string());
             }
             name if ALL.contains(&name) => {
                 opts.experiments.insert(name.to_string());
@@ -229,11 +247,12 @@ fn main() {
     // Figs. 5/6/7 share one sweep.
     if wants("fig5") || wants("fig6") || wants("fig7") {
         progress.info("running path-length sweep (figs 5-7)...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             path_length::PathLengthParams::quick(opts.seed)
         } else {
             path_length::PathLengthParams::paper(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = path_length::measure(&params);
         if wants("fig5") {
             emit(&render::fig5(&rows), opts.csv);
@@ -316,7 +335,7 @@ fn main() {
 
     if wants("fig10") {
         progress.info("running query-load sweep (fig 10)...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             query_load::QueryLoadParams {
                 sizes: vec![64, 512],
                 per_node_cap: Some(16),
@@ -325,6 +344,7 @@ fn main() {
         } else {
             query_load::QueryLoadParams::paper(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = query_load::measure(&params);
         emit(&render::fig10(&rows), opts.csv);
         let mut reg = MetricsRegistry::new();
@@ -334,7 +354,7 @@ fn main() {
 
     if wants("fig11") || wants("table4") {
         progress.info("running mass-departure sweep (fig 11 / table 4)...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             mass_departure::MassDepartureParams {
                 kinds: dht_sim::PAPER_KINDS.to_vec(),
                 nodes: 2048,
@@ -344,6 +364,7 @@ fn main() {
         } else {
             mass_departure::MassDepartureParams::paper(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = mass_departure::measure(&params);
         if wants("fig11") {
             emit(&render::fig11(&rows), opts.csv);
@@ -362,7 +383,7 @@ fn main() {
 
     if wants("fig12") || wants("table5") {
         progress.info("running churn sweep (fig 12 / table 5)...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             churn_exp::ChurnExpParams {
                 kinds: dht_sim::PAPER_KINDS.to_vec(),
                 nodes: 512,
@@ -374,6 +395,7 @@ fn main() {
         } else {
             churn_exp::ChurnExpParams::paper(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = churn_exp::measure(&params);
         if wants("fig12") {
             emit(&render::fig12(&rows), opts.csv);
@@ -394,17 +416,19 @@ fn main() {
 
     if wants("fig13") || wants("fig14") {
         progress.info("running sparsity sweep (figs 13-14)...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             sparsity::SparsityParams {
                 kinds: dht_sim::PAPER_KINDS.to_vec(),
                 id_space: 2048,
                 lookups: 2_000,
                 sparsities: vec![0.0, 0.3, 0.6, 0.9],
                 seed: opts.seed,
+                jobs: 1,
             }
         } else {
             sparsity::SparsityParams::paper(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = sparsity::measure(&params);
         if wants("fig13") {
             emit(&render::fig13(&rows), opts.csv);
@@ -428,6 +452,7 @@ fn main() {
             per_node_factor: 0.25,
             per_node_cap: Some(if opts.quick { 8 } else { 32 }),
             seed: opts.seed,
+            jobs: opts.jobs,
         };
         let rows = path_length::measure(&params);
         emit(&render::ext_path(&rows), opts.csv);
@@ -438,11 +463,12 @@ fn main() {
 
     if wants("exthotspot") {
         progress.info("running hot-spot workload extension...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             hotspot::HotspotParams::quick(opts.seed)
         } else {
             hotspot::HotspotParams::paper_scale(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = hotspot::measure(&params);
         emit(&render::ext_hotspot(&rows), opts.csv);
         let mut reg = MetricsRegistry::new();
@@ -466,11 +492,12 @@ fn main() {
 
     if wants("fault") {
         progress.info("running message-loss sweep (fault extension)...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             fault_tolerance::FaultToleranceParams::quick(opts.seed)
         } else {
             fault_tolerance::FaultToleranceParams::paper(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = fault_tolerance::measure(&params);
         emit(&render::fault(&rows), opts.csv);
         if opts.chart {
@@ -486,16 +513,41 @@ fn main() {
 
     if wants("extfail") {
         progress.info("running ungraceful-failure extension...");
-        let params = if opts.quick {
+        let mut params = if opts.quick {
             ungraceful::UngracefulParams::quick(opts.seed)
         } else {
             ungraceful::UngracefulParams::paper_scale(opts.seed)
         };
+        params.jobs = opts.jobs;
         let rows = ungraceful::measure(&params);
         emit(&render::ext_failures(&rows), opts.csv);
         let mut reg = MetricsRegistry::new();
         ungraceful::register_metrics(&rows, &mut reg);
         write_bench("ungraceful", &reg);
+    }
+
+    if wants("throughput") {
+        progress.info(format!(
+            "running lookup-throughput benchmark (jobs={})...",
+            opts.jobs
+        ));
+        let params = if opts.quick {
+            throughput::ThroughputParams::quick(opts.seed, opts.jobs)
+        } else {
+            throughput::ThroughputParams::paper(opts.seed, opts.jobs)
+        };
+        let rows = throughput::measure(&params);
+        emit(&render::throughput(&rows), opts.csv);
+        if let Some(bad) = rows.iter().find(|r| !r.results_identical()) {
+            eprintln!(
+                "[repro] error: {} results diverged between jobs=1 and jobs={}",
+                bad.label, bad.jobs
+            );
+            std::process::exit(1);
+        }
+        let mut reg = MetricsRegistry::new();
+        throughput::register_metrics(&rows, &mut reg);
+        write_bench("lookup_throughput", &reg);
     }
 
     // Reader side, after any producers so `repro path metrics

@@ -271,7 +271,7 @@ impl SimOverlay for CycloidNetwork {
     }
 
     fn on_hop(
-        &mut self,
+        &self,
         walk: &mut CycloidWalk,
         _from: NodeToken,
         _phase: HopPhase,
@@ -284,7 +284,7 @@ impl SimOverlay for CycloidNetwork {
     /// A walk whose candidates were all skipped stops where it stands and
     /// is judged like a deliberate terminal (preserving the `WrongOwner`
     /// distinction), exactly as a real querier would conclude.
-    fn on_exhausted(&mut self, cur: NodeToken, walk: &CycloidWalk) -> LookupOutcome {
+    fn on_exhausted(&self, cur: NodeToken, walk: &CycloidWalk) -> LookupOutcome {
         self.classify_terminal(cur, walk)
     }
 

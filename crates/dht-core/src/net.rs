@@ -14,11 +14,16 @@
 //!   of attempts per contact, a base timeout, and exponential backoff
 //!   with a cap.
 //! * [`NetConditions`] — the live session combining both plus a
-//!   monotone message counter, owned by every
+//!   monotone *lookup-index* counter, owned by every
 //!   [`crate::sim::Membership`]. All fault draws are pure functions of
-//!   `(plan seed, message sequence number)`, so a fixed-seed run is
-//!   bit-identical across executions, independent of the overlay's own
-//!   RNG streams.
+//!   `(plan seed, lookup index, target, attempt)`, so a fixed-seed run
+//!   is bit-identical across executions, independent of the overlay's
+//!   own RNG streams — and, crucially, independent of the *order* the
+//!   contacts are made in. Order-independence is what lets the
+//!   parallel executor ([`crate::sim::ParallelExecutor`]) walk lookups
+//!   concurrently and still reproduce the sequential byte stream: a
+//!   walk's draws depend only on its own index, not on how many
+//!   messages other walks sent first.
 //! * [`NetCosts`] — the per-lookup bill: retries, message-level
 //!   timeouts, duplicate deliveries, and end-to-end simulated latency.
 //!
@@ -46,7 +51,6 @@
 //! [`NetCosts::latency_us`] changes.
 
 use crate::hash::splitmix64;
-use crate::obs::{Event, SinkHandle, TimeoutKind};
 
 /// Simulated time in microseconds (matches the discrete-event engine's
 /// clock resolution).
@@ -83,9 +87,10 @@ impl DelayModel {
 
 /// A deterministic, seeded per-message fault model.
 ///
-/// Every message the walk engine sends consumes one sequence number from
-/// the owning [`NetConditions`]; the loss/delay/duplication draws for
-/// that message are pure functions of `(seed, sequence number)`.
+/// The loss/delay/duplication draws for every message the walk engine
+/// sends are pure functions of `(seed, lookup index, target, attempt)`
+/// — no shared counter, so draws are independent of the order contacts
+/// happen to be made in.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the fault draw stream (independent of every overlay RNG).
@@ -203,27 +208,29 @@ pub struct ContactOutcome {
 }
 
 /// The live network conditions of one simulated overlay: the fault
-/// plan, the retry policy, and the monotone message counter the
-/// deterministic draws are derived from.
+/// plan, the retry policy, and the monotone lookup-index counter that
+/// keys the deterministic draws.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConditions {
     /// Per-message fault model.
     pub plan: FaultPlan,
     /// Querier retry/backoff behaviour.
     pub retry: RetryPolicy,
-    /// Next message sequence number (monotone across all walks).
-    seq: u64,
+    /// Next workload lookup index (monotone across all walks; each
+    /// sequential walk takes one, the parallel executor reserves a
+    /// contiguous range per batch).
+    next_lookup: u64,
 }
 
 impl NetConditions {
-    /// Conditions combining `plan` and `retry`, starting at message
-    /// sequence zero.
+    /// Conditions combining `plan` and `retry`, starting at lookup
+    /// index zero.
     #[must_use]
     pub fn new(plan: FaultPlan, retry: RetryPolicy) -> Self {
         Self {
             plan,
             retry,
-            seq: 0,
+            next_lookup: 0,
         }
     }
 
@@ -234,27 +241,57 @@ impl NetConditions {
         Self::new(FaultPlan::none(), RetryPolicy::standard())
     }
 
-    /// Number of messages sent so far under these conditions.
+    /// Number of lookup indices handed out so far under these
+    /// conditions.
     #[must_use]
-    pub fn messages_sent(&self) -> u64 {
-        self.seq
+    pub fn lookups_started(&self) -> u64 {
+        self.next_lookup
     }
 
-    /// Draws the per-message fault word for the next send.
-    fn next_draw(&mut self) -> u64 {
-        let r = splitmix64(self.plan.seed ^ splitmix64(self.seq ^ 0x006d_6573_7361_6765));
-        self.seq += 1;
-        r
+    /// Takes the next lookup index — the walk engine calls this once
+    /// per sequential walk.
+    pub fn take_lookup_index(&mut self) -> u64 {
+        let index = self.next_lookup;
+        self.next_lookup += 1;
+        index
     }
 
-    /// Contacts a *live* node: sends until a message gets through or the
-    /// attempt budget is spent, accumulating backoff waits and the final
-    /// round trip.
-    pub fn contact(&mut self) -> ContactOutcome {
+    /// Reserves `count` consecutive lookup indices for a batch of
+    /// walks, returning the first. The parallel executor assigns
+    /// `base + i` to the `i`-th request in canonical workload order, so
+    /// the draw streams are identical no matter how the batch is
+    /// sharded.
+    pub fn reserve_lookup_indices(&mut self, count: u64) -> u64 {
+        let base = self.next_lookup;
+        self.next_lookup += count;
+        base
+    }
+
+    /// The fault word for the `attempt`-th send (1-based) of `lookup`'s
+    /// contact with `target` — a pure function of the plan seed and the
+    /// key, independent of every other draw.
+    fn draw(&self, lookup: u64, target: u64, attempt: u32) -> u64 {
+        let lane = splitmix64(lookup ^ 0x006d_6573_7361_6765)
+            ^ splitmix64(target ^ 0x7461_7267_6574)
+            ^ splitmix64(u64::from(attempt) ^ 0x6174_746d_7074);
+        splitmix64(self.plan.seed ^ splitmix64(lane))
+    }
+
+    /// Contacts a *live* node on behalf of the `lookup`-indexed walk:
+    /// sends until a message gets through or the attempt budget is
+    /// spent, accumulating backoff waits and the final round trip.
+    ///
+    /// The outcome is a pure function of `(plan, retry, lookup,
+    /// target)` — contacting the same target twice within one lookup
+    /// yields the same outcome (the network's disposition toward that
+    /// pair is fixed for the lookup's duration), and contacts from
+    /// different lookups never perturb each other.
+    #[must_use]
+    pub fn contact(&self, lookup: u64, target: u64) -> ContactOutcome {
         let max_attempts = self.retry.max_attempts.max(1);
         let mut latency: SimMicros = 0;
         for attempt in 1..=max_attempts {
-            let r = self.next_draw();
+            let r = self.draw(lookup, target, attempt);
             if !roll(r, self.plan.loss) {
                 latency =
                     latency.saturating_add(self.plan.delay.sample(splitmix64(r ^ 0x0072_7474)));
@@ -273,35 +310,6 @@ impl NetConditions {
             latency_us: latency,
             duplicated: false,
         }
-    }
-
-    /// Like [`NetConditions::contact`], but reports retries and
-    /// message timeouts as structured events through `sink` (tagged
-    /// with the `lookup` id and the `target` token). The fault draws
-    /// are identical to an untraced contact — tracing never perturbs
-    /// the message sequence.
-    pub fn contact_traced(
-        &mut self,
-        sink: &SinkHandle,
-        lookup: u64,
-        target: u64,
-    ) -> ContactOutcome {
-        let outcome = self.contact();
-        if outcome.attempts > 1 {
-            sink.emit(|| Event::Retry {
-                lookup,
-                target,
-                attempts: outcome.attempts,
-            });
-        }
-        if !outcome.delivered {
-            sink.emit(|| Event::Timeout {
-                lookup,
-                target,
-                kind: TimeoutKind::Message,
-            });
-        }
-        outcome
     }
 
     /// Wall-clock cost of contacting a *departed* node (the §4.3
@@ -375,15 +383,25 @@ mod tests {
 
     #[test]
     fn ideal_contact_is_free_and_instant() {
-        let mut net = NetConditions::ideal();
-        for _ in 0..100 {
-            let c = net.contact();
+        let net = NetConditions::ideal();
+        for lookup in 0..100 {
+            let c = net.contact(lookup, 7);
             assert!(c.delivered);
             assert_eq!(c.attempts, 1);
             assert_eq!(c.latency_us, 0);
             assert!(!c.duplicated);
         }
-        assert_eq!(net.messages_sent(), 100);
+    }
+
+    #[test]
+    fn lookup_indices_are_monotone_and_reservable() {
+        let mut net = NetConditions::ideal();
+        assert_eq!(net.lookups_started(), 0);
+        assert_eq!(net.take_lookup_index(), 0);
+        assert_eq!(net.take_lookup_index(), 1);
+        assert_eq!(net.reserve_lookup_indices(10), 2, "batch starts after");
+        assert_eq!(net.take_lookup_index(), 12, "batch advances the counter");
+        assert_eq!(net.lookups_started(), 13);
     }
 
     #[test]
@@ -400,12 +418,11 @@ mod tests {
             backoff_factor: 2,
             max_timeout_us: 10_000,
         };
-        let mut net = NetConditions::new(plan, retry);
-        let c = net.contact();
+        let net = NetConditions::new(plan, retry);
+        let c = net.contact(0, 1);
         assert!(!c.delivered);
         assert_eq!(c.attempts, 3);
         assert_eq!(c.latency_us, 100 + 200 + 400);
-        assert_eq!(net.messages_sent(), 3);
     }
 
     #[test]
@@ -440,17 +457,40 @@ mod tests {
     }
 
     #[test]
-    fn draws_are_deterministic_per_seed_and_seq() {
+    fn draws_are_deterministic_per_seed_and_key() {
         let plan = FaultPlan::lossy(11, 0.5);
         let run = || {
-            let mut net = NetConditions::new(plan, RetryPolicy::standard());
-            (0..50).map(|_| net.contact()).collect::<Vec<_>>()
+            let net = NetConditions::new(plan, RetryPolicy::standard());
+            (0..50)
+                .map(|i| net.contact(i, i * 3 + 1))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
         // A different seed yields a different outcome sequence.
-        let mut other = NetConditions::new(FaultPlan::lossy(12, 0.5), RetryPolicy::standard());
-        let theirs: Vec<ContactOutcome> = (0..50).map(|_| other.contact()).collect();
+        let other = NetConditions::new(FaultPlan::lossy(12, 0.5), RetryPolicy::standard());
+        let theirs: Vec<ContactOutcome> = (0..50).map(|i| other.contact(i, i * 3 + 1)).collect();
         assert_ne!(run(), theirs);
+    }
+
+    #[test]
+    fn draws_are_independent_of_contact_order() {
+        // The fault word depends only on (lookup, target, attempt):
+        // interleaving contacts from many lookups in any order — the
+        // situation the parallel executor creates — yields outcomes
+        // identical to the canonical sequential order.
+        let plan = FaultPlan::lossy(11, 0.5);
+        let net = NetConditions::new(plan, RetryPolicy::standard());
+        let keys: Vec<(u64, u64)> = (0..64).map(|i| (i / 4, splitmix64(i))).collect();
+        let forward: Vec<ContactOutcome> = keys.iter().map(|&(l, t)| net.contact(l, t)).collect();
+        let reversed: Vec<ContactOutcome> =
+            keys.iter().rev().map(|&(l, t)| net.contact(l, t)).collect();
+        let mut reversed = reversed;
+        reversed.reverse();
+        assert_eq!(forward, reversed);
+        // Distinct lookups draw distinct fault words for the same target.
+        let a: Vec<bool> = (0..200).map(|l| net.contact(l, 9).delivered).collect();
+        let b: Vec<bool> = (0..200).map(|l| net.contact(l, 10).delivered).collect();
+        assert_ne!(a, b, "targets get independent lanes");
     }
 
     #[test]
@@ -468,8 +508,10 @@ mod tests {
             backoff_factor: 1,
             max_timeout_us: 1,
         };
-        let mut net = NetConditions::new(plan, retry);
-        let lost = (0..10_000).filter(|_| !net.contact().delivered).count();
+        let net = NetConditions::new(plan, retry);
+        let lost = (0..10_000)
+            .filter(|&i| !net.contact(i, 1).delivered)
+            .count();
         assert!(
             (1_700..=2_300).contains(&lost),
             "empirical loss {lost}/10000 should be ~2000"
@@ -499,55 +541,16 @@ mod tests {
     }
 
     #[test]
-    fn traced_contact_matches_untraced_and_emits_events() {
-        use crate::obs::RingBufferSink;
-        use std::sync::{Arc, Mutex};
-        let plan = FaultPlan {
-            seed: 3,
-            loss: 0.5,
-            delay: DelayModel::Constant(100),
-            duplicate: 0.0,
-        };
-        let mut plain = NetConditions::new(plan, RetryPolicy::standard());
-        let mut traced = NetConditions::new(plan, RetryPolicy::standard());
-        let ring = Arc::new(Mutex::new(RingBufferSink::new(1024)));
-        let sink = SinkHandle::new(Arc::clone(&ring));
-        let a: Vec<ContactOutcome> = (0..40).map(|_| plain.contact()).collect();
-        let b: Vec<ContactOutcome> = (0..40)
-            .map(|i| traced.contact_traced(&sink, i, 7))
-            .collect();
-        assert_eq!(a, b, "tracing must not perturb the fault stream");
-        let events = ring.lock().unwrap().snapshot();
-        let retried = a.iter().filter(|c| c.attempts > 1).count();
-        let undelivered = a.iter().filter(|c| !c.delivered).count();
-        assert!(retried > 0, "50% loss must force retries");
-        assert_eq!(
-            events
-                .iter()
-                .filter(|e| matches!(e, Event::Retry { .. }))
-                .count(),
-            retried
-        );
-        assert_eq!(
-            events
-                .iter()
-                .filter(|e| matches!(
-                    e,
-                    Event::Timeout {
-                        kind: TimeoutKind::Message,
-                        ..
-                    }
-                ))
-                .count(),
-            undelivered
-        );
-        // A disabled handle is also transparent.
-        let mut silent = NetConditions::new(plan, RetryPolicy::standard());
-        let none = SinkHandle::disabled();
-        let c: Vec<ContactOutcome> = (0..40)
-            .map(|i| silent.contact_traced(&none, i, 7))
-            .collect();
-        assert_eq!(a, c);
+    fn repeated_contact_within_a_lookup_is_fixed() {
+        // Same (lookup, target) pair, same disposition — the walk engine
+        // relies on this when a candidate recurs across steps.
+        let plan = FaultPlan::lossy(3, 0.5);
+        let net = NetConditions::new(plan, RetryPolicy::standard());
+        for lookup in 0..20 {
+            for target in 0..20 {
+                assert_eq!(net.contact(lookup, target), net.contact(lookup, target));
+            }
+        }
     }
 
     #[test]

@@ -191,6 +191,20 @@ impl Event {
         }
     }
 
+    /// Sets the lookup id on lookup-scoped events (no-op otherwise).
+    /// Deferred walks record events with a placeholder id of 0 and
+    /// stamp the stream-unique id at effect-apply time.
+    pub fn set_lookup_id(&mut self, id: u64) {
+        match self {
+            Event::LookupStart { lookup, .. }
+            | Event::Hop { lookup, .. }
+            | Event::Retry { lookup, .. }
+            | Event::Timeout { lookup, .. }
+            | Event::LookupEnd { lookup, .. } => *lookup = id,
+            _ => {}
+        }
+    }
+
     /// Renders the event as a single-line JSON object (no trailing
     /// newline), the format [`JsonlSink`] writes.
     #[must_use]

@@ -62,6 +62,19 @@ pub trait Overlay {
     /// per-node query-load counters.
     fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace;
 
+    /// Performs a batch of independent lookups, returning the traces in
+    /// request order. `jobs` is the worker-thread cap; implementations
+    /// must produce results bit-identical to `jobs == 1` (the substrate
+    /// overlays shard the batch across scoped threads and merge effects
+    /// in request order — see `dht_core::sim::ParallelExecutor`). The
+    /// default runs the batch sequentially.
+    fn lookup_batch(&mut self, reqs: &[(NodeToken, u64)], jobs: usize) -> Vec<LookupTrace> {
+        let _ = jobs;
+        reqs.iter()
+            .map(|&(src, raw_key)| self.lookup(src, raw_key))
+            .collect()
+    }
+
     /// A new node joins, bootstrapped per the overlay's join protocol.
     /// Returns its token, or `None` if the identifier space is full.
     fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken>;
@@ -185,6 +198,10 @@ impl Overlay for Box<dyn Overlay> {
 
     fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
         (**self).lookup(src, raw_key)
+    }
+
+    fn lookup_batch(&mut self, reqs: &[(NodeToken, u64)], jobs: usize) -> Vec<LookupTrace> {
+        (**self).lookup_batch(reqs, jobs)
     }
 
     fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {

@@ -22,6 +22,28 @@
 //!    candidates would you try next, in what order?" through
 //!    [`SimOverlay::next_hop`].
 //!
+//! # Read-only walks and deferred effects
+//!
+//! The walk core is *read-only*: [`walk_ref`] routes against `&T` and
+//! returns the trace **plus** a [`WalkEffects`] record of everything a
+//! mutating walk would have done in place — query-load increments,
+//! repair-on-use evictions, exhaustion accounting, and trace events.
+//! [`apply_effects`] plays such a record back against `&mut T`. The
+//! classic [`walk`]/[`walk_from`] entry points are exactly `walk_ref` +
+//! immediate application, so overlays keep their sequential semantics
+//! (a repair made by lookup *k* is visible to lookup *k + 1*).
+//!
+//! [`ParallelExecutor`] builds on this split: it shards a batch of
+//! lookups across scoped worker threads that all walk the same
+//! snapshot, then merges the effect records in canonical workload
+//! order. Together with the order-independent fault draws of
+//! [`crate::net::NetConditions`], every aggregate, query-load table,
+//! and trace byte is identical for any worker count — including one.
+//! The one semantic difference from the sequential entry points is
+//! *within a batch*: repair-on-use is applied after the whole batch
+//! routes, so all lookups of a batch see the same snapshot (see
+//! DESIGN.md, "Parallel execution").
+//!
 //! Implementing [`SimOverlay`] yields [`Overlay`] for free through a
 //! blanket impl, so the experiment harness drives every overlay —
 //! including future ones — through one interface with no per-crate
@@ -34,8 +56,11 @@
 //! routing algorithm threads through hops), and implement the required
 //! [`SimOverlay`] methods. Override the defaulted hooks only where the
 //! protocol deviates: [`SimOverlay::admit`] for candidate filters
-//! beyond liveness, [`SimOverlay::on_hop`] for per-hop bookkeeping
-//! (cursor advancement, repair-on-use), [`SimOverlay::on_exhausted`] /
+//! beyond liveness, [`SimOverlay::on_hop`] for per-hop *walk-state*
+//! bookkeeping (cursor advancement, visited sets),
+//! [`SimOverlay::repair_on_use`] / [`SimOverlay::record_exhausted`]
+//! for deferred *network-state* mutations (stale-entry eviction,
+//! failure counters), [`SimOverlay::on_exhausted`] /
 //! [`SimOverlay::classify_terminal`] for outcome classification, and
 //! [`SimOverlay::budget_before_terminal`] when the protocol checks its
 //! termination test before the hop budget.
@@ -82,8 +107,14 @@ impl QueryLoads {
 
     /// Increments `node`'s counter if it is tracked.
     pub fn count(&mut self, node: NodeToken) {
+        self.add(node, 1);
+    }
+
+    /// Adds `k` to `node`'s counter if it is tracked (no-op otherwise).
+    /// Used by the parallel executor to apply per-shard folded counts.
+    pub fn add(&mut self, node: NodeToken, k: u64) {
         if let Some(c) = self.counts.get_mut(&node) {
-            *c += 1;
+            *c += k;
         }
     }
 
@@ -135,6 +166,10 @@ impl QueryLoads {
 #[derive(Debug, Clone)]
 pub struct Membership<S> {
     nodes: BTreeMap<NodeToken, S>,
+    /// Dense sorted mirror of the live tokens, kept in lockstep with
+    /// `nodes` so indexed draws ([`Membership::token_at`]) are O(1)
+    /// instead of an O(n) iterator scan.
+    order: Vec<NodeToken>,
     loads: QueryLoads,
     alloc: IdAllocator,
     net: NetConditions,
@@ -149,6 +184,7 @@ impl<S> Membership<S> {
     pub fn new(seed: u64) -> Self {
         Self {
             nodes: BTreeMap::new(),
+            order: Vec::new(),
             loads: QueryLoads::new(),
             alloc: IdAllocator::new(seed),
             net: NetConditions::ideal(),
@@ -193,6 +229,11 @@ impl<S> Membership<S> {
     pub fn insert(&mut self, node: NodeToken, state: S) {
         let prev = self.nodes.insert(node, state);
         assert!(prev.is_none(), "node token {node} already occupied");
+        let i = self
+            .order
+            .binary_search(&node)
+            .expect_err("order mirror out of sync");
+        self.order.insert(i, node);
         self.loads.track(node);
     }
 
@@ -201,6 +242,11 @@ impl<S> Membership<S> {
     pub fn remove(&mut self, node: NodeToken) -> Option<S> {
         let state = self.nodes.remove(&node);
         if state.is_some() {
+            let i = self
+                .order
+                .binary_search(&node)
+                .expect("order mirror out of sync");
+            self.order.remove(i);
             self.loads.untrack(node);
         }
         state
@@ -209,7 +255,14 @@ impl<S> Membership<S> {
     /// Live tokens in ascending order.
     #[must_use]
     pub fn tokens(&self) -> Vec<NodeToken> {
-        self.nodes.keys().copied().collect()
+        self.order.clone()
+    }
+
+    /// The `i`-th smallest live token, in O(1) — the indexed draw
+    /// behind [`crate::overlay::Overlay::random_node`].
+    #[must_use]
+    pub fn token_at(&self, i: usize) -> Option<NodeToken> {
+        self.order.get(i).copied()
     }
 
     /// Iterates live tokens in ascending order without allocating.
@@ -312,6 +365,12 @@ impl<S> Membership<S> {
         self.loads.count(node);
     }
 
+    /// Adds `k` queries to `node`'s counter (no-op if departed) —
+    /// the batched form used when merging per-shard load tables.
+    pub fn add_queries(&mut self, node: NodeToken, k: u64) {
+        self.loads.add(node, k);
+    }
+
     /// Per-node query loads in ascending token order; one entry per
     /// live node.
     #[must_use]
@@ -340,13 +399,14 @@ impl<S> Membership<S> {
         &self.net
     }
 
-    /// Mutable access to the network conditions — the walk engine draws
-    /// per-message faults through this.
+    /// Mutable access to the network conditions — the walk engine takes
+    /// lookup indices (the fault-draw keys) through this.
     pub fn net_conditions_mut(&mut self) -> &mut NetConditions {
         &mut self.net
     }
 
-    /// Installs new network conditions, resetting the message counter.
+    /// Installs new network conditions, resetting the lookup-index
+    /// counter.
     pub fn set_net_conditions(&mut self, net: NetConditions) {
         self.net = net;
     }
@@ -388,7 +448,11 @@ pub enum StepDecision {
 /// per-hop routing decision; the substrate's [`walk`] owns the
 /// iterative lookup loop and the blanket [`Overlay`] impl provides the
 /// harness-facing interface.
-pub trait SimOverlay {
+///
+/// `Sync` is a supertrait because the substrate's [`ParallelExecutor`]
+/// shards lookup batches across scoped threads that share `&self`;
+/// node states are plain data in every overlay, so this costs nothing.
+pub trait SimOverlay: Sync {
     /// Per-node routing state stored in the [`Membership`] arena.
     type State;
     /// Per-lookup walk state: the mapped key plus whatever cursor the
@@ -439,11 +503,15 @@ pub trait SimOverlay {
         true
     }
 
-    /// Bookkeeping when the walk takes a hop `from -> to` accounted to
-    /// `phase`; `timed_out` lists the dead candidates skipped in this
-    /// step (for repair-on-use). Default: nothing.
+    /// Walk-state bookkeeping when the walk takes a hop `from -> to`
+    /// accounted to `phase`; `timed_out` lists the dead candidates
+    /// skipped in this step. Runs inline during the (read-only) walk,
+    /// so it may only mutate the *walk* state — cursor advancement,
+    /// visited sets. Network-state mutations (repair-on-use) belong in
+    /// [`SimOverlay::repair_on_use`], which the engine defers into the
+    /// walk's [`WalkEffects`]. Default: nothing.
     fn on_hop(
-        &mut self,
+        &self,
         walk: &mut Self::Walk,
         from: NodeToken,
         phase: HopPhase,
@@ -451,6 +519,23 @@ pub trait SimOverlay {
         timed_out: &[NodeToken],
     ) {
         let _ = (walk, from, phase, to, timed_out);
+    }
+
+    /// Repair-on-use: the walk hopped `from -> to` (phase `phase`)
+    /// after skipping the dead candidates in `timed_out`, and the
+    /// protocol may now evict the stale entries. Called once per such
+    /// hop when the walk's effects are applied — immediately after the
+    /// walk under the sequential entry points, after the whole batch
+    /// under [`ParallelExecutor`]. Only hops that actually skipped dead
+    /// candidates are reported. Default: nothing.
+    fn repair_on_use(
+        &mut self,
+        from: NodeToken,
+        phase: HopPhase,
+        to: NodeToken,
+        timed_out: &[NodeToken],
+    ) {
+        let _ = (from, phase, to, timed_out);
     }
 
     /// Classifies a walk that stopped at `cur` by its own decision
@@ -464,14 +549,23 @@ pub trait SimOverlay {
         }
     }
 
-    /// Classifies (and optionally records) a walk stranded at `cur`
-    /// with no live candidate. Default: [`LookupOutcome::Found`] when
-    /// `cur` happens to be the owner, otherwise [`LookupOutcome::Stuck`].
-    fn on_exhausted(&mut self, cur: NodeToken, walk: &Self::Walk) -> LookupOutcome {
+    /// Classifies a walk stranded at `cur` with no live candidate —
+    /// read-only; accounting belongs in
+    /// [`SimOverlay::record_exhausted`]. Default:
+    /// [`LookupOutcome::Found`] when `cur` happens to be the owner,
+    /// otherwise [`LookupOutcome::Stuck`].
+    fn on_exhausted(&self, cur: NodeToken, walk: &Self::Walk) -> LookupOutcome {
         match self.walk_owner(walk) {
             Some(owner) if owner == cur => LookupOutcome::Found,
             _ => LookupOutcome::Stuck,
         }
+    }
+
+    /// Deferred accounting for a walk that exhausted its candidates at
+    /// `terminal` (e.g. a protocol failure counter). Called when the
+    /// walk's effects are applied. Default: nothing.
+    fn record_exhausted(&mut self, terminal: NodeToken) {
+        let _ = terminal;
     }
 
     /// Whether the hop budget is checked before the terminal test.
@@ -513,24 +607,156 @@ pub trait SimOverlay {
     }
 }
 
+/// One hop's deferred repair-on-use record: the walk hopped
+/// `from -> to` after skipping the dead candidates in `timed_out`.
+/// Replayed into [`SimOverlay::repair_on_use`] by [`apply_effects`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopRepair {
+    /// Node whose routing entry pointed at the dead candidates.
+    pub from: NodeToken,
+    /// Phase the taken hop was accounted to.
+    pub phase: HopPhase,
+    /// The live candidate that answered.
+    pub to: NodeToken,
+    /// Dead candidates skipped in this step, in preference order.
+    pub timed_out: Vec<NodeToken>,
+}
+
+/// Everything a mutating walk would have done in place, recorded by
+/// [`walk_ref`] for deferred application via [`apply_effects`].
+///
+/// The trace events carry a placeholder lookup id of 0; the real
+/// stream-unique id is stamped at application time so ids are handed
+/// out in canonical workload order regardless of which worker thread
+/// routed the walk.
+#[derive(Debug, Clone, Default)]
+pub struct WalkEffects {
+    /// Visited nodes in visit order (source first) — one query-load
+    /// increment each. Empty when the walk did not count loads.
+    pub queried: Vec<NodeToken>,
+    /// Hops that skipped dead candidates, for repair-on-use.
+    pub repairs: Vec<HopRepair>,
+    /// Terminal of an exhausted walk (no live candidate), for
+    /// [`SimOverlay::record_exhausted`].
+    pub exhausted: Option<NodeToken>,
+    /// Trace events in emission order (empty when tracing is off).
+    pub events: Vec<Event>,
+}
+
+impl WalkEffects {
+    /// `true` iff applying these effects would change nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queried.is_empty()
+            && self.repairs.is_empty()
+            && self.exhausted.is_none()
+            && self.events.is_empty()
+    }
+}
+
+/// Reusable per-walk scratch buffers for the step loop. One instance
+/// per worker (or per call site) avoids re-allocating the two
+/// de-duplication sets and the dead-candidate list on every step —
+/// see `benches/walk_throughput.rs` for the measured win.
+#[derive(Debug, Default)]
+pub struct WalkScratch {
+    dead_seen: HashSet<NodeToken>,
+    unreachable_seen: HashSet<NodeToken>,
+    step_dead: Vec<NodeToken>,
+}
+
+impl WalkScratch {
+    /// Fresh (empty) scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Read-only lookup from `src` for `raw_key`: routes against `&T` and
+/// returns the trace plus the deferred [`WalkEffects`]. `lookup_index`
+/// keys the fault draws (see
+/// [`crate::net::NetConditions::take_lookup_index`]). When
+/// `count_loads` is set, visited nodes are recorded for query-load
+/// accounting (the §4.2 congestion measure counts lookup traffic only,
+/// so control traffic passes `false`).
+pub fn walk_ref<T: SimOverlay + ?Sized>(
+    net: &T,
+    src: NodeToken,
+    raw_key: u64,
+    count_loads: bool,
+    lookup_index: u64,
+) -> (LookupTrace, WalkEffects) {
+    let mut scratch = WalkScratch::new();
+    walk_ref_with_scratch(net, src, raw_key, count_loads, lookup_index, &mut scratch)
+}
+
+/// Like [`walk_ref`], reusing the caller's scratch buffers across
+/// walks (the parallel executor keeps one per worker).
+pub fn walk_ref_with_scratch<T: SimOverlay + ?Sized>(
+    net: &T,
+    src: NodeToken,
+    raw_key: u64,
+    count_loads: bool,
+    lookup_index: u64,
+    scratch: &mut WalkScratch,
+) -> (LookupTrace, WalkEffects) {
+    assert!(
+        net.membership().contains(src),
+        "lookup source {src} is not live"
+    );
+    let state = net.begin_walk(src, raw_key);
+    walk_ref_inner(
+        net,
+        src,
+        state,
+        count_loads,
+        lookup_index,
+        Some(raw_key),
+        scratch,
+    )
+}
+
+/// Like [`walk_ref`], but with an already-initialized walk state — the
+/// read-only counterpart of [`walk_from`].
+pub fn walk_ref_from<T: SimOverlay + ?Sized>(
+    net: &T,
+    src: NodeToken,
+    state: T::Walk,
+    count_loads: bool,
+    lookup_index: u64,
+) -> (LookupTrace, WalkEffects) {
+    let mut scratch = WalkScratch::new();
+    walk_ref_inner(
+        net,
+        src,
+        state,
+        count_loads,
+        lookup_index,
+        None,
+        &mut scratch,
+    )
+}
+
 /// Performs one lookup from `src` for `raw_key`, walking the overlay
 /// hop by hop using only each node's private routing state, and
-/// returns the full trace. When `count_loads` is set, every visited
-/// node's query-load counter is incremented (the §4.2 congestion
-/// measure counts lookup traffic only, so control traffic passes
-/// `false`).
+/// returns the full trace. Exactly [`walk_ref`] followed by
+/// [`apply_effects`], so query loads, repair-on-use, and trace events
+/// land immediately. When `count_loads` is set, every visited node's
+/// query-load counter is incremented.
 pub fn walk<T: SimOverlay + ?Sized>(
     net: &mut T,
     src: NodeToken,
     raw_key: u64,
     count_loads: bool,
 ) -> LookupTrace {
-    assert!(
-        net.membership().contains(src),
-        "lookup source {src} is not live"
-    );
-    let state = net.begin_walk(src, raw_key);
-    walk_inner(net, src, state, count_loads, Some(raw_key))
+    let index = net
+        .membership_mut()
+        .net_conditions_mut()
+        .take_lookup_index();
+    let (trace, fx) = walk_ref(&*net, src, raw_key, count_loads, index);
+    apply_effects(net, fx);
+    trace
 }
 
 /// Like [`walk`], but with an already-initialized walk state — the
@@ -542,38 +768,81 @@ pub fn walk_from<T: SimOverlay + ?Sized>(
     state: T::Walk,
     count_loads: bool,
 ) -> LookupTrace {
-    walk_inner(net, src, state, count_loads, None)
+    let index = net
+        .membership_mut()
+        .net_conditions_mut()
+        .take_lookup_index();
+    let (trace, fx) = walk_ref_from(&*net, src, state, count_loads, index);
+    apply_effects(net, fx);
+    trace
 }
 
-/// The iterative walk loop shared by [`walk`] and [`walk_from`].
+/// Plays a [`WalkEffects`] record back against the overlay: query-load
+/// increments, repair-on-use, exhaustion accounting, and trace-event
+/// emission (stamping the stream-unique lookup id). Application order
+/// across walks defines the canonical byte stream, so callers must
+/// apply records in workload order.
+pub fn apply_effects<T: SimOverlay + ?Sized>(net: &mut T, fx: WalkEffects) {
+    let WalkEffects {
+        queried,
+        repairs,
+        exhausted,
+        events,
+    } = fx;
+    for &node in &queried {
+        net.membership_mut().count_query(node);
+    }
+    for r in &repairs {
+        net.repair_on_use(r.from, r.phase, r.to, &r.timed_out);
+    }
+    if let Some(terminal) = exhausted {
+        net.record_exhausted(terminal);
+    }
+    if !events.is_empty() {
+        let sink = net.membership().trace_sink().clone();
+        let id = sink.next_lookup_id();
+        for mut event in events {
+            event.set_lookup_id(id);
+            sink.emit(move || event);
+        }
+    }
+}
+
+/// The read-only iterative walk loop shared by every entry point.
 /// `raw_key` is purely informational (it tags the `LookupStart` event);
 /// routing reads only the walk state.
-fn walk_inner<T: SimOverlay + ?Sized>(
-    net: &mut T,
+fn walk_ref_inner<T: SimOverlay + ?Sized>(
+    net: &T,
     src: NodeToken,
     mut state: T::Walk,
     count_loads: bool,
+    lookup_index: u64,
     raw_key: Option<u64>,
-) -> LookupTrace {
+    scratch: &mut WalkScratch,
+) -> (LookupTrace, WalkEffects) {
     assert!(
         net.membership().contains(src),
         "lookup source {src} is not live"
     );
-    // One cheap clone per walk; disabled handles clone a `None`.
-    let sink = net.membership().trace_sink().clone();
-    let lookup_id = sink.next_lookup_id();
-    sink.emit(|| Event::LookupStart {
-        lookup: lookup_id,
-        src,
-        key: raw_key,
-    });
+    // Record events only when a sink is installed, preserving the
+    // zero-cost-when-disabled guarantee. Ids are stamped at apply time.
+    let record_events = net.membership().trace_sink().is_enabled();
+    let conditions = *net.membership().net_conditions();
+    let mut fx = WalkEffects::default();
+    if record_events {
+        fx.events.push(Event::LookupStart {
+            lookup: 0,
+            src,
+            key: raw_key,
+        });
+    }
     let budget = net.hop_budget();
     let mut cur = src;
     let mut hops: Vec<HopPhase> = Vec::new();
     let mut timeouts: u32 = 0;
     let mut costs = NetCosts::default();
     if count_loads {
-        net.membership_mut().count_query(cur);
+        fx.queried.push(cur);
     }
 
     let outcome = loop {
@@ -593,42 +862,57 @@ fn walk_inner<T: SimOverlay + ?Sized>(
                 // covers live candidates whose messages the fault plan
                 // swallowed (`unreachable_seen`): one exhausted retry
                 // cycle per step, never two.
-                let mut dead_seen: HashSet<NodeToken> = HashSet::new();
-                let mut unreachable_seen: HashSet<NodeToken> = HashSet::new();
-                let mut step_dead: Vec<NodeToken> = Vec::new();
+                scratch.dead_seen.clear();
+                scratch.unreachable_seen.clear();
+                scratch.step_dead.clear();
                 for (phase, cand) in candidates {
                     if cand == cur || !net.admit(&state, cur, cand) {
                         continue;
                     }
                     if !net.membership().contains(cand) {
-                        if dead_seen.insert(cand) {
+                        if scratch.dead_seen.insert(cand) {
                             timeouts += 1;
-                            costs.absorb_stale(net.membership().net_conditions().stale_wait_us());
-                            step_dead.push(cand);
-                            sink.emit(|| Event::Timeout {
-                                lookup: lookup_id,
-                                target: cand,
-                                kind: TimeoutKind::Stale,
-                            });
+                            costs.absorb_stale(conditions.stale_wait_us());
+                            scratch.step_dead.push(cand);
+                            if record_events {
+                                fx.events.push(Event::Timeout {
+                                    lookup: 0,
+                                    target: cand,
+                                    kind: TimeoutKind::Stale,
+                                });
+                            }
                         }
                         continue;
                     }
-                    if unreachable_seen.contains(&cand) {
+                    if scratch.unreachable_seen.contains(&cand) {
                         continue;
                     }
                     // The candidate is live: contact it under the fault
-                    // plan, retrying per the policy.
-                    let contact = net
-                        .membership_mut()
-                        .net_conditions_mut()
-                        .contact_traced(&sink, lookup_id, cand);
+                    // plan, retrying per the policy. Draws are keyed by
+                    // (lookup_index, candidate, attempt), so the outcome
+                    // is independent of every other contact.
+                    let contact = conditions.contact(lookup_index, cand);
                     costs.absorb(&contact);
+                    if record_events && contact.attempts > 1 {
+                        fx.events.push(Event::Retry {
+                            lookup: 0,
+                            target: cand,
+                            attempts: contact.attempts,
+                        });
+                    }
                     if !contact.delivered {
                         // A message timeout, not a stale entry: the node
                         // is alive, so it must NOT be reported through
                         // `timed_out` — repair-on-use evicting it would
                         // let the fault layer mutate routing state.
-                        unreachable_seen.insert(cand);
+                        if record_events {
+                            fx.events.push(Event::Timeout {
+                                lookup: 0,
+                                target: cand,
+                                kind: TimeoutKind::Message,
+                            });
+                        }
+                        scratch.unreachable_seen.insert(cand);
                         continue;
                     }
                     next = Some((phase, cand));
@@ -636,40 +920,176 @@ fn walk_inner<T: SimOverlay + ?Sized>(
                 }
                 match next {
                     Some((phase, cand)) => {
-                        net.on_hop(&mut state, cur, phase, cand, &step_dead);
-                        sink.emit(|| Event::Hop {
-                            lookup: lookup_id,
-                            index: hops.len() as u32,
-                            from: cur,
-                            to: cand,
-                            phase,
-                        });
+                        net.on_hop(&mut state, cur, phase, cand, &scratch.step_dead);
+                        if !scratch.step_dead.is_empty() {
+                            fx.repairs.push(HopRepair {
+                                from: cur,
+                                phase,
+                                to: cand,
+                                timed_out: scratch.step_dead.clone(),
+                            });
+                        }
+                        if record_events {
+                            fx.events.push(Event::Hop {
+                                lookup: 0,
+                                index: hops.len() as u32,
+                                from: cur,
+                                to: cand,
+                                phase,
+                            });
+                        }
                         hops.push(phase);
                         cur = cand;
                         if count_loads {
-                            net.membership_mut().count_query(cur);
+                            fx.queried.push(cur);
                         }
                     }
-                    None => break net.on_exhausted(cur, &state),
+                    None => {
+                        fx.exhausted = Some(cur);
+                        break net.on_exhausted(cur, &state);
+                    }
                 }
             }
         }
     };
 
-    sink.emit(|| Event::LookupEnd {
-        lookup: lookup_id,
-        outcome,
-        terminal: cur,
-        hops: hops.len() as u32,
-        timeouts,
-        latency_us: costs.latency_us,
-    });
-    LookupTrace {
-        hops,
-        timeouts,
-        outcome,
-        terminal: cur,
-        net: costs,
+    if record_events {
+        fx.events.push(Event::LookupEnd {
+            lookup: 0,
+            outcome,
+            terminal: cur,
+            hops: hops.len() as u32,
+            timeouts,
+            latency_us: costs.latency_us,
+        });
+    }
+    (
+        LookupTrace {
+            hops,
+            timeouts,
+            outcome,
+            terminal: cur,
+            net: costs,
+        },
+        fx,
+    )
+}
+
+/// Deterministic sharded lookup executor: splits a batch of `(src,
+/// raw_key)` requests into contiguous chunks, routes every chunk on a
+/// scoped worker thread against the *same* membership snapshot
+/// (`&T`, via [`walk_ref_with_scratch`]), then applies the
+/// [`WalkEffects`] in canonical workload order.
+///
+/// Determinism: fault draws are keyed by the lookup's reserved index
+/// (`base + i`), query loads are commutative counter increments, and
+/// repairs / failure accounting / trace events are applied strictly in
+/// request order after all routing is done — so aggregates, load
+/// tables, and event streams are bit-identical for any `jobs` value,
+/// including 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    jobs: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor using up to `jobs` worker threads (at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    #[must_use]
+    pub fn available() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker cap.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Routes `reqs` (pairs of source token and raw key) and returns
+    /// the traces in request order. All walks observe the membership as
+    /// it is on entry; effects (query loads, repair-on-use, failure
+    /// accounting, trace events) are applied in request order before
+    /// returning.
+    pub fn run<T: SimOverlay + ?Sized>(
+        &self,
+        net: &mut T,
+        reqs: &[(NodeToken, u64)],
+        count_loads: bool,
+    ) -> Vec<LookupTrace> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let base = net
+            .membership_mut()
+            .net_conditions_mut()
+            .reserve_lookup_indices(reqs.len() as u64);
+        let workers = self.jobs.min(reqs.len());
+        let chunk = reqs.len().div_ceil(workers);
+        struct Shard {
+            /// Per-node query-count deltas, folded in the worker so the
+            /// bulky per-walk `queried` vectors never accumulate.
+            loads: BTreeMap<NodeToken, u64>,
+            walks: Vec<(LookupTrace, WalkEffects)>,
+        }
+        let shared: &T = net;
+        let shards: Vec<Shard> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = reqs
+                .chunks(chunk)
+                .map(|slice| {
+                    let offset = (slice.as_ptr() as usize - reqs.as_ptr() as usize)
+                        / std::mem::size_of::<(NodeToken, u64)>();
+                    scope.spawn(move |_| {
+                        let mut scratch = WalkScratch::new();
+                        let mut loads: BTreeMap<NodeToken, u64> = BTreeMap::new();
+                        let mut walks = Vec::with_capacity(slice.len());
+                        for (k, &(src, raw_key)) in slice.iter().enumerate() {
+                            let index = base + (offset + k) as u64;
+                            let (trace, mut fx) = walk_ref_with_scratch(
+                                shared,
+                                src,
+                                raw_key,
+                                count_loads,
+                                index,
+                                &mut scratch,
+                            );
+                            for node in fx.queried.drain(..) {
+                                *loads.entry(node).or_insert(0) += 1;
+                            }
+                            walks.push((trace, fx));
+                        }
+                        Shard { loads, walks }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lookup worker panicked"))
+                .collect()
+        })
+        .expect("worker pool");
+        // Canonical merge: shards cover contiguous request ranges in
+        // order, so walking them front to back is workload order.
+        let mut traces = Vec::with_capacity(reqs.len());
+        for shard in shards {
+            for (node, count) in shard.loads {
+                net.membership_mut().add_queries(node, count);
+            }
+            for (trace, fx) in shard.walks {
+                apply_effects(net, fx);
+                traces.push(trace);
+            }
+        }
+        traces
     }
 }
 
@@ -696,7 +1116,7 @@ impl<T: SimOverlay> Overlay for T {
             return None;
         }
         let i = (rng.next_u64() % n as u64) as usize;
-        self.membership().token_iter().nth(i)
+        self.membership().token_at(i)
     }
 
     fn key_id(&self, raw_key: u64) -> u64 {
@@ -709,6 +1129,10 @@ impl<T: SimOverlay> Overlay for T {
 
     fn lookup(&mut self, src: NodeToken, raw_key: u64) -> LookupTrace {
         walk(self, src, raw_key, true)
+    }
+
+    fn lookup_batch(&mut self, reqs: &[(NodeToken, u64)], jobs: usize) -> Vec<LookupTrace> {
+        ParallelExecutor::new(jobs).run(self, reqs, true)
     }
 
     fn join(&mut self, rng: &mut dyn RngCore) -> Option<NodeToken> {
@@ -1184,5 +1608,126 @@ mod tests {
             retry.give_up_us(),
             "the one dead contact costs one exhausted retry cycle"
         );
+    }
+
+    #[test]
+    fn token_at_tracks_sorted_order_through_churn() {
+        // `random_node` draws an index and resolves it with `token_at`;
+        // the O(1) dense mirror must agree with the sorted token list
+        // (what the old `nth(i)` scan returned) after any interleaving
+        // of joins and departures, so the draw sequence is unchanged.
+        let mut m: Membership<u64> = Membership::new(9);
+        let check = |m: &Membership<u64>| {
+            let sorted = m.tokens();
+            for (i, &t) in sorted.iter().enumerate() {
+                assert_eq!(m.token_at(i), Some(t), "index {i}");
+            }
+            assert_eq!(m.token_at(sorted.len()), None, "out of range");
+        };
+        for t in [40u64, 10, 30, 20, 50] {
+            m.insert(t, t);
+            check(&m);
+        }
+        for t in [30u64, 50, 10] {
+            assert!(m.remove(t).is_some());
+            check(&m);
+        }
+        m.insert(25, 25);
+        m.insert(5, 5);
+        check(&m);
+    }
+
+    /// A 16-node lossy ring with three departures: stale entries,
+    /// retries, and repairs all in play.
+    fn contested_ring() -> StaleRing {
+        let tokens: Vec<u64> = (0..16u64).map(|i| i * 16).collect();
+        let mut ring = StaleRing::with_tokens(&tokens, 256);
+        for t in [32u64, 96, 208] {
+            assert!(ring.node_leave(t));
+        }
+        ring.membership_mut().set_net_conditions(NetConditions::new(
+            FaultPlan {
+                seed: 13,
+                loss: 0.25,
+                delay: DelayModel::Uniform(500, 1_500),
+                duplicate: 0.05,
+            },
+            RetryPolicy::standard(),
+        ));
+        ring
+    }
+
+    #[test]
+    fn parallel_executor_is_jobs_invariant() {
+        let live: Vec<u64> = contested_ring().members.tokens();
+        let reqs: Vec<(NodeToken, u64)> = (0..48u64)
+            .map(|k| (live[k as usize % live.len()], k * 37))
+            .collect();
+        let run = |jobs: usize| {
+            let mut ring = contested_ring();
+            let traces = ParallelExecutor::new(jobs).run(&mut ring, &reqs, true);
+            (traces, ring.members.query_loads())
+        };
+        let (seq_traces, seq_loads) = run(1);
+        assert_eq!(seq_traces.len(), reqs.len());
+        for jobs in [2, 4, 8] {
+            let (traces, loads) = run(jobs);
+            for (a, b) in seq_traces.iter().zip(&traces) {
+                assert_eq!(a.hops, b.hops, "routes diverge at jobs={jobs}");
+                assert_eq!(a.outcome, b.outcome);
+                assert_eq!(a.terminal, b.terminal);
+                assert_eq!(a.timeouts, b.timeouts);
+                assert_eq!(a.net, b.net, "net costs diverge at jobs={jobs}");
+            }
+            assert_eq!(seq_loads, loads, "query loads diverge at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_one_walk_at_a_time() {
+        // A batch at any width must also agree with the pre-batch
+        // behavior: the same lookups issued one `walk` at a time.
+        let live: Vec<u64> = contested_ring().members.tokens();
+        let reqs: Vec<(NodeToken, u64)> = (0..32u64)
+            .map(|k| (live[k as usize % live.len()], k * 29))
+            .collect();
+        let mut loop_ring = contested_ring();
+        let loop_traces: Vec<LookupTrace> = reqs
+            .iter()
+            .map(|&(src, key)| walk(&mut loop_ring, src, key, true))
+            .collect();
+        let mut batch_ring = contested_ring();
+        let batch_traces = ParallelExecutor::new(4).run(&mut batch_ring, &reqs, true);
+        for (a, b) in loop_traces.iter().zip(&batch_traces) {
+            assert_eq!(a.hops, b.hops);
+            assert_eq!(a.net, b.net);
+        }
+        assert_eq!(
+            loop_ring.members.query_loads(),
+            batch_ring.members.query_loads()
+        );
+    }
+
+    #[test]
+    fn parallel_executor_emits_canonical_event_stream() {
+        use crate::obs::RingBufferSink;
+        use std::sync::{Arc, Mutex};
+        let live: Vec<u64> = contested_ring().members.tokens();
+        let reqs: Vec<(NodeToken, u64)> = (0..24u64)
+            .map(|k| (live[k as usize % live.len()], k * 41))
+            .collect();
+        let run = |jobs: usize| {
+            let mut ring = contested_ring();
+            let sink = Arc::new(Mutex::new(RingBufferSink::new(4096)));
+            ring.membership_mut()
+                .set_trace_sink(SinkHandle::new(Arc::clone(&sink)));
+            ParallelExecutor::new(jobs).run(&mut ring, &reqs, true);
+            let events = sink.lock().unwrap().snapshot();
+            events
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect::<Vec<String>>()
+        };
+        assert_eq!(run(1), run(8), "trace streams must be byte-identical");
     }
 }

@@ -39,6 +39,12 @@ pub struct ChurnParams {
     /// emits lookup events through it, and the churn engine adds
     /// `Join`/`Leave`/`StabilizeRound`/`AuditRun`. Default: disabled.
     pub sink: SinkHandle,
+    /// Worker-thread cap for lookup batches. Lookups arriving between two
+    /// membership/stabilization events are independent reads, so the
+    /// engine buffers them and routes each batch through
+    /// [`Overlay::lookup_batch`]; results are bit-identical for every
+    /// value. Default: 1.
+    pub jobs: usize,
 }
 
 impl Default for ChurnParams {
@@ -52,6 +58,7 @@ impl Default for ChurnParams {
             audit: false,
             conditions: NetConditions::ideal(),
             sink: SinkHandle::disabled(),
+            jobs: 1,
         }
     }
 }
@@ -146,6 +153,13 @@ pub fn run_churn(
         audit_us: 0,
     };
     let mut seen_lookups = 0usize;
+    // Lookups arriving between two membership events are buffered with
+    // their arrival ordinal and routed as one parallel batch right
+    // before the next state mutation (join/leave/stabilization), the
+    // next audit, or the end of the run. Sources, keys, and the
+    // measurement window are drawn/decided at arrival time, so the
+    // workload is identical to the sequential engine's.
+    let mut pending: Vec<(usize, dht_core::overlay::NodeToken, u64)> = Vec::new();
 
     // One timed online audit pass: merged into the accumulated report,
     // billed to `audit_us`, and announced through the sink.
@@ -168,28 +182,49 @@ pub fn run_churn(
         }
     };
 
+    // Routes the buffered lookups as one batch and records the measured
+    // ones (by arrival ordinal) into the outcome.
+    let flush = |overlay: &mut dyn Overlay,
+                 outcome: &mut ChurnOutcome,
+                 pending: &mut Vec<(usize, dht_core::overlay::NodeToken, u64)>| {
+        if pending.is_empty() {
+            return;
+        }
+        let reqs: Vec<(dht_core::overlay::NodeToken, u64)> =
+            pending.iter().map(|&(_, src, raw)| (src, raw)).collect();
+        let traces = overlay.lookup_batch(&reqs, params.jobs.max(1));
+        for ((ordinal, _, _), trace) in pending.drain(..).zip(traces) {
+            let trace: LookupTrace = trace;
+            if ordinal > params.warmup_lookups {
+                outcome.path_lens.push(trace.path_len());
+                outcome.timeouts.push(u64::from(trace.timeouts));
+                outcome.retries.push(u64::from(trace.net.retries));
+                outcome.latency_us.push(trace.net.latency_us);
+                if !trace.outcome.is_success() {
+                    outcome.failures += 1;
+                }
+            }
+        }
+    };
+
     while let Some((_, event)) = queue.pop() {
         match event {
             Event::Lookup => {
                 seen_lookups += 1;
                 if let Some(src) = overlay.random_node(rng) {
                     let raw: u64 = rng.gen();
-                    let trace: LookupTrace = overlay.lookup(src, raw);
-                    if seen_lookups > params.warmup_lookups {
-                        outcome.path_lens.push(trace.path_len());
-                        outcome.timeouts.push(u64::from(trace.timeouts));
-                        outcome.retries.push(u64::from(trace.net.retries));
-                        outcome.latency_us.push(trace.net.latency_us);
-                        if !trace.outcome.is_success() {
-                            outcome.failures += 1;
-                        }
-                    }
+                    pending.push((seen_lookups, src, raw));
                 }
                 if seen_lookups < params.warmup_lookups + params.lookups {
                     queue.schedule_in(exp_delay(params.lookup_rate, rng), Event::Lookup);
+                } else {
+                    // Last arrival: route everything still buffered so the
+                    // run can stop without waiting for a membership event.
+                    flush(overlay, &mut outcome, &mut pending);
                 }
             }
             Event::Join => {
+                flush(overlay, &mut outcome, &mut pending);
                 if let Some(node) = overlay.join(rng) {
                     outcome.joins += 1;
                     outcome.peak_size = outcome.peak_size.max(overlay.len());
@@ -198,6 +233,7 @@ pub fn run_churn(
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
             }
             Event::Leave => {
+                flush(overlay, &mut outcome, &mut pending);
                 // Keep at least a handful of nodes alive.
                 if overlay.len() > 8 {
                     if let Some(node) = overlay.random_node(rng) {
@@ -213,6 +249,7 @@ pub fn run_churn(
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Leave);
             }
             Event::StabilizeBucket(bucket) => {
+                flush(overlay, &mut outcome, &mut pending);
                 for token in overlay.node_tokens() {
                     if dht_core::hash::splitmix64(token) % period == bucket {
                         overlay.stabilize_node(token);
@@ -238,6 +275,7 @@ pub fn run_churn(
         }
     }
 
+    flush(overlay, &mut outcome, &mut pending);
     audit_pass(overlay, &mut outcome);
     outcome.final_size = overlay.len();
     outcome
@@ -259,6 +297,7 @@ mod tests {
             audit: false,
             conditions: NetConditions::ideal(),
             sink: SinkHandle::disabled(),
+            jobs: 1,
         }
     }
 

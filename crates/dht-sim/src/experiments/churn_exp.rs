@@ -33,6 +33,9 @@ pub struct ChurnExpParams {
     pub conditions: NetConditions,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batches (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl ChurnExpParams {
@@ -47,6 +50,7 @@ impl ChurnExpParams {
             audit: false,
             conditions: NetConditions::ideal(),
             seed,
+            jobs: 1,
         }
     }
 
@@ -61,6 +65,7 @@ impl ChurnExpParams {
             audit: true,
             conditions: NetConditions::ideal(),
             seed,
+            jobs: 1,
         }
     }
 }
@@ -131,6 +136,7 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         audit: params.audit,
                         conditions: params.conditions,
                         sink: dht_core::obs::SinkHandle::disabled(),
+                        jobs: params.jobs,
                     };
                     let out: ChurnOutcome = run_churn(net.as_mut(), churn_params, &mut rng);
                     let latency_ms: Vec<f64> = out

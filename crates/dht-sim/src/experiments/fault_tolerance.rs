@@ -17,7 +17,7 @@ use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::workload::random_pairs;
 
-use crate::experiments::{run_requests, LookupAggregate};
+use crate::experiments::{run_requests_jobs, LookupAggregate};
 use crate::factory::{build_overlay, OverlayKind, ALL_KINDS};
 
 /// Parameters of the fault-tolerance sweep.
@@ -41,6 +41,9 @@ pub struct FaultToleranceParams {
     pub audit: bool,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl FaultToleranceParams {
@@ -57,6 +60,7 @@ impl FaultToleranceParams {
             duplicate: 0.01,
             audit: false,
             seed,
+            jobs: 1,
         }
     }
 
@@ -130,7 +134,7 @@ pub fn measure(params: &FaultToleranceParams) -> Vec<FaultToleranceRow> {
                         duplicate: params.duplicate,
                     };
                     net.set_net_conditions(NetConditions::new(plan, params.retry));
-                    let agg = run_requests(net.as_mut(), &reqs);
+                    let agg = run_requests_jobs(net.as_mut(), &reqs, params.jobs);
                     let audit = params.audit.then(|| net.audit_state(AuditScope::Full));
                     FaultToleranceRow {
                         label: net.name(),

@@ -31,6 +31,9 @@ pub struct HotspotParams {
     pub lookups: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl HotspotParams {
@@ -44,6 +47,7 @@ impl HotspotParams {
             exponent: 1.0,
             lookups: 50_000,
             seed,
+            jobs: 1,
         }
     }
 
@@ -57,6 +61,7 @@ impl HotspotParams {
             exponent: 1.0,
             lookups: 5_000,
             seed,
+            jobs: 1,
         }
     }
 }
@@ -100,16 +105,21 @@ pub fn measure(params: &HotspotParams) -> Vec<HotspotRow> {
                     let mut rng = stream_indexed(params.seed, "hotspot", i as u64);
                     // Uniform pass.
                     net.reset_query_loads();
-                    for req in random_pairs(net.as_ref(), params.lookups, &mut rng) {
-                        let _ = net.lookup(req.src, req.raw_key);
-                    }
+                    let reqs: Vec<_> = random_pairs(net.as_ref(), params.lookups, &mut rng)
+                        .iter()
+                        .map(|r| (r.src, r.raw_key))
+                        .collect();
+                    let _ = net.lookup_batch(&reqs, params.jobs);
                     let uniform = Summary::of_counts(&net.query_loads());
                     // Zipf pass over a fixed catalogue.
                     net.reset_query_loads();
                     let catalogue = ZipfKeys::new(params.catalogue, params.exponent, &mut rng);
-                    for req in zipf_pairs(net.as_ref(), &catalogue, params.lookups, &mut rng) {
-                        let _ = net.lookup(req.src, req.raw_key);
-                    }
+                    let reqs: Vec<_> =
+                        zipf_pairs(net.as_ref(), &catalogue, params.lookups, &mut rng)
+                            .iter()
+                            .map(|r| (r.src, r.raw_key))
+                            .collect();
+                    let _ = net.lookup_batch(&reqs, params.jobs);
                     let zipf = Summary::of_counts(&net.query_loads());
                     HotspotRow {
                         label: net.name(),

@@ -14,7 +14,7 @@ use dht_core::rng::{stream, stream_indexed};
 use dht_core::workload::random_pairs;
 use rand::Rng;
 
-use crate::experiments::{run_requests, LookupAggregate};
+use crate::experiments::{run_requests_jobs, LookupAggregate};
 use crate::factory::{build_overlay, OverlayKind};
 
 /// Parameters of the mass-departure experiment.
@@ -30,6 +30,9 @@ pub struct MassDepartureParams {
     pub lookups: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl MassDepartureParams {
@@ -42,6 +45,7 @@ impl MassDepartureParams {
             probabilities: vec![0.1, 0.2, 0.3, 0.4, 0.5],
             lookups: 10_000,
             seed,
+            jobs: 1,
         }
     }
 
@@ -58,6 +62,7 @@ impl MassDepartureParams {
             probabilities: vec![0.2, 0.5],
             lookups: 600,
             seed,
+            jobs: 1,
         }
     }
 }
@@ -106,7 +111,7 @@ pub fn measure(params: &MassDepartureParams) -> Vec<MassDepartureRow> {
                     let survivors = net.len();
                     let mut rng = stream_indexed(params.seed, "mass-lookups", i as u64);
                     let reqs = random_pairs(net.as_ref(), params.lookups, &mut rng);
-                    let agg = run_requests(net.as_mut(), &reqs);
+                    let agg = run_requests_jobs(net.as_mut(), &reqs, params.jobs);
                     MassDepartureRow { p, survivors, agg }
                 }),
             ));

@@ -15,6 +15,7 @@ pub mod path_length;
 pub mod query_load;
 pub mod sparsity;
 pub mod static_tables;
+pub mod throughput;
 pub mod ungraceful;
 
 use dht_core::lookup::{HopPhase, PhaseBreakdown};
@@ -84,8 +85,21 @@ impl LookupAggregate {
     }
 }
 
-/// Runs a batch of lookup requests and aggregates the traces.
+/// Runs a batch of lookup requests sequentially and aggregates the
+/// traces. Equivalent to [`run_requests_jobs`] with `jobs == 1`.
 pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> LookupAggregate {
+    run_requests_jobs(overlay, reqs, 1)
+}
+
+/// Runs a batch of lookup requests across up to `jobs` worker threads
+/// (via [`Overlay::lookup_batch`]) and aggregates the traces. The
+/// aggregate is bit-identical for every `jobs` value; only `elapsed_us`
+/// (wall clock) varies.
+pub fn run_requests_jobs(
+    overlay: &mut dyn Overlay,
+    reqs: &[LookupRequest],
+    jobs: usize,
+) -> LookupAggregate {
     let n_start = overlay.len();
     let mut paths = Vec::with_capacity(reqs.len());
     let mut timeouts = Vec::with_capacity(reqs.len());
@@ -99,9 +113,12 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
     // Per-lookup hop counts for every phase; histograms are built only
     // for phases the batch actually used.
     let mut phase_counts: [Vec<u64>; 6] = Default::default();
+    let pairs: Vec<(dht_core::overlay::NodeToken, u64)> =
+        reqs.iter().map(|r| (r.src, r.raw_key)).collect();
     let started = std::time::Instant::now();
-    for req in reqs {
-        let trace = overlay.lookup(req.src, req.raw_key);
+    let traces = overlay.lookup_batch(&pairs, jobs);
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    for trace in &traces {
         paths.push(trace.path_len());
         timeouts.push(u64::from(trace.timeouts));
         retries.push(u64::from(trace.net.retries));
@@ -115,9 +132,8 @@ pub fn run_requests(overlay: &mut dyn Overlay, reqs: &[LookupRequest]) -> Lookup
         for (i, &phase) in ALL_PHASES.iter().enumerate() {
             phase_counts[i].push(trace.hops_in_phase(phase) as u64);
         }
-        breakdown.record(&trace);
+        breakdown.record(trace);
     }
-    let elapsed_us = started.elapsed().as_micros() as u64;
     let mut phase_hists = Vec::new();
     for (i, &phase) in ALL_PHASES.iter().enumerate() {
         if phase_counts[i].iter().any(|&c| c > 0) {

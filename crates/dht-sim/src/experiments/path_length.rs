@@ -10,7 +10,7 @@ use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::workload::per_node_uniform;
 
-use crate::experiments::{paper_sizes, run_requests, LookupAggregate};
+use crate::experiments::{paper_sizes, run_requests_jobs, LookupAggregate};
 use crate::factory::{build_overlay, OverlayKind};
 
 /// Parameters for the path-length sweep.
@@ -32,6 +32,9 @@ pub struct PathLengthParams {
     pub per_node_cap: Option<usize>,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl PathLengthParams {
@@ -45,6 +48,7 @@ impl PathLengthParams {
             per_node_factor: 0.25,
             per_node_cap: None,
             seed,
+            jobs: 1,
         }
     }
 
@@ -97,7 +101,7 @@ pub fn measure(params: &PathLengthParams) -> Vec<PathLengthRow> {
                     let mut net = build_overlay(kind, n, params.seed ^ (idx as u64) << 8);
                     let mut rng = stream_indexed(params.seed, "path-length", idx as u64);
                     let reqs = per_node_uniform(net.as_ref(), per_node, &mut rng);
-                    let agg = run_requests(net.as_mut(), &reqs);
+                    let agg = run_requests_jobs(net.as_mut(), &reqs, params.jobs);
                     PathLengthRow {
                         dimension: d,
                         n,
@@ -140,6 +144,7 @@ mod tests {
             per_node_factor: 0.25,
             per_node_cap: Some(6),
             seed: 42,
+            jobs: 1,
         };
         measure(&params)
     }

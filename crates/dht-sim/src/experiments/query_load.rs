@@ -24,6 +24,9 @@ pub struct QueryLoadParams {
     pub per_node_cap: Option<usize>,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl QueryLoadParams {
@@ -35,6 +38,7 @@ impl QueryLoadParams {
             sizes: vec![64, 2048],
             per_node_cap: None,
             seed,
+            jobs: 1,
         }
     }
 
@@ -50,6 +54,7 @@ impl QueryLoadParams {
             sizes: vec![64],
             per_node_cap: Some(8),
             seed,
+            jobs: 1,
         }
     }
 }
@@ -91,10 +96,11 @@ pub fn measure(params: &QueryLoadParams) -> Vec<QueryLoadRow> {
                     let mut net = build_overlay(kind, n, params.seed ^ (i as u64) << 24);
                     net.reset_query_loads();
                     let mut rng = stream_indexed(params.seed, "query-load", i as u64);
-                    let reqs = per_node_uniform(net.as_ref(), per_node, &mut rng);
-                    for req in &reqs {
-                        let _ = net.lookup(req.src, req.raw_key);
-                    }
+                    let reqs: Vec<_> = per_node_uniform(net.as_ref(), per_node, &mut rng)
+                        .iter()
+                        .map(|r| (r.src, r.raw_key))
+                        .collect();
+                    let _ = net.lookup_batch(&reqs, params.jobs);
                     QueryLoadRow {
                         label: net.name(),
                         n,

@@ -11,7 +11,7 @@ use dht_core::obs::MetricsRegistry;
 use dht_core::rng::stream_indexed;
 use dht_core::workload::random_pairs;
 
-use crate::experiments::{run_requests, LookupAggregate};
+use crate::experiments::{run_requests_jobs, LookupAggregate};
 use crate::factory::{build_overlay_spaced, OverlayKind};
 
 /// Parameters of the sparsity experiment.
@@ -27,6 +27,9 @@ pub struct SparsityParams {
     pub lookups: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl SparsityParams {
@@ -39,6 +42,7 @@ impl SparsityParams {
             sparsities: vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
             lookups: 10_000,
             seed,
+            jobs: 1,
         }
     }
 
@@ -51,6 +55,7 @@ impl SparsityParams {
             sparsities: vec![0.0, 0.5, 0.8],
             lookups: 500,
             seed,
+            jobs: 1,
         }
     }
 }
@@ -95,7 +100,7 @@ pub fn measure(params: &SparsityParams) -> Vec<SparsityRow> {
                     );
                     let mut rng = stream_indexed(params.seed, "sparsity", i as u64);
                     let reqs = random_pairs(net.as_ref(), params.lookups, &mut rng);
-                    let agg = run_requests(net.as_mut(), &reqs);
+                    let agg = run_requests_jobs(net.as_mut(), &reqs, params.jobs);
                     SparsityRow {
                         sparsity: s,
                         n,

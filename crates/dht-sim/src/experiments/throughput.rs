@@ -1,0 +1,197 @@
+//! Lookup-throughput benchmark: sequential vs sharded execution.
+//!
+//! The ROADMAP's north star is a reproduction that runs "as fast as the
+//! hardware allows". This experiment measures it directly: each overlay
+//! routes the same workload twice — once with one worker and once with
+//! the configured worker pool (`repro --jobs`) — and reports the
+//! wall-clock speedup. Because the parallel executor is deterministic
+//! (see `dht_core::sim::ParallelExecutor`), the two passes must agree on
+//! every statistic; the row records that check alongside the timings.
+
+use dht_core::obs::MetricsRegistry;
+use dht_core::rng::stream_indexed;
+use dht_core::workload::random_pairs;
+
+use crate::experiments::{run_requests_jobs, LookupAggregate};
+use crate::factory::{build_overlay, OverlayKind, ALL_KINDS};
+
+/// Parameters of the throughput benchmark.
+#[derive(Debug, Clone)]
+pub struct ThroughputParams {
+    /// Overlays to measure.
+    pub kinds: Vec<OverlayKind>,
+    /// Network size.
+    pub nodes: usize,
+    /// Lookups per pass.
+    pub lookups: usize,
+    /// Worker-thread cap for the parallel pass.
+    pub jobs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ThroughputParams {
+    /// Full-scale parameters: all 8 kinds, 2048 nodes, 50k lookups.
+    #[must_use]
+    pub fn paper(seed: u64, jobs: usize) -> Self {
+        Self {
+            kinds: ALL_KINDS.to_vec(),
+            nodes: 2048,
+            lookups: 50_000,
+            jobs: jobs.max(1),
+            seed,
+        }
+    }
+
+    /// Reduced workload for smoke tests.
+    #[must_use]
+    pub fn quick(seed: u64, jobs: usize) -> Self {
+        Self {
+            nodes: 256,
+            lookups: 4_000,
+            ..Self::paper(seed, jobs)
+        }
+    }
+}
+
+/// One row: one overlay routed sequentially and sharded.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Overlay display name.
+    pub label: String,
+    /// Worker-thread cap used for the parallel pass.
+    pub jobs: usize,
+    /// The one-worker pass.
+    pub sequential: LookupAggregate,
+    /// The `jobs`-worker pass over the identical network and workload.
+    pub parallel: LookupAggregate,
+    /// Whether the two passes' per-node query-load tables were equal.
+    pub loads_equal: bool,
+}
+
+impl ThroughputRow {
+    /// Wall-clock speedup of the parallel pass over the sequential one.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential.elapsed_us as f64 / self.parallel.elapsed_us.max(1) as f64
+    }
+
+    /// Whether every statistic of the two passes agrees (the executor's
+    /// determinism contract: only wall clock may differ).
+    #[must_use]
+    pub fn results_identical(&self) -> bool {
+        let a = &self.sequential;
+        let b = &self.parallel;
+        self.loads_equal
+            && a.path == b.path
+            && a.timeouts == b.timeouts
+            && a.failures == b.failures
+            && a.retries == b.retries
+            && a.msg_timeouts == b.msg_timeouts
+            && a.latency_ms == b.latency_ms
+            && a.timeouts_total == b.timeouts_total
+            && a.retries_total == b.retries_total
+            && a.msg_timeouts_total == b.msg_timeouts_total
+    }
+}
+
+/// Runs both passes per overlay. Cells run one at a time (unlike the
+/// other experiments' per-cell threads) so the wall-clock comparison is
+/// not skewed by sibling cells competing for cores.
+#[must_use]
+pub fn measure(params: &ThroughputParams) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for (i, &kind) in params.kinds.iter().enumerate() {
+        let build_seed = params.seed ^ (i as u64) << 16;
+        let mut rng = stream_indexed(params.seed, "throughput", i as u64);
+        let mut seq_net = build_overlay(kind, params.nodes, build_seed);
+        let reqs = random_pairs(seq_net.as_ref(), params.lookups, &mut rng);
+        let sequential = run_requests_jobs(seq_net.as_mut(), &reqs, 1);
+        // An identically seeded build yields the identical network, so
+        // the parallel pass sees the same tokens and routing tables.
+        let mut par_net = build_overlay(kind, params.nodes, build_seed);
+        let parallel = run_requests_jobs(par_net.as_mut(), &reqs, params.jobs);
+        let loads_equal = seq_net.query_loads() == par_net.query_loads();
+        // `kind.label()`, not `name()`: the ablation variants share a
+        // display name, which would collide in the metrics registry.
+        rows.push(ThroughputRow {
+            label: kind.label().to_string(),
+            jobs: params.jobs,
+            sequential,
+            parallel,
+            loads_equal,
+        });
+    }
+    rows
+}
+
+/// Registers per-overlay throughput gauges, keyed `{overlay}`:
+/// lookups/sec for both passes, the speedup, and the equality check.
+pub fn register_metrics(rows: &[ThroughputRow], reg: &mut MetricsRegistry) {
+    for row in rows {
+        reg.counter(&format!("{}.lookups", row.label))
+            .add(row.sequential.path.n as u64);
+        reg.gauge(&format!("{}.jobs", row.label))
+            .set(row.jobs as f64);
+        reg.gauge(&format!("{}.seq_lookups_per_sec", row.label))
+            .set(row.sequential.lookups_per_sec());
+        reg.gauge(&format!("{}.par_lookups_per_sec", row.label))
+            .set(row.parallel.lookups_per_sec());
+        reg.gauge(&format!("{}.speedup", row.label))
+            .set(row.speedup());
+        reg.gauge(&format!("{}.results_identical", row.label))
+            .set(f64::from(u8::from(row.results_identical())));
+        reg.timer(&format!("{}.seq_wall", row.label))
+            .record_us(row.sequential.elapsed_us);
+        reg.timer(&format!("{}.par_wall", row.label))
+            .record_us(row.parallel.elapsed_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_passes_agree_on_every_statistic() {
+        let params = ThroughputParams {
+            kinds: vec![OverlayKind::Cycloid7, OverlayKind::Koorde],
+            nodes: 128,
+            lookups: 600,
+            jobs: 4,
+            seed: 11,
+        };
+        for row in measure(&params) {
+            assert!(
+                row.results_identical(),
+                "{} diverged across jobs",
+                row.label
+            );
+            assert_eq!(row.sequential.path.n, 600);
+            assert!(row.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_export_throughput_gauges() {
+        use dht_core::obs::Metric;
+        let params = ThroughputParams {
+            kinds: vec![OverlayKind::Chord],
+            nodes: 64,
+            lookups: 200,
+            jobs: 2,
+            seed: 3,
+        };
+        let rows = measure(&params);
+        let mut reg = MetricsRegistry::new();
+        register_metrics(&rows, &mut reg);
+        match reg.get("Chord.speedup") {
+            Some(Metric::Gauge(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match reg.get("Chord.results_identical") {
+            Some(Metric::Gauge(g)) => assert!((g.get() - 1.0).abs() < f64::EPSILON),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

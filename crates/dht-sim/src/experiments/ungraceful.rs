@@ -19,7 +19,7 @@ use dht_core::rng::{stream, stream_indexed};
 use dht_core::workload::random_pairs;
 use rand::Rng;
 
-use crate::experiments::{run_requests, LookupAggregate};
+use crate::experiments::{run_requests_jobs, LookupAggregate};
 use crate::factory::{build_overlay, OverlayKind};
 
 /// Parameters of the ungraceful-failure experiment.
@@ -35,6 +35,9 @@ pub struct UngracefulParams {
     pub lookups: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for each cell's lookup batch (results are
+    /// bit-identical for every value; only wall clock varies).
+    pub jobs: usize,
 }
 
 impl UngracefulParams {
@@ -48,6 +51,7 @@ impl UngracefulParams {
             probabilities: vec![0.1, 0.2, 0.3, 0.4, 0.5],
             lookups: 10_000,
             seed,
+            jobs: 1,
         }
     }
 
@@ -64,6 +68,7 @@ impl UngracefulParams {
             probabilities: vec![0.2, 0.4],
             lookups: 800,
             seed,
+            jobs: 1,
         }
     }
 }
@@ -111,10 +116,10 @@ pub fn measure(params: &UngracefulParams) -> Vec<UngracefulRow> {
                     let survivors = net.len();
                     let mut rng = stream_indexed(params.seed, "ungraceful", i as u64);
                     let reqs = random_pairs(net.as_ref(), params.lookups, &mut rng);
-                    let before_stabilize = run_requests(net.as_mut(), &reqs);
+                    let before_stabilize = run_requests_jobs(net.as_mut(), &reqs, params.jobs);
                     net.stabilize();
                     let reqs = random_pairs(net.as_ref(), params.lookups, &mut rng);
-                    let after_stabilize = run_requests(net.as_mut(), &reqs);
+                    let after_stabilize = run_requests_jobs(net.as_mut(), &reqs, params.jobs);
                     UngracefulRow {
                         p,
                         survivors,

@@ -438,24 +438,15 @@ impl SimOverlay for KoordeNetwork {
     }
 
     fn on_hop(
-        &mut self,
+        &self,
         walk: &mut KoordeWalk,
-        from: NodeToken,
+        _from: NodeToken,
         phase: HopPhase,
-        to: NodeToken,
-        timed_out: &[NodeToken],
+        _to: NodeToken,
+        _timed_out: &[NodeToken],
     ) {
         if phase != HopPhase::DeBruijn {
             return;
-        }
-        // Repair-on-use: once a backup answered for a dead de Bruijn
-        // pointer, adopt it as the new pointer so each stale pointer
-        // times out at most once (the accounting the paper's Koorde
-        // timeout counts reflect; see EXPERIMENTS.md).
-        if !timed_out.is_empty() {
-            if let Some(n) = self.members.get_mut(from) {
-                n.debruijn = to;
-            }
         }
         // Shift one key bit into the imaginary node.
         let space = self.config.space();
@@ -464,10 +455,33 @@ impl SimOverlay for KoordeNetwork {
         walk.kshift = (walk.kshift << 1) % space;
     }
 
-    fn on_exhausted(&mut self, _cur: NodeToken, _walk: &KoordeWalk) -> LookupOutcome {
+    fn repair_on_use(
+        &mut self,
+        from: NodeToken,
+        phase: HopPhase,
+        to: NodeToken,
+        timed_out: &[NodeToken],
+    ) {
+        // Repair-on-use: once a backup answered for a dead de Bruijn
+        // pointer, adopt it as the new pointer so each stale pointer
+        // times out at most once (the accounting the paper's Koorde
+        // timeout counts reflect; see EXPERIMENTS.md). Applied at
+        // effect-apply time, after the walk (or the whole batch, under
+        // the parallel executor) has routed.
+        if phase == HopPhase::DeBruijn && !timed_out.is_empty() {
+            if let Some(n) = self.members.get_mut(from) {
+                n.debruijn = to;
+            }
+        }
+    }
+
+    fn on_exhausted(&self, _cur: NodeToken, _walk: &KoordeWalk) -> LookupOutcome {
         // De Bruijn pointer and all backups dead (§4.3): the lookup fails.
-        self.failures += 1;
         LookupOutcome::Stuck
+    }
+
+    fn record_exhausted(&mut self, _terminal: NodeToken) {
+        self.failures += 1;
     }
 
     fn node_join(&mut self, _rng: &mut dyn RngCore) -> Option<NodeToken> {

@@ -71,6 +71,29 @@ pub fn render_traces_with_sink(
     conditions: Option<NetConditions>,
     sink: SinkHandle,
 ) -> String {
+    render_inner(kind, conditions, sink, None)
+}
+
+/// [`render_traces`] routed through `Overlay::lookup_batch` with the
+/// given worker cap instead of one `lookup` call at a time. Batch
+/// semantics defer repair-on-use to the end of the batch, so the output
+/// is its own canonical form (not byte-equal to the golden files for
+/// repairing overlays) — but it must be byte-identical for *every*
+/// `jobs` value; `parallel_determinism.rs` pins that.
+pub fn render_traces_jobs(
+    kind: OverlayKind,
+    conditions: Option<NetConditions>,
+    jobs: usize,
+) -> String {
+    render_inner(kind, conditions, SinkHandle::disabled(), Some(jobs))
+}
+
+fn render_inner(
+    kind: OverlayKind,
+    conditions: Option<NetConditions>,
+    sink: SinkHandle,
+    jobs: Option<usize>,
+) -> String {
     let mut net = build_overlay(kind, NODES, SEED);
     if let Some(c) = conditions {
         net.set_net_conditions(c);
@@ -111,10 +134,17 @@ pub fn render_traces_with_sink(
         )
         .unwrap();
     }
-    for i in 0..LOOKUPS {
-        let src = tokens[i % tokens.len()];
-        let key: u64 = keys.gen();
-        let trace = net.lookup(src, key);
+    let reqs: Vec<(u64, u64)> = (0..LOOKUPS)
+        .map(|i| (tokens[i % tokens.len()], keys.gen()))
+        .collect();
+    let traces: Vec<_> = match jobs {
+        Some(n) => net.lookup_batch(&reqs, n),
+        None => reqs
+            .iter()
+            .map(|&(src, key)| net.lookup(src, key))
+            .collect(),
+    };
+    for (i, (&(src, key), trace)) in reqs.iter().zip(&traces).enumerate() {
         let phases = if trace.hops.is_empty() {
             "-".to_string()
         } else {

@@ -1,0 +1,99 @@
+//! Jobs-invariance pins for the parallel lookup engine: for every
+//! overlay kind, a fixed-seed workload must produce byte-identical
+//! golden traces, equal lookup aggregates, and equal per-node
+//! query-load tables at every worker count. Wall clock is the only
+//! thing `--jobs` is allowed to change (see
+//! `dht_core::sim::ParallelExecutor` and DESIGN.md "Parallel
+//! execution").
+
+mod common;
+
+use dht_core::rng::stream_indexed;
+use dht_core::workload::random_pairs;
+use dht_sim::experiments::{run_requests_jobs, LookupAggregate};
+use dht_sim::{build_overlay, OverlayKind, ALL_KINDS};
+use proptest::prelude::*;
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+/// One full batch at the given worker count on a freshly built overlay:
+/// the aggregate plus the final query-load table.
+fn run_batch(kind: OverlayKind, seed: u64, jobs: usize) -> (LookupAggregate, Vec<u64>) {
+    let mut net = build_overlay(kind, 96, seed);
+    // The workload stream depends only on the seed, never on `jobs`.
+    let mut rng = stream_indexed(seed, "parallel-determinism", 0);
+    let reqs = random_pairs(net.as_ref(), 300, &mut rng);
+    let agg = run_requests_jobs(net.as_mut(), &reqs, jobs);
+    (agg, net.query_loads())
+}
+
+/// Everything in the aggregate except wall clock.
+fn fingerprint(a: &LookupAggregate) -> String {
+    format!(
+        "{} n={} path={:?} timeouts={:?} failures={} retries={:?} msg_timeouts={:?} latency={:?} totals=({},{},{})",
+        a.label,
+        a.n_start,
+        a.path,
+        a.timeouts,
+        a.failures,
+        a.retries,
+        a.msg_timeouts,
+        a.latency_ms,
+        a.timeouts_total,
+        a.retries_total,
+        a.msg_timeouts_total,
+    )
+}
+
+#[test]
+fn aggregates_and_loads_are_jobs_invariant_for_every_kind() {
+    for kind in ALL_KINDS {
+        let (base_agg, base_loads) = run_batch(kind, 42, JOBS[0]);
+        let base = fingerprint(&base_agg);
+        for &jobs in &JOBS[1..] {
+            let (agg, loads) = run_batch(kind, 42, jobs);
+            assert_eq!(base, fingerprint(&agg), "{kind:?} aggregate at jobs={jobs}");
+            assert_eq!(base_loads, loads, "{kind:?} query loads at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn golden_trace_rendering_is_jobs_invariant_for_every_kind() {
+    for kind in ALL_KINDS {
+        let base = common::render_traces_jobs(kind, None, JOBS[0]);
+        for &jobs in &JOBS[1..] {
+            let got = common::render_traces_jobs(kind, None, jobs);
+            assert_eq!(base, got, "{kind:?} ideal traces diverge at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn lossy_golden_trace_rendering_is_jobs_invariant_for_every_kind() {
+    // Under loss, every contact draws from the fault plan; the draws are
+    // keyed per (lookup, target, attempt), so thread interleaving cannot
+    // reorder them.
+    for kind in ALL_KINDS {
+        let conditions = common::lossy_conditions();
+        let base = common::render_traces_jobs(kind, Some(conditions), JOBS[0]);
+        for &jobs in &JOBS[1..] {
+            let got = common::render_traces_jobs(kind, Some(conditions), jobs);
+            assert_eq!(base, got, "{kind:?} lossy traces diverge at jobs={jobs}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed, any kind: one worker and eight workers agree exactly.
+    #[test]
+    fn any_seed_is_jobs_invariant(seed in 0u64..10_000, kind_ix in 0usize..8) {
+        let kind = ALL_KINDS[kind_ix];
+        let (seq_agg, seq_loads) = run_batch(kind, seed, 1);
+        let (par_agg, par_loads) = run_batch(kind, seed, 8);
+        prop_assert_eq!(fingerprint(&seq_agg), fingerprint(&par_agg), "{:?} seed={}", kind, seed);
+        prop_assert_eq!(seq_loads, par_loads, "{:?} seed={} loads", kind, seed);
+    }
+}
