@@ -22,7 +22,10 @@
 //! parallelism). Results are bit-identical for every `--jobs` value —
 //! the flag only changes wall clock. The extra `throughput` subcommand
 //! (not part of `all`) measures the sequential-vs-sharded speedup and
-//! exports it as `BENCH_lookup_throughput.json`.
+//! exports it as `BENCH_lookup_throughput.json`; the extra `converge`
+//! subcommand measures time-to-stabilize after membership shocks and
+//! lookup latency under continuous-time churn, exported as
+//! `BENCH_converge.json`.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -33,7 +36,7 @@ use bench::{metrics_io, render};
 use dht_core::lookup::HopPhase;
 use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Progress};
 use dht_sim::experiments::{
-    churn_exp, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
+    churn_exp, converge, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
     path_length, query_load, sparsity, static_tables, throughput, ungraceful,
 };
 use dht_sim::report::Table;
@@ -78,7 +81,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--quiet]\n\
          \x20            [--seed N] [--metrics-out DIR]\n\
          \x20            [--jobs N]\n\
-         experiments: {} all path metrics throughput",
+         experiments: {} all path metrics throughput converge",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -130,6 +133,9 @@ fn parse_args() -> Options {
             }
             "throughput" => {
                 opts.experiments.insert("throughput".to_string());
+            }
+            "converge" => {
+                opts.experiments.insert("converge".to_string());
             }
             name if ALL.contains(&name) => {
                 opts.experiments.insert(name.to_string());
@@ -548,6 +554,22 @@ fn main() {
         let mut reg = MetricsRegistry::new();
         throughput::register_metrics(&rows, &mut reg);
         write_bench("lookup_throughput", &reg);
+    }
+
+    if wants("converge") {
+        progress.info("running stabilization-convergence sweep (virtual clock)...");
+        let mut params = if opts.quick {
+            converge::ConvergeParams::quick(opts.seed)
+        } else {
+            converge::ConvergeParams::paper(opts.seed)
+        };
+        params.jobs = opts.jobs;
+        let rows = converge::measure(&params);
+        emit(&render::converge(&rows), opts.csv);
+        emit(&render::converge_latency(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        converge::register_metrics(&rows, &mut reg);
+        write_bench("converge", &reg);
     }
 
     // Reader side, after any producers so `repro path metrics

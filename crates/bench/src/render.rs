@@ -2,6 +2,7 @@
 
 use dht_sim::chart::{chart_from_triples, Chart};
 use dht_sim::experiments::churn_exp::ChurnRow;
+use dht_sim::experiments::converge::ConvergeRow;
 use dht_sim::experiments::fault_tolerance::FaultToleranceRow;
 use dht_sim::experiments::key_distribution::KeyDistributionRow;
 use dht_sim::experiments::mass_departure::MassDepartureRow;
@@ -326,6 +327,74 @@ pub fn throughput(rows: &[ThroughputRow]) -> Table {
             format!("{:.1}", r.parallel.lookups_per_sec() / 1_000.0),
             format!("{:.2}x", r.speedup()),
             if r.results_identical() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Extension: time to stabilize after a mass join and a burst leave, per
+/// overlay and stabilization period, on the virtual clock.
+#[must_use]
+pub fn converge(rows: &[ConvergeRow]) -> Table {
+    let clean = |v: Option<u64>| v.map_or_else(|| "—".to_string(), |s| format!("{s}"));
+    let mut t = Table::new(
+        "Extension: time to audit-clean after membership shocks (simulated seconds)",
+        &[
+            "T (s)",
+            "system",
+            "joined",
+            "join clean (s)",
+            "left",
+            "leave clean (s)",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{}", r.period),
+            r.label.clone(),
+            format!("{}", r.join_added),
+            clean(r.join_clean_s),
+            format!("{}", r.leave_removed),
+            clean(r.leave_clean_s),
+        ]);
+    }
+    t
+}
+
+/// Extension: lookup-latency percentiles under continuous-time churn
+/// with message delays (base stabilization period only).
+#[must_use]
+pub fn converge_latency(rows: &[ConvergeRow]) -> Table {
+    let mut t = Table::new(
+        "Extension: lookup latency under churn on the virtual clock (continuous time)",
+        &[
+            "system",
+            "T (s)",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "mean ms",
+            "timeouts mean",
+            "stranded",
+            "failures",
+            "sim secs",
+        ],
+    );
+    for r in rows {
+        let Some(load) = &r.load else {
+            continue;
+        };
+        t.row(vec![
+            r.label.clone(),
+            format!("{}", r.period),
+            f(load.p50_ms),
+            f(load.p95_ms),
+            f(load.p99_ms),
+            f(load.mean_ms),
+            f(load.timeouts_mean),
+            format!("{}", load.stranded),
+            format!("{}", load.failures),
+            format!("{:.0}", load.sim_secs),
         ]);
     }
     t

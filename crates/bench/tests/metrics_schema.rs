@@ -2,10 +2,13 @@
 //!
 //! The synthetic tests run everywhere. The last test is the CI leg's
 //! checker: after the workflow runs `repro path --quick --metrics-out
-//! bench-out/`, it re-runs this suite with `METRICS_OUT_DIR=bench-out`
-//! and the test validates every written document end to end — schema
-//! validity plus the acceptance floor: throughput, a per-phase hop
-//! histogram, and a wall-clock timer for every overlay in the sweep.
+//! results/bench`, it re-runs this suite with
+//! `METRICS_OUT_DIR=results/bench` and the test validates every written
+//! document end to end — schema validity plus the acceptance floor:
+//! throughput, a per-phase hop histogram, and a wall-clock timer for
+//! every overlay in the sweep. A relative `METRICS_OUT_DIR` is resolved
+//! against the **workspace root** (where the CI steps run), not the
+//! test binary's own working directory.
 
 use bench::metrics_io::{self, BenchFile};
 use dht_core::obs::json::Json;
@@ -69,8 +72,17 @@ fn written_bench_files_conform() {
         eprintln!("METRICS_OUT_DIR not set; skipping on-disk validation");
         return;
     };
-    let dir = Path::new(&dir);
-    let entries = metrics_io::read_dir(dir).expect("readable metrics dir");
+    // Cargo runs test binaries from the package dir (`crates/bench`);
+    // CI passes a path relative to the workspace root.
+    let mut dir = std::path::PathBuf::from(&dir);
+    if dir.is_relative() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        dir = root.join(dir);
+    }
+    let entries = metrics_io::read_dir(&dir).expect("readable metrics dir");
     assert!(
         !entries.is_empty(),
         "no BENCH_*.json in {} — did repro run with --metrics-out?",

@@ -7,6 +7,9 @@
 //! * [`audit`] — protocol-conformance auditing: the [`audit::StateAudit`]
 //!   trait each overlay implements to check its paper-specified routing
 //!   invariants, and the [`audit::AuditReport`] violations land in,
+//! * [`clock`] — the virtual clock: the deterministic discrete-event
+//!   kernel ([`clock::EventQueue`], FIFO tie-breaking, Poisson arrival
+//!   sampling) every temporal simulation in the workspace runs on,
 //! * [`hash`] — the consistent-hashing primitive used to map node names and
 //!   object keys onto identifier spaces,
 //! * [`rng`] — deterministic, seedable randomness so every experiment is
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod clock;
 pub mod hash;
 pub mod lookup;
 pub mod net;
@@ -49,6 +53,7 @@ pub mod stats;
 pub mod workload;
 
 pub use audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
+pub use clock::{exp_delay, EventQueue, SimTime, SECOND};
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
 pub use net::{DelayModel, FaultPlan, NetConditions, NetCosts, RetryPolicy};
 pub use obs::{
@@ -56,5 +61,8 @@ pub use obs::{
     TimeoutKind, TraceSink,
 };
 pub use overlay::{NodeToken, Overlay};
-pub use sim::{Membership, QueryLoads, SimOverlay, StepDecision};
+pub use sim::{
+    CursorStep, LookupCursor, Membership, QueryLoads, SimOverlay, StepDecision, WalkCursor,
+    WalkEffects,
+};
 pub use stats::Summary;

@@ -6,12 +6,15 @@
 //! traces, stabilization, and the bookkeeping the figures need (key
 //! ownership, per-node query loads).
 
+use std::any::Any;
+
 use rand::RngCore;
 
 use crate::audit::{AuditReport, AuditScope};
 use crate::lookup::LookupTrace;
 use crate::net::NetConditions;
 use crate::obs::SinkHandle;
+use crate::sim::{LookupCursor, WalkEffects};
 
 /// Opaque, overlay-assigned identity of a live node.
 ///
@@ -157,6 +160,37 @@ pub trait Overlay {
     fn set_trace_sink(&mut self, sink: SinkHandle) {
         let _ = sink;
     }
+
+    /// `true` iff `node` is live. The default scans
+    /// [`Overlay::node_tokens`]; substrate overlays answer from the
+    /// membership arena in `O(log n)`.
+    fn contains(&self, node: NodeToken) -> bool {
+        self.node_tokens().contains(&node)
+    }
+
+    /// The concrete overlay as [`Any`], so a suspended
+    /// [`LookupCursor`] handed out through `dyn Overlay` can recover
+    /// the overlay type it was created from when stepped.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Starts a lookup for `raw_key` at the live node `src` and
+    /// returns it *suspended* instead of walking it to completion —
+    /// the entry point the continuous-time churn engine uses to
+    /// interleave in-flight lookups with membership and stabilization
+    /// events on the virtual clock. Consumes one lookup index (fault
+    /// draws) exactly as [`Overlay::lookup`] would, so an immediately
+    /// stepped-to-completion cursor reproduces `lookup` byte for byte.
+    ///
+    /// Step the cursor while its reply delays elapse, then pass
+    /// [`LookupCursor::finish`]'s effects to
+    /// [`Overlay::apply_walk_effects`].
+    fn lookup_begin(&mut self, src: NodeToken, raw_key: u64) -> Box<dyn LookupCursor>;
+
+    /// Replays a finished cursor's deferred effects (query loads,
+    /// repair-on-use, exhaustion accounting, trace events) against the
+    /// overlay. Application order across lookups defines the canonical
+    /// event stream.
+    fn apply_walk_effects(&mut self, fx: WalkEffects);
 }
 
 /// Forwarding impl so factory-built `Box<dyn Overlay>` values satisfy
@@ -250,6 +284,24 @@ impl Overlay for Box<dyn Overlay> {
 
     fn set_trace_sink(&mut self, sink: SinkHandle) {
         (**self).set_trace_sink(sink);
+    }
+
+    fn contains(&self, node: NodeToken) -> bool {
+        (**self).contains(node)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        // Forward to the inner overlay: a cursor created by the boxed
+        // overlay must downcast to the *concrete* type, not the box.
+        (**self).as_any()
+    }
+
+    fn lookup_begin(&mut self, src: NodeToken, raw_key: u64) -> Box<dyn LookupCursor> {
+        (**self).lookup_begin(src, raw_key)
+    }
+
+    fn apply_walk_effects(&mut self, fx: WalkEffects) {
+        (**self).apply_walk_effects(fx);
     }
 }
 

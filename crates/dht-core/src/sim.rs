@@ -65,6 +65,7 @@
 //! [`SimOverlay::budget_before_terminal`] when the protocol checks its
 //! termination test before the hop budget.
 
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::collections::HashSet;
 
@@ -452,12 +453,14 @@ pub enum StepDecision {
 /// `Sync` is a supertrait because the substrate's [`ParallelExecutor`]
 /// shards lookup batches across scoped threads that share `&self`;
 /// node states are plain data in every overlay, so this costs nothing.
-pub trait SimOverlay: Sync {
+pub trait SimOverlay: Sync + 'static {
     /// Per-node routing state stored in the [`Membership`] arena.
     type State;
     /// Per-lookup walk state: the mapped key plus whatever cursor the
-    /// routing algorithm threads from hop to hop.
-    type Walk;
+    /// routing algorithm threads from hop to hop. `'static` because
+    /// suspended lookups ([`LookupCursor`]) box it across events; walk
+    /// states are plain data in every overlay, so this costs nothing.
+    type Walk: 'static;
 
     /// The node arena.
     fn membership(&self) -> &Membership<Self::State>;
@@ -808,171 +811,381 @@ pub fn apply_effects<T: SimOverlay + ?Sized>(net: &mut T, fx: WalkEffects) {
     }
 }
 
-/// The read-only iterative walk loop shared by every entry point.
-/// `raw_key` is purely informational (it tags the `LookupStart` event);
-/// routing reads only the walk state.
+/// The read-only iterative walk loop shared by every entry point: a
+/// [`WalkCursor`] stepped to completion in one call. `raw_key` is
+/// purely informational (it tags the `LookupStart` event); routing
+/// reads only the walk state.
 fn walk_ref_inner<T: SimOverlay + ?Sized>(
     net: &T,
     src: NodeToken,
-    mut state: T::Walk,
+    state: T::Walk,
     count_loads: bool,
     lookup_index: u64,
     raw_key: Option<u64>,
     scratch: &mut WalkScratch,
 ) -> (LookupTrace, WalkEffects) {
-    assert!(
-        net.membership().contains(src),
-        "lookup source {src} is not live"
-    );
-    // Record events only when a sink is installed, preserving the
-    // zero-cost-when-disabled guarantee. Ids are stamped at apply time.
-    let record_events = net.membership().trace_sink().is_enabled();
-    let conditions = *net.membership().net_conditions();
-    let mut fx = WalkEffects::default();
-    if record_events {
-        fx.events.push(Event::LookupStart {
-            lookup: 0,
-            src,
-            key: raw_key,
-        });
-    }
-    let budget = net.hop_budget();
-    let mut cur = src;
-    let mut hops: Vec<HopPhase> = Vec::new();
-    let mut timeouts: u32 = 0;
-    let mut costs = NetCosts::default();
-    if count_loads {
-        fx.queried.push(cur);
+    let mut cursor = WalkCursor::begin(net, src, state, count_loads, lookup_index, raw_key);
+    while let CursorStep::Forwarded { .. } = cursor.step(net, scratch) {}
+    cursor.finish()
+}
+
+/// One advance of a suspended walk (see [`WalkCursor::step`]), tagged
+/// with the virtual time the step consumed: stale-entry waits, retry
+/// backoff, and the answering message's round trip, exactly as billed
+/// to [`NetCosts::latency_us`]. A discrete-event driver schedules the
+/// walk's resumption `delay_us` after the step — which is why reported
+/// lookup latency and virtual-clock elapsed time agree *by
+/// construction* under the continuous engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorStep {
+    /// The walk took one hop; it can step again once `delay_us` of
+    /// simulated time has elapsed.
+    Forwarded {
+        /// Virtual-time cost of the step, in µs.
+        delay_us: u64,
+    },
+    /// The walk terminated during this step (terminal reached, budget
+    /// exhausted, or no live candidate answered) after `delay_us` of
+    /// simulated waiting.
+    Finished {
+        /// Virtual-time cost of the final step, in µs.
+        delay_us: u64,
+    },
+}
+
+/// A lookup suspended between hops: the walk engine's loop state made
+/// first-class so a discrete-event driver can interleave many walks on
+/// one virtual clock, resuming each when its reply event fires.
+///
+/// [`walk_ref`] and every sequential entry point drive this same
+/// cursor to completion in a tight loop, so suspended and inline walks
+/// are one implementation — byte-identical traces by construction.
+#[derive(Debug)]
+pub struct WalkCursor<W> {
+    state: W,
+    cur: NodeToken,
+    hops: Vec<HopPhase>,
+    timeouts: u32,
+    costs: NetCosts,
+    fx: WalkEffects,
+    outcome: Option<LookupOutcome>,
+    lookup_index: u64,
+    count_loads: bool,
+    record_events: bool,
+    conditions: NetConditions,
+    budget: usize,
+}
+
+impl<W> WalkCursor<W> {
+    /// Starts a walk at the live node `src` with an initialized walk
+    /// state. Snapshots the overlay's network conditions and sink
+    /// enablement; `lookup_index` keys the fault draws.
+    ///
+    /// # Panics
+    /// Panics if `src` is not live.
+    pub fn begin<T: SimOverlay<Walk = W> + ?Sized>(
+        net: &T,
+        src: NodeToken,
+        state: W,
+        count_loads: bool,
+        lookup_index: u64,
+        raw_key: Option<u64>,
+    ) -> Self {
+        assert!(
+            net.membership().contains(src),
+            "lookup source {src} is not live"
+        );
+        // Record events only when a sink is installed, preserving the
+        // zero-cost-when-disabled guarantee. Ids are stamped at apply
+        // time.
+        let record_events = net.membership().trace_sink().is_enabled();
+        let conditions = *net.membership().net_conditions();
+        let mut fx = WalkEffects::default();
+        if record_events {
+            fx.events.push(Event::LookupStart {
+                lookup: 0,
+                src,
+                key: raw_key,
+            });
+        }
+        if count_loads {
+            fx.queried.push(src);
+        }
+        Self {
+            state,
+            cur: src,
+            hops: Vec::new(),
+            timeouts: 0,
+            costs: NetCosts::default(),
+            fx,
+            outcome: None,
+            lookup_index,
+            count_loads,
+            record_events,
+            conditions,
+            budget: net.hop_budget(),
+        }
     }
 
-    let outcome = loop {
-        if net.budget_before_terminal() && hops.len() >= budget {
-            break LookupOutcome::HopBudgetExhausted;
+    /// The node currently holding the lookup (the terminal, once
+    /// finished).
+    #[must_use]
+    pub fn current(&self) -> NodeToken {
+        self.cur
+    }
+
+    /// `true` once the walk has terminated.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// Strands the walk: its current holder departed mid-flight (a
+    /// hazard that only exists once walks are suspended on a virtual
+    /// clock), so the lookup can make no further progress and is
+    /// classified [`LookupOutcome::Stuck`]. No-op if already finished.
+    pub fn strand(&mut self) {
+        if self.outcome.is_none() {
+            self.outcome = Some(LookupOutcome::Stuck);
         }
-        match net.next_hop(cur, &mut state) {
-            StepDecision::Terminate => break net.classify_terminal(cur, &state),
-            StepDecision::Forward(candidates) => {
-                if !net.budget_before_terminal() && hops.len() >= budget {
-                    break LookupOutcome::HopBudgetExhausted;
-                }
-                let mut next: Option<(HopPhase, NodeToken)> = None;
-                // A stale entry costs one timeout; trying the same dead
-                // node twice within one step does not (the querier
-                // remembers who just failed to answer). The same memory
-                // covers live candidates whose messages the fault plan
-                // swallowed (`unreachable_seen`): one exhausted retry
-                // cycle per step, never two.
-                scratch.dead_seen.clear();
-                scratch.unreachable_seen.clear();
-                scratch.step_dead.clear();
-                for (phase, cand) in candidates {
-                    if cand == cur || !net.admit(&state, cur, cand) {
-                        continue;
-                    }
-                    if !net.membership().contains(cand) {
-                        if scratch.dead_seen.insert(cand) {
-                            timeouts += 1;
-                            costs.absorb_stale(conditions.stale_wait_us());
-                            scratch.step_dead.push(cand);
-                            if record_events {
-                                fx.events.push(Event::Timeout {
-                                    lookup: 0,
-                                    target: cand,
-                                    kind: TimeoutKind::Stale,
-                                });
-                            }
-                        }
-                        continue;
-                    }
-                    if scratch.unreachable_seen.contains(&cand) {
-                        continue;
-                    }
-                    // The candidate is live: contact it under the fault
-                    // plan, retrying per the policy. Draws are keyed by
-                    // (lookup_index, candidate, attempt), so the outcome
-                    // is independent of every other contact.
-                    let contact = conditions.contact(lookup_index, cand);
-                    costs.absorb(&contact);
-                    if record_events && contact.attempts > 1 {
-                        fx.events.push(Event::Retry {
+    }
+
+    /// Advances the walk by exactly one iteration of the lookup loop:
+    /// one routing decision at the current node, skipping dead and
+    /// unreachable candidates (billing their waits) until one answers.
+    ///
+    /// # Panics
+    /// Panics if the walk already finished.
+    pub fn step<T: SimOverlay<Walk = W> + ?Sized>(
+        &mut self,
+        net: &T,
+        scratch: &mut WalkScratch,
+    ) -> CursorStep {
+        assert!(self.outcome.is_none(), "stepping a finished walk");
+        let before = self.costs.latency_us;
+        let outcome = self.step_inner(net, scratch);
+        let delay_us = self.costs.latency_us - before;
+        match outcome {
+            Some(o) => {
+                self.outcome = Some(o);
+                CursorStep::Finished { delay_us }
+            }
+            None => CursorStep::Forwarded { delay_us },
+        }
+    }
+
+    /// One loop iteration; `Some` terminates the walk.
+    fn step_inner<T: SimOverlay<Walk = W> + ?Sized>(
+        &mut self,
+        net: &T,
+        scratch: &mut WalkScratch,
+    ) -> Option<LookupOutcome> {
+        if net.budget_before_terminal() && self.hops.len() >= self.budget {
+            return Some(LookupOutcome::HopBudgetExhausted);
+        }
+        let candidates = match net.next_hop(self.cur, &mut self.state) {
+            StepDecision::Terminate => {
+                return Some(net.classify_terminal(self.cur, &self.state));
+            }
+            StepDecision::Forward(candidates) => candidates,
+        };
+        if !net.budget_before_terminal() && self.hops.len() >= self.budget {
+            return Some(LookupOutcome::HopBudgetExhausted);
+        }
+        let mut next: Option<(HopPhase, NodeToken)> = None;
+        // A stale entry costs one timeout; trying the same dead
+        // node twice within one step does not (the querier
+        // remembers who just failed to answer). The same memory
+        // covers live candidates whose messages the fault plan
+        // swallowed (`unreachable_seen`): one exhausted retry
+        // cycle per step, never two.
+        scratch.dead_seen.clear();
+        scratch.unreachable_seen.clear();
+        scratch.step_dead.clear();
+        for (phase, cand) in candidates {
+            if cand == self.cur || !net.admit(&self.state, self.cur, cand) {
+                continue;
+            }
+            if !net.membership().contains(cand) {
+                if scratch.dead_seen.insert(cand) {
+                    self.timeouts += 1;
+                    self.costs.absorb_stale(self.conditions.stale_wait_us());
+                    scratch.step_dead.push(cand);
+                    if self.record_events {
+                        self.fx.events.push(Event::Timeout {
                             lookup: 0,
                             target: cand,
-                            attempts: contact.attempts,
+                            kind: TimeoutKind::Stale,
                         });
                     }
-                    if !contact.delivered {
-                        // A message timeout, not a stale entry: the node
-                        // is alive, so it must NOT be reported through
-                        // `timed_out` — repair-on-use evicting it would
-                        // let the fault layer mutate routing state.
-                        if record_events {
-                            fx.events.push(Event::Timeout {
-                                lookup: 0,
-                                target: cand,
-                                kind: TimeoutKind::Message,
-                            });
-                        }
-                        scratch.unreachable_seen.insert(cand);
-                        continue;
-                    }
-                    next = Some((phase, cand));
-                    break;
                 }
-                match next {
-                    Some((phase, cand)) => {
-                        net.on_hop(&mut state, cur, phase, cand, &scratch.step_dead);
-                        if !scratch.step_dead.is_empty() {
-                            fx.repairs.push(HopRepair {
-                                from: cur,
-                                phase,
-                                to: cand,
-                                timed_out: scratch.step_dead.clone(),
-                            });
-                        }
-                        if record_events {
-                            fx.events.push(Event::Hop {
-                                lookup: 0,
-                                index: hops.len() as u32,
-                                from: cur,
-                                to: cand,
-                                phase,
-                            });
-                        }
-                        hops.push(phase);
-                        cur = cand;
-                        if count_loads {
-                            fx.queried.push(cur);
-                        }
-                    }
-                    None => {
-                        fx.exhausted = Some(cur);
-                        break net.on_exhausted(cur, &state);
-                    }
+                continue;
+            }
+            if scratch.unreachable_seen.contains(&cand) {
+                continue;
+            }
+            // The candidate is live: contact it under the fault
+            // plan, retrying per the policy. Draws are keyed by
+            // (lookup_index, candidate, attempt), so the outcome
+            // is independent of every other contact.
+            let contact = self.conditions.contact(self.lookup_index, cand);
+            self.costs.absorb(&contact);
+            if self.record_events && contact.attempts > 1 {
+                self.fx.events.push(Event::Retry {
+                    lookup: 0,
+                    target: cand,
+                    attempts: contact.attempts,
+                });
+            }
+            if !contact.delivered {
+                // A message timeout, not a stale entry: the node
+                // is alive, so it must NOT be reported through
+                // `timed_out` — repair-on-use evicting it would
+                // let the fault layer mutate routing state.
+                if self.record_events {
+                    self.fx.events.push(Event::Timeout {
+                        lookup: 0,
+                        target: cand,
+                        kind: TimeoutKind::Message,
+                    });
                 }
+                scratch.unreachable_seen.insert(cand);
+                continue;
+            }
+            next = Some((phase, cand));
+            break;
+        }
+        match next {
+            Some((phase, cand)) => {
+                net.on_hop(&mut self.state, self.cur, phase, cand, &scratch.step_dead);
+                if !scratch.step_dead.is_empty() {
+                    self.fx.repairs.push(HopRepair {
+                        from: self.cur,
+                        phase,
+                        to: cand,
+                        timed_out: scratch.step_dead.clone(),
+                    });
+                }
+                if self.record_events {
+                    self.fx.events.push(Event::Hop {
+                        lookup: 0,
+                        index: self.hops.len() as u32,
+                        from: self.cur,
+                        to: cand,
+                        phase,
+                    });
+                }
+                self.hops.push(phase);
+                self.cur = cand;
+                if self.count_loads {
+                    self.fx.queried.push(self.cur);
+                }
+                None
+            }
+            None => {
+                self.fx.exhausted = Some(self.cur);
+                Some(net.on_exhausted(self.cur, &self.state))
             }
         }
-    };
-
-    if record_events {
-        fx.events.push(Event::LookupEnd {
-            lookup: 0,
-            outcome,
-            terminal: cur,
-            hops: hops.len() as u32,
-            timeouts,
-            latency_us: costs.latency_us,
-        });
     }
-    (
-        LookupTrace {
+
+    /// Consumes the finished walk, emitting the `LookupEnd` event and
+    /// returning the trace plus the deferred effects.
+    ///
+    /// # Panics
+    /// Panics if the walk has not finished.
+    #[must_use]
+    pub fn finish(self) -> (LookupTrace, WalkEffects) {
+        let Self {
+            cur,
             hops,
             timeouts,
+            costs,
+            mut fx,
             outcome,
-            terminal: cur,
-            net: costs,
-        },
-        fx,
-    )
+            record_events,
+            ..
+        } = self;
+        let outcome = outcome.expect("finishing an unfinished walk");
+        if record_events {
+            fx.events.push(Event::LookupEnd {
+                lookup: 0,
+                outcome,
+                terminal: cur,
+                hops: hops.len() as u32,
+                timeouts,
+                latency_us: costs.latency_us,
+            });
+        }
+        (
+            LookupTrace {
+                hops,
+                timeouts,
+                outcome,
+                terminal: cur,
+                net: costs,
+            },
+            fx,
+        )
+    }
+}
+
+/// A suspended lookup with its overlay type erased — what
+/// [`Overlay::lookup_begin`] hands to drivers that only hold a
+/// `&mut dyn Overlay` (the continuous-time churn engine). Wraps a
+/// [`WalkCursor`] plus its scratch buffers.
+pub trait LookupCursor {
+    /// The node currently holding the lookup.
+    fn current(&self) -> NodeToken;
+    /// `true` once the walk has terminated.
+    fn is_finished(&self) -> bool;
+    /// Advances the walk by one step against the overlay's *current*
+    /// state (membership changes since the last step are observed,
+    /// exactly as a real in-flight lookup would observe them).
+    ///
+    /// # Panics
+    /// Panics if `net` is not the overlay that created this cursor, or
+    /// if the walk already finished.
+    fn step(&mut self, net: &dyn Overlay) -> CursorStep;
+    /// Strands the walk (its current holder departed); see
+    /// [`WalkCursor::strand`].
+    fn strand(&mut self);
+    /// Consumes the finished walk, returning the trace and the effects
+    /// to replay via [`Overlay::apply_walk_effects`].
+    fn finish(self: Box<Self>) -> (LookupTrace, WalkEffects);
+}
+
+/// The one [`LookupCursor`] implementation: a typed [`WalkCursor`]
+/// that recovers its concrete overlay through [`Overlay::as_any`].
+struct TypedCursor<T: SimOverlay> {
+    cursor: WalkCursor<T::Walk>,
+    scratch: WalkScratch,
+}
+
+impl<T: SimOverlay> LookupCursor for TypedCursor<T> {
+    fn current(&self) -> NodeToken {
+        self.cursor.current()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.cursor.is_finished()
+    }
+
+    fn step(&mut self, net: &dyn Overlay) -> CursorStep {
+        let net = net
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("cursor stepped against a different overlay");
+        self.cursor.step(net, &mut self.scratch)
+    }
+
+    fn strand(&mut self) {
+        self.cursor.strand();
+    }
+
+    fn finish(self: Box<Self>) -> (LookupTrace, WalkEffects) {
+        self.cursor.finish()
+    }
 }
 
 /// Deterministic sharded lookup executor: splits a batch of `(src,
@@ -1181,6 +1394,31 @@ impl<T: SimOverlay> Overlay for T {
 
     fn set_trace_sink(&mut self, sink: SinkHandle) {
         self.membership_mut().set_trace_sink(sink);
+    }
+
+    fn contains(&self, node: NodeToken) -> bool {
+        self.membership().contains(node)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn lookup_begin(&mut self, src: NodeToken, raw_key: u64) -> Box<dyn LookupCursor> {
+        let index = self
+            .membership_mut()
+            .net_conditions_mut()
+            .take_lookup_index();
+        let state = self.begin_walk(src, raw_key);
+        let cursor = WalkCursor::begin(&*self, src, state, true, index, Some(raw_key));
+        Box::new(TypedCursor::<Self> {
+            cursor,
+            scratch: WalkScratch::new(),
+        })
+    }
+
+    fn apply_walk_effects(&mut self, fx: WalkEffects) {
+        apply_effects(self, fx);
     }
 }
 

@@ -6,15 +6,64 @@
 //! protocol once every 30 s and each node's stabilization routine is at
 //! intervals that are uniformly distributed in the 30 s interval. The
 //! network starts with 2048 nodes."
+//!
+//! The engine runs in one of two [`TimeModel`]s on the same virtual
+//! clock ([`dht_core::clock`]):
+//!
+//! * [`TimeModel::Rounds`] — the original lockstep semantics: lookups
+//!   buffered between membership/stabilization events and routed as
+//!   instantaneous parallel batches. Message delays are *billed* to
+//!   [`dht_core::net::NetCosts::latency_us`] but never advance the
+//!   clock.
+//! * [`TimeModel::Continuous`] — lookups are *suspended* between hops
+//!   ([`dht_core::sim::LookupCursor`]): each hop's reply schedules the
+//!   walk's resumption after its simulated delay, so in-flight lookups
+//!   interleave with joins, leaves, and per-node stabilization timers,
+//!   and reported latency equals virtual-clock elapsed time by
+//!   construction. With zero message delays and the same
+//!   [`StabilizePhase`], the continuous engine reproduces the rounds
+//!   engine's measurements exactly (under zero churn; with churn the
+//!   two differ only in *when* repairs land: streaming per-lookup
+//!   versus after each batch).
+
+use std::collections::BTreeMap;
 
 use dht_core::audit::{AuditReport, AuditScope};
 use dht_core::lookup::LookupTrace;
 use dht_core::net::NetConditions;
 use dht_core::obs::{Event as TraceEvent, SinkHandle};
 use dht_core::overlay::Overlay;
+use dht_core::sim::{CursorStep, LookupCursor};
 use rand::{Rng, RngCore};
 
-use crate::event::{exp_delay, EventQueue, SECOND};
+use crate::event::{exp_delay, EventQueue, SimTime, SECOND};
+
+/// Which notion of time the churn engine runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeModel {
+    /// Lockstep stabilization rounds: lookups resolve instantaneously
+    /// between membership events (the engine's original semantics, and
+    /// the configuration all historical goldens were recorded under).
+    #[default]
+    Rounds,
+    /// Discrete-event virtual clock: lookups are suspended per hop and
+    /// interleave with churn and stabilization timers.
+    Continuous,
+}
+
+/// How per-node stabilization timers are phased within the period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StabilizePhase {
+    /// Each node's timer offset is its token hash modulo the period —
+    /// the paper's "intervals uniformly distributed in the 30 s
+    /// interval" (§4.4).
+    #[default]
+    Hashed,
+    /// Every node stabilizes at the end of the period, in one sweep —
+    /// the degenerate phasing that, with zero message delays, recovers
+    /// classic round-based semantics.
+    Synchronized,
+}
 
 /// Parameters of one churn run.
 #[derive(Debug, Clone)]
@@ -43,8 +92,14 @@ pub struct ChurnParams {
     /// membership/stabilization events are independent reads, so the
     /// engine buffers them and routes each batch through
     /// [`Overlay::lookup_batch`]; results are bit-identical for every
-    /// value. Default: 1.
+    /// value. Under [`TimeModel::Continuous`] there is no batching (each
+    /// lookup is an event-driven walk), so `jobs` is ignored and every
+    /// value is trivially bit-identical. Default: 1.
     pub jobs: usize,
+    /// Which notion of time the run uses. Default: [`TimeModel::Rounds`].
+    pub time: TimeModel,
+    /// Stabilization timer phasing. Default: [`StabilizePhase::Hashed`].
+    pub phase: StabilizePhase,
 }
 
 impl Default for ChurnParams {
@@ -59,6 +114,8 @@ impl Default for ChurnParams {
             conditions: NetConditions::ideal(),
             sink: SinkHandle::disabled(),
             jobs: 1,
+            time: TimeModel::default(),
+            phase: StabilizePhase::default(),
         }
     }
 }
@@ -97,6 +154,19 @@ pub struct ChurnOutcome {
     /// Wall-clock time spent inside audit passes, in µs (zero when
     /// auditing is off).
     pub audit_us: u64,
+    /// Virtual-clock elapsed time of every measured lookup (arrival to
+    /// completion), in µs, aligned with [`ChurnOutcome::latency_us`].
+    /// Empty under [`TimeModel::Rounds`], where lookups resolve
+    /// instantaneously and nothing elapses.
+    pub elapsed_us: Vec<u64>,
+    /// Virtual time at which the run ended, in µs.
+    pub sim_end_us: u64,
+    /// In-flight lookups whose current holder departed mid-walk, leaving
+    /// them unable to progress (counted into
+    /// [`ChurnOutcome::failures`] when measured). Always zero under
+    /// [`TimeModel::Rounds`], where lookups never span membership
+    /// events.
+    pub stranded: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,16 +176,66 @@ enum Event {
     Leave,
     /// Stabilization tick for one bucket of nodes.
     StabilizeBucket(u64),
+    /// Resume the suspended lookup with this id (continuous mode only).
+    Step(u64),
+}
+
+/// One timed online audit pass: merged into the accumulated report,
+/// billed to `audit_us`, and announced through the sink. No-op when
+/// auditing is off.
+fn audit_pass(overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome, sink: &SinkHandle) {
+    if outcome.audit.is_none() {
+        return;
+    }
+    let started = std::time::Instant::now();
+    let report = overlay.audit_state(AuditScope::Online);
+    outcome.audit_us = outcome
+        .audit_us
+        .saturating_add(started.elapsed().as_micros() as u64);
+    sink.emit(|| TraceEvent::AuditRun {
+        clean: report.is_clean(),
+        checked: report.checked_nodes() as u64,
+        violations: report.violations().len() as u64,
+    });
+    if let Some(acc) = outcome.audit.as_mut() {
+        acc.merge(report);
+    }
+}
+
+/// Runs one per-second stabilization bucket: under [`StabilizePhase::Hashed`]
+/// the nodes whose token hashes into `bucket` stabilize; under
+/// [`StabilizePhase::Synchronized`] the whole network stabilizes on the
+/// period's last bucket and the other buckets are no-ops. Returns the
+/// number of per-node routines invoked.
+pub(crate) fn stabilize_bucket(
+    overlay: &mut dyn Overlay,
+    phase: StabilizePhase,
+    period: u64,
+    bucket: u64,
+) -> u64 {
+    let mut calls = 0;
+    for token in overlay.node_tokens() {
+        let fires = match phase {
+            StabilizePhase::Hashed => dht_core::hash::splitmix64(token) % period == bucket,
+            StabilizePhase::Synchronized => bucket + 1 == period,
+        };
+        if fires {
+            overlay.stabilize_node(token);
+            calls += 1;
+        }
+    }
+    calls
 }
 
 /// Runs the churn simulation on `overlay`, which should already contain
-/// the starting population.
+/// the starting population, under the [`TimeModel`] the parameters
+/// select.
 ///
 /// Per-node stabilization at uniformly distributed offsets is modelled by
 /// splitting the period into per-second buckets: every second, the nodes
 /// whose token hashes into that bucket run their stabilization routine —
 /// statistically identical to each node keeping its own 30 s timer with a
-/// uniform phase.
+/// uniform phase (see [`StabilizePhase`]).
 pub fn run_churn(
     overlay: &mut dyn Overlay,
     params: ChurnParams,
@@ -124,17 +244,6 @@ pub fn run_churn(
     assert!(overlay.len() > 1, "churn needs a populated overlay");
     overlay.set_net_conditions(params.conditions);
     overlay.set_trace_sink(params.sink.clone());
-    let period = params.stabilization_period_secs.max(1);
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
-    if params.churn_rate > 0.0 {
-        queue.schedule(exp_delay(params.churn_rate, rng), Event::Join);
-        queue.schedule(exp_delay(params.churn_rate, rng), Event::Leave);
-    }
-    for bucket in 0..period {
-        queue.schedule((bucket + 1) * SECOND, Event::StabilizeBucket(bucket));
-    }
-
     let mut outcome = ChurnOutcome {
         path_lens: Vec::with_capacity(params.lookups),
         timeouts: Vec::with_capacity(params.lookups),
@@ -151,7 +260,38 @@ pub fn run_churn(
         stabilize_calls: 0,
         stabilize_rounds: 0,
         audit_us: 0,
+        elapsed_us: Vec::new(),
+        sim_end_us: 0,
+        stranded: 0,
     };
+    match params.time {
+        TimeModel::Rounds => run_rounds(overlay, &params, rng, &mut outcome),
+        TimeModel::Continuous => run_continuous(overlay, &params, rng, &mut outcome),
+    }
+    audit_pass(overlay, &mut outcome, &params.sink);
+    outcome.final_size = overlay.len();
+    outcome
+}
+
+/// The lockstep engine: lookups buffered between membership events and
+/// routed as instantaneous parallel batches.
+fn run_rounds(
+    overlay: &mut dyn Overlay,
+    params: &ChurnParams,
+    rng: &mut impl RngCore,
+    outcome: &mut ChurnOutcome,
+) {
+    let period = params.stabilization_period_secs.max(1);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
+    if params.churn_rate > 0.0 {
+        queue.schedule(exp_delay(params.churn_rate, rng), Event::Join);
+        queue.schedule(exp_delay(params.churn_rate, rng), Event::Leave);
+    }
+    for bucket in 0..period {
+        queue.schedule((bucket + 1) * SECOND, Event::StabilizeBucket(bucket));
+    }
+
     let mut seen_lookups = 0usize;
     // Lookups arriving between two membership events are buffered with
     // their arrival ordinal and routed as one parallel batch right
@@ -160,27 +300,6 @@ pub fn run_churn(
     // measurement window are drawn/decided at arrival time, so the
     // workload is identical to the sequential engine's.
     let mut pending: Vec<(usize, dht_core::overlay::NodeToken, u64)> = Vec::new();
-
-    // One timed online audit pass: merged into the accumulated report,
-    // billed to `audit_us`, and announced through the sink.
-    let audit_pass = |overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome| {
-        if outcome.audit.is_none() {
-            return;
-        }
-        let started = std::time::Instant::now();
-        let report = overlay.audit_state(AuditScope::Online);
-        outcome.audit_us = outcome
-            .audit_us
-            .saturating_add(started.elapsed().as_micros() as u64);
-        params.sink.emit(|| TraceEvent::AuditRun {
-            clean: report.is_clean(),
-            checked: report.checked_nodes() as u64,
-            violations: report.violations().len() as u64,
-        });
-        if let Some(acc) = outcome.audit.as_mut() {
-            acc.merge(report);
-        }
-    };
 
     // Routes the buffered lookups as one batch and records the measured
     // ones (by arrival ordinal) into the outcome.
@@ -220,11 +339,11 @@ pub fn run_churn(
                 } else {
                     // Last arrival: route everything still buffered so the
                     // run can stop without waiting for a membership event.
-                    flush(overlay, &mut outcome, &mut pending);
+                    flush(overlay, outcome, &mut pending);
                 }
             }
             Event::Join => {
-                flush(overlay, &mut outcome, &mut pending);
+                flush(overlay, outcome, &mut pending);
                 if let Some(node) = overlay.join(rng) {
                     outcome.joins += 1;
                     outcome.peak_size = outcome.peak_size.max(overlay.len());
@@ -233,7 +352,7 @@ pub fn run_churn(
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
             }
             Event::Leave => {
-                flush(overlay, &mut outcome, &mut pending);
+                flush(overlay, outcome, &mut pending);
                 // Keep at least a handful of nodes alive.
                 if overlay.len() > 8 {
                     if let Some(node) = overlay.random_node(rng) {
@@ -249,13 +368,8 @@ pub fn run_churn(
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Leave);
             }
             Event::StabilizeBucket(bucket) => {
-                flush(overlay, &mut outcome, &mut pending);
-                for token in overlay.node_tokens() {
-                    if dht_core::hash::splitmix64(token) % period == bucket {
-                        overlay.stabilize_node(token);
-                        outcome.stabilize_calls += 1;
-                    }
-                }
+                flush(overlay, outcome, &mut pending);
+                outcome.stabilize_calls += stabilize_bucket(overlay, params.phase, period, bucket);
                 // The last bucket closes a full stabilization round:
                 // every online invariant must hold right now, mid-churn.
                 if bucket + 1 == period {
@@ -265,20 +379,167 @@ pub fn run_churn(
                         round,
                         nodes: overlay.len() as u64,
                     });
-                    audit_pass(overlay, &mut outcome);
+                    audit_pass(overlay, outcome, &params.sink);
                 }
                 queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
             }
+            Event::Step(_) => unreachable!("rounds mode schedules no Step events"),
         }
         if outcome.path_lens.len() >= params.lookups {
             break;
         }
     }
 
-    flush(overlay, &mut outcome, &mut pending);
-    audit_pass(overlay, &mut outcome);
-    outcome.final_size = overlay.len();
-    outcome
+    flush(overlay, outcome, &mut pending);
+    outcome.sim_end_us = queue.now();
+}
+
+/// The discrete-event engine: each in-flight lookup is a suspended
+/// [`LookupCursor`] resumed by a `Step` event when its per-hop reply
+/// delay elapses, interleaving with joins, leaves, and the per-second
+/// stabilization ticks on one virtual clock.
+///
+/// Arrival handling draws from `rng` in exactly the order the rounds
+/// engine does (source, key, next inter-arrival gap), so with zero
+/// message delays — where every walk completes within its arrival
+/// instant — the two engines produce identical measurement streams.
+fn run_continuous(
+    overlay: &mut dyn Overlay,
+    params: &ChurnParams,
+    rng: &mut impl RngCore,
+    outcome: &mut ChurnOutcome,
+) {
+    let period = params.stabilization_period_secs.max(1);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
+    if params.churn_rate > 0.0 {
+        queue.schedule(exp_delay(params.churn_rate, rng), Event::Join);
+        queue.schedule(exp_delay(params.churn_rate, rng), Event::Leave);
+    }
+    for bucket in 0..period {
+        queue.schedule((bucket + 1) * SECOND, Event::StabilizeBucket(bucket));
+    }
+
+    struct InFlight {
+        ordinal: usize,
+        cursor: Box<dyn LookupCursor>,
+        started_at: SimTime,
+    }
+
+    let mut seen_lookups = 0usize;
+    let mut next_id: u64 = 0;
+    let mut in_flight: BTreeMap<u64, InFlight> = BTreeMap::new();
+
+    // Completes one lookup: applies its deferred effects (in completion
+    // order — the continuous engine's canonical stream) and records the
+    // measured ones.
+    let finalize =
+        |overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome, fl: InFlight, end: SimTime| {
+            let (trace, fx) = fl.cursor.finish();
+            overlay.apply_walk_effects(fx);
+            if fl.ordinal > params.warmup_lookups {
+                outcome.path_lens.push(trace.path_len());
+                outcome.timeouts.push(u64::from(trace.timeouts));
+                outcome.retries.push(u64::from(trace.net.retries));
+                outcome.latency_us.push(trace.net.latency_us);
+                outcome.elapsed_us.push(end.saturating_sub(fl.started_at));
+                if !trace.outcome.is_success() {
+                    outcome.failures += 1;
+                }
+            }
+        };
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Lookup => {
+                seen_lookups += 1;
+                if let Some(src) = overlay.random_node(rng) {
+                    let raw: u64 = rng.gen();
+                    let cursor = overlay.lookup_begin(src, raw);
+                    let id = next_id;
+                    next_id += 1;
+                    in_flight.insert(
+                        id,
+                        InFlight {
+                            ordinal: seen_lookups,
+                            cursor,
+                            started_at: now,
+                        },
+                    );
+                    // First step fires at the arrival instant (FIFO after
+                    // anything already scheduled for `now`).
+                    queue.schedule_in(0, Event::Step(id));
+                }
+                if seen_lookups < params.warmup_lookups + params.lookups {
+                    queue.schedule_in(exp_delay(params.lookup_rate, rng), Event::Lookup);
+                }
+            }
+            Event::Step(id) => {
+                let Some(mut fl) = in_flight.remove(&id) else {
+                    unreachable!("step for unknown lookup {id}");
+                };
+                if !overlay.contains(fl.cursor.current()) {
+                    // The node holding the lookup departed while the walk
+                    // was suspended: the lookup is stranded.
+                    fl.cursor.strand();
+                    outcome.stranded += 1;
+                    finalize(overlay, outcome, fl, now);
+                } else {
+                    match fl.cursor.step(&*overlay) {
+                        CursorStep::Forwarded { delay_us } => {
+                            queue.schedule_in(delay_us, Event::Step(id));
+                            in_flight.insert(id, fl);
+                        }
+                        CursorStep::Finished { delay_us } => {
+                            // The final reply lands `delay_us` later; bill
+                            // it without scheduling another event.
+                            finalize(overlay, outcome, fl, now + delay_us);
+                        }
+                    }
+                }
+            }
+            Event::Join => {
+                if let Some(node) = overlay.join(rng) {
+                    outcome.joins += 1;
+                    outcome.peak_size = outcome.peak_size.max(overlay.len());
+                    params.sink.emit(|| TraceEvent::Join { node });
+                }
+                queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
+            }
+            Event::Leave => {
+                // Keep at least a handful of nodes alive.
+                if overlay.len() > 8 {
+                    if let Some(node) = overlay.random_node(rng) {
+                        if overlay.leave(node) {
+                            outcome.leaves += 1;
+                            params.sink.emit(|| TraceEvent::Leave {
+                                node,
+                                graceful: true,
+                            });
+                        }
+                    }
+                }
+                queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Leave);
+            }
+            Event::StabilizeBucket(bucket) => {
+                outcome.stabilize_calls += stabilize_bucket(overlay, params.phase, period, bucket);
+                if bucket + 1 == period {
+                    let round = outcome.stabilize_rounds;
+                    outcome.stabilize_rounds += 1;
+                    params.sink.emit(|| TraceEvent::StabilizeRound {
+                        round,
+                        nodes: overlay.len() as u64,
+                    });
+                    audit_pass(overlay, outcome, &params.sink);
+                }
+                queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
+            }
+        }
+        if outcome.path_lens.len() >= params.lookups && in_flight.is_empty() {
+            break;
+        }
+    }
+    outcome.sim_end_us = queue.now();
 }
 
 #[cfg(test)]
@@ -298,6 +559,8 @@ mod tests {
             conditions: NetConditions::ideal(),
             sink: SinkHandle::disabled(),
             jobs: 1,
+            time: TimeModel::Rounds,
+            phase: StabilizePhase::Hashed,
         }
     }
 
@@ -434,5 +697,66 @@ mod tests {
         let out = run_churn(net.as_mut(), small_params(0.4), &mut rng);
         assert!(out.timeouts.iter().all(|&t| t == 0));
         assert_eq!(out.failures, 0);
+    }
+
+    fn continuous_params(rate: f64) -> ChurnParams {
+        use dht_core::net::{FaultPlan, RetryPolicy};
+        let mut p = small_params(rate);
+        p.time = TimeModel::Continuous;
+        // `lossy` includes 20–80 ms uniform delays, so walks genuinely
+        // suspend between hops.
+        p.conditions = NetConditions::new(FaultPlan::lossy(5, 0.02), RetryPolicy::standard());
+        p
+    }
+
+    #[test]
+    fn continuous_run_measures_elapsed_time() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 256, 1);
+        let mut rng = stream(2, "cont");
+        let out = run_churn(net.as_mut(), continuous_params(0.2), &mut rng);
+        assert_eq!(out.path_lens.len(), 300);
+        assert_eq!(out.elapsed_us.len(), 300, "continuous mode times lookups");
+        assert!(out.sim_end_us > 0, "the virtual clock advanced");
+        // Satellite invariant: reported latency IS elapsed virtual time.
+        assert_eq!(out.latency_us, out.elapsed_us);
+    }
+
+    #[test]
+    fn continuous_run_is_deterministic_per_seed() {
+        let run = || {
+            let mut net = build_overlay(OverlayKind::Chord, 128, 13);
+            let mut rng = stream(14, "cont-det");
+            run_churn(net.as_mut(), continuous_params(0.3), &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.path_lens, b.path_lens);
+        assert_eq!(a.latency_us, b.latency_us);
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+        assert_eq!(a.sim_end_us, b.sim_end_us);
+        assert_eq!(a.stranded, b.stranded);
+    }
+
+    #[test]
+    fn rounds_mode_records_no_elapsed_time() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 128, 3);
+        let mut rng = stream(4, "rounds-elapsed");
+        let out = run_churn(net.as_mut(), small_params(0.1), &mut rng);
+        assert!(out.elapsed_us.is_empty());
+        assert_eq!(out.stranded, 0);
+        assert!(out.sim_end_us > 0);
+    }
+
+    #[test]
+    fn synchronized_phase_stabilizes_everyone_at_once() {
+        let mut net = build_overlay(OverlayKind::Chord, 64, 5);
+        let mut rng = stream(6, "sync-phase");
+        let mut p = small_params(0.0);
+        p.phase = StabilizePhase::Synchronized;
+        p.lookups = 100;
+        p.warmup_lookups = 0;
+        let out = run_churn(net.as_mut(), p, &mut rng);
+        // Every full round stabilizes the whole (static) network.
+        assert_eq!(out.stabilize_calls, out.stabilize_rounds * 64);
     }
 }

@@ -1,178 +1,10 @@
-//! A minimal discrete-event engine: a time-ordered queue plus Poisson
-//! arrival streams, enough to drive the §4.4 churn experiment.
+//! Discrete-event primitives, re-exported from [`dht_core::clock`].
+//!
+//! The minimal event queue that originally lived here was promoted into
+//! the shared substrate as the first-class virtual-clock kernel
+//! ([`dht_core::clock`]) so the fault layer's delay draws, per-node
+//! stabilization timers, and suspended lookups all share one notion of
+//! time. This module remains as a façade so existing `dht_sim::event`
+//! users keep compiling.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use rand::RngCore;
-
-/// Simulated time in microseconds.
-pub type SimTime = u64;
-
-/// One microsecond-resolution second.
-pub const SECOND: SimTime = 1_000_000;
-
-/// A scheduled event.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E: Eq> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; sequence number breaks ties FIFO.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl<E: Eq> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A time-ordered event queue. Events with equal timestamps dequeue in
-/// insertion order, so simulations are deterministic.
-#[derive(Debug)]
-pub struct EventQueue<E: Eq> {
-    heap: BinaryHeap<Scheduled<E>>,
-    now: SimTime,
-    seq: u64,
-}
-
-impl<E: Eq> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<E: Eq> EventQueue<E> {
-    /// An empty queue at time zero.
-    #[must_use]
-    pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            now: 0,
-            seq: 0,
-        }
-    }
-
-    /// Current simulated time (the timestamp of the last popped event).
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Schedules `event` at absolute time `at`. Scheduling in the past is
-    /// a logic error.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past");
-        self.heap.push(Scheduled {
-            time: at,
-            seq: self.seq,
-            event,
-        });
-        self.seq += 1;
-    }
-
-    /// Schedules `event` `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
-        self.schedule(self.now + delay, event);
-    }
-
-    /// Pops the next event, advancing the clock.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        self.now = s.time;
-        Some((s.time, s.event))
-    }
-
-    /// Number of pending events.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// `true` iff no events are pending.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-/// Samples an exponentially distributed inter-arrival delay (in simulated
-/// microseconds) for a Poisson process with `rate` events per second.
-#[must_use]
-pub fn exp_delay(rate_per_sec: f64, rng: &mut dyn RngCore) -> SimTime {
-    assert!(rate_per_sec > 0.0, "rate must be positive");
-    // Inverse-CDF sampling; 1 - u avoids ln(0).
-    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-    let secs = -(1.0 - u).ln() / rate_per_sec;
-    (secs * SECOND as f64).round() as SimTime
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dht_core::rng::stream;
-
-    #[test]
-    fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, "c");
-        q.schedule(10, "a");
-        q.schedule(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
-    }
-
-    #[test]
-    fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        q.schedule(5, "first");
-        q.schedule(5, "second");
-        assert_eq!(q.pop(), Some((5, "first")));
-        assert_eq!(q.pop(), Some((5, "second")));
-    }
-
-    #[test]
-    fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(100, ());
-        assert_eq!(q.now(), 0);
-        q.pop();
-        assert_eq!(q.now(), 100);
-        q.schedule_in(50, ());
-        assert_eq!(q.pop(), Some((150, ())));
-    }
-
-    #[test]
-    fn exp_delay_mean_is_close_to_inverse_rate() {
-        let mut rng = stream(1, "exp");
-        let rate = 4.0; // four per second -> mean 0.25 s
-        let n = 20_000;
-        let total: u64 = (0..n).map(|_| exp_delay(rate, &mut rng)).sum();
-        let mean_secs = total as f64 / n as f64 / SECOND as f64;
-        assert!(
-            (mean_secs - 0.25).abs() < 0.01,
-            "empirical mean {mean_secs} should be ~0.25"
-        );
-    }
-
-    #[test]
-    fn exp_delay_is_deterministic_per_stream() {
-        let a: Vec<SimTime> = {
-            let mut r = stream(2, "exp");
-            (0..10).map(|_| exp_delay(1.0, &mut r)).collect()
-        };
-        let b: Vec<SimTime> = {
-            let mut r = stream(2, "exp");
-            (0..10).map(|_| exp_delay(1.0, &mut r)).collect()
-        };
-        assert_eq!(a, b);
-    }
-}
+pub use dht_core::clock::{exp_delay, EventQueue, SimTime, SECOND};

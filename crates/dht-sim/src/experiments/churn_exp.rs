@@ -137,6 +137,7 @@ pub fn measure(params: &ChurnExpParams) -> Vec<ChurnRow> {
                         conditions: params.conditions,
                         sink: dht_core::obs::SinkHandle::disabled(),
                         jobs: params.jobs,
+                        ..ChurnParams::default()
                     };
                     let out: ChurnOutcome = run_churn(net.as_mut(), churn_params, &mut rng);
                     let latency_ms: Vec<f64> = out

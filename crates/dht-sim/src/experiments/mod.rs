@@ -6,6 +6,7 @@
 //! set for fast smoke runs.
 
 pub mod churn_exp;
+pub mod converge;
 pub mod fault_tolerance;
 pub mod hotspot;
 pub mod key_distribution;
