@@ -25,7 +25,9 @@
 //! exports it as `BENCH_lookup_throughput.json`; the extra `converge`
 //! subcommand measures time-to-stabilize after membership shocks and
 //! lookup latency under continuous-time churn, exported as
-//! `BENCH_converge.json`.
+//! `BENCH_converge.json`; the extra `scale` subcommand sweeps 10⁴–10⁶
+//! node populations on the compact membership store and exports memory
+//! footprint, throughput, and join latency as `BENCH_scale.json`.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -37,7 +39,7 @@ use dht_core::lookup::HopPhase;
 use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Progress};
 use dht_sim::experiments::{
     churn_exp, converge, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
-    path_length, query_load, sparsity, static_tables, throughput, ungraceful,
+    path_length, query_load, scale, sparsity, static_tables, throughput, ungraceful,
 };
 use dht_sim::report::Table;
 
@@ -81,7 +83,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--quiet]\n\
          \x20            [--seed N] [--metrics-out DIR]\n\
          \x20            [--jobs N]\n\
-         experiments: {} all path metrics throughput converge",
+         experiments: {} all path metrics throughput converge scale",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -136,6 +138,9 @@ fn parse_args() -> Options {
             }
             "converge" => {
                 opts.experiments.insert("converge".to_string());
+            }
+            "scale" => {
+                opts.experiments.insert("scale".to_string());
             }
             name if ALL.contains(&name) => {
                 opts.experiments.insert(name.to_string());
@@ -570,6 +575,34 @@ fn main() {
         let mut reg = MetricsRegistry::new();
         converge::register_metrics(&rows, &mut reg);
         write_bench("converge", &reg);
+    }
+
+    if wants("scale") {
+        progress.info(format!(
+            "running large-population scale sweep (jobs={})...",
+            opts.jobs
+        ));
+        let mut params = if opts.quick {
+            scale::ScaleParams::quick(opts.seed)
+        } else {
+            scale::ScaleParams::paper(opts.seed)
+        };
+        params.jobs = opts.jobs;
+        let rows = scale::measure_with(&params, |row| {
+            progress.info(format!(
+                "{} n={}: build {:.1}s, {:.0} bytes/node, {:.1}k lookups/s, join p99 {:.0}µs",
+                row.label,
+                row.n,
+                row.build_us as f64 / 1_000_000.0,
+                row.bytes_per_node,
+                row.lookups_per_sec() / 1_000.0,
+                row.join_us.p99,
+            ));
+        });
+        emit(&render::scale(&rows), opts.csv);
+        let mut reg = MetricsRegistry::new();
+        scale::register_metrics(&rows, &mut reg);
+        write_bench("scale", &reg);
     }
 
     // Reader side, after any producers so `repro path metrics

@@ -8,6 +8,7 @@ use dht_sim::experiments::key_distribution::KeyDistributionRow;
 use dht_sim::experiments::mass_departure::MassDepartureRow;
 use dht_sim::experiments::path_length::PathLengthRow;
 use dht_sim::experiments::query_load::QueryLoadRow;
+use dht_sim::experiments::scale::ScaleRow;
 use dht_sim::experiments::sparsity::SparsityRow;
 use dht_sim::experiments::static_tables;
 use dht_sim::experiments::throughput::ThroughputRow;
@@ -327,6 +328,39 @@ pub fn throughput(rows: &[ThroughputRow]) -> Table {
             format!("{:.1}", r.parallel.lookups_per_sec() / 1_000.0),
             format!("{:.2}x", r.speedup()),
             if r.results_identical() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Extension: compact-membership footprint and routing quality across
+/// populations. Only run-invariant columns appear here — wall-clock
+/// figures (build time, lookups/sec, join latency) live in
+/// `BENCH_scale.json` and the stderr progress stream, so this table is
+/// byte-identical across `--jobs` values (the CI determinism check).
+#[must_use]
+pub fn scale(rows: &[ScaleRow]) -> Table {
+    let mut t = Table::new(
+        "Extension: memory footprint and path quality at scale (compact membership)",
+        &[
+            "system",
+            "n",
+            "bytes/node",
+            "state MiB",
+            "mean hops",
+            "p99 hops",
+            "failures",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{}", r.n),
+            format!("{:.1}", r.bytes_per_node),
+            format!("{:.1}", r.state_bytes as f64 / (1024.0 * 1024.0)),
+            f(r.agg.path.mean),
+            f(r.agg.path.p99),
+            format!("{}", r.agg.failures),
         ]);
     }
     t

@@ -27,6 +27,7 @@
 //! ```
 
 mod audit;
+mod index;
 pub mod network;
 pub mod zone;
 

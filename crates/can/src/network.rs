@@ -1,6 +1,7 @@
 //! The simulated CAN: membership, zone splitting/takeover, greedy torus
 //! routing, and stabilization.
 
+use crate::index::ZoneIndex;
 use crate::zone::{Point, Zone};
 use dht_core::hash::{reduce, splitmix64};
 use dht_core::lookup::{HopPhase, LookupTrace};
@@ -68,6 +69,12 @@ pub struct CanNetwork {
     members: Membership<CanNode>,
     /// Zones whose owner crashed, awaiting takeover by the stabilizer.
     orphans: Vec<Zone>,
+    /// Dyadic index of the current tiling: point location and neighbour
+    /// sweeps in `O(depth)` instead of a full membership scan. Mirrors
+    /// the zone lists exactly on every protocol transition; the
+    /// `index_matches_membership_scans_under_churn` test pins the
+    /// equivalence against the original scan formulations.
+    index: ZoneIndex,
 }
 
 impl CanNetwork {
@@ -82,10 +89,13 @@ impl CanNetwork {
             zones: vec![Zone::full(config.dims, config.side())],
         };
         members.insert(token, founder);
+        let mut index = ZoneIndex::new(config.dims, config.bits_per_dim);
+        index.insert_root(token);
         Self {
             config,
             members,
             orphans: Vec::new(),
+            index,
         }
     }
 
@@ -160,30 +170,34 @@ impl CanNetwork {
     /// The live owner of `point`, if its zone is not orphaned.
     #[must_use]
     pub fn owner_of_point(&self, point: &[u64]) -> Option<u64> {
-        self.members
-            .states()
-            .find(|n| n.zones.iter().any(|z| z.contains(point)))
-            .map(|n| n.token)
+        // Point location through the dyadic index; the tiling invariant
+        // makes the covering zone unique, so this agrees with the
+        // original scan over every live node's zone list.
+        self.index.locate(point).1
     }
 
-    /// Tokens of the nodes whose zones abut any of `token`'s zones.
+    /// Tokens of the nodes whose zones abut any of `token`'s zones, in
+    /// ascending token order.
     #[must_use]
     pub fn neighbors_of(&self, token: u64) -> Vec<u64> {
-        let side = self.config.side();
         let me = match self.members.get(token) {
             Some(n) => n,
             None => return Vec::new(),
         };
-        self.members
-            .iter()
-            .filter(|&(other, _)| other != token)
-            .filter(|(_, on)| {
-                me.zones
-                    .iter()
-                    .any(|a| on.zones.iter().any(|b| a.abuts(b, side)))
-            })
-            .map(|(other, _)| other)
-            .collect()
+        let mut slots = Vec::new();
+        for zone in &me.zones {
+            self.index.face_owners(zone, &mut slots);
+        }
+        // Orphaned zones (owner `None`) and the node's own zones drop
+        // out, exactly like the membership scan they replace.
+        let mut nbrs: Vec<u64> = slots
+            .into_iter()
+            .flatten()
+            .filter(|&t| t != token)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs
     }
 
     /// Protocol join: a random point is drawn, the zone containing it is
@@ -204,22 +218,25 @@ impl CanNetwork {
             .iter()
             .position(|z| z.contains(point))
             .expect("owner contains the point");
-        let (lower, upper) = owner_node.zones[zone_idx].split()?;
+        let parent = owner_node.zones[zone_idx].clone();
+        let (lower, upper) = parent.split()?;
         let newcomer_zone = if lower.contains(point) {
             lower.clone()
         } else {
             upper.clone()
         };
         let keeper_zone = if lower.contains(point) { upper } else { lower };
-        owner_node.zones[zone_idx] = keeper_zone;
+        owner_node.zones[zone_idx] = keeper_zone.clone();
         let token = self.members.next_raw();
         self.members.insert(
             token,
             CanNode {
                 token,
-                zones: vec![newcomer_zone],
+                zones: vec![newcomer_zone.clone()],
             },
         );
+        self.index
+            .split(&parent, (&keeper_zone, owner), (&newcomer_zone, token));
         Some(token)
     }
 
@@ -238,13 +255,21 @@ impl CanNetwork {
             .min_by_key(|&t| (self.members.get(t).expect("live").volume(), t));
         match heir {
             Some(h) => {
+                for zone in &node.zones {
+                    self.index.set_owner(zone, Some(h));
+                }
                 self.members
                     .get_mut(h)
                     .expect("heir is live")
                     .zones
                     .extend(node.zones);
             }
-            None => self.orphans.extend(node.zones),
+            None => {
+                for zone in &node.zones {
+                    self.index.set_owner(zone, None);
+                }
+                self.orphans.extend(node.zones);
+            }
         }
         true
     }
@@ -255,6 +280,9 @@ impl CanNetwork {
             return false;
         }
         let node = self.members.remove(token).expect("checked live");
+        for zone in &node.zones {
+            self.index.set_owner(zone, None);
+        }
         self.orphans.extend(node.zones);
         true
     }
@@ -262,24 +290,27 @@ impl CanNetwork {
     /// The takeover protocol: each orphaned zone is adopted by the live
     /// node with the smallest volume among those abutting it.
     pub fn stabilize_takeover(&mut self) {
-        let side = self.config.side();
         let orphans = std::mem::take(&mut self.orphans);
+        let mut slots = Vec::new();
         for zone in orphans {
-            let adopter = self
-                .members
-                .token_iter()
-                .filter(|&t| {
-                    self.members
-                        .get(t)
-                        .expect("live")
-                        .zones
-                        .iter()
-                        .any(|z| z.abuts(&zone, side) || z.contains(&zone.lo))
-                })
+            // Candidates via the face sweep: the live owners of every
+            // zone abutting the orphan, including zones adopted earlier
+            // in this same pass (their index owner is already updated).
+            // The scan's `contains(zone.lo)` clause is unreachable on an
+            // exact tiling — only the orphan itself covers its corner.
+            slots.clear();
+            self.index.face_owners(&zone, &mut slots);
+            let adopter = slots
+                .iter()
+                .copied()
+                .flatten()
                 .min_by_key(|&t| (self.members.get(t).expect("live").volume(), t))
                 .or_else(|| self.members.first_token());
             match adopter {
-                Some(t) => self.members.get_mut(t).expect("live").zones.push(zone),
+                Some(t) => {
+                    self.index.set_owner(&zone, Some(t));
+                    self.members.get_mut(t).expect("live").zones.push(zone);
+                }
                 None => self.orphans.push(zone), // empty network
             }
         }
@@ -431,6 +462,27 @@ impl SimOverlay for CanNetwork {
         self.stabilize_takeover();
     }
 
+    fn state_heap_bytes(&self, state: &CanNode) -> usize {
+        // Zone list plus each zone's coordinate vectors.
+        state.zones.capacity() * std::mem::size_of::<Zone>()
+            + state
+                .zones
+                .iter()
+                .map(|z| (z.lo.capacity() + z.hi.capacity()) * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+
+    fn aux_bytes(&self) -> usize {
+        // The dyadic zone index plus the orphan list.
+        self.index.heap_bytes()
+            + self.orphans.capacity() * std::mem::size_of::<Zone>()
+            + self
+                .orphans
+                .iter()
+                .map(|z| (z.lo.capacity() + z.hi.capacity()) * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
     }
@@ -529,6 +581,78 @@ mod tests {
         for i in 0..400 {
             let t = net.route(net.tokens()[i % net.node_count()], rng.gen());
             assert_eq!(t.outcome, LookupOutcome::Found);
+        }
+    }
+
+    /// The original O(n) membership-scan formulation of
+    /// [`CanNetwork::owner_of_point`], kept as the reference the zone
+    /// index must reproduce.
+    fn scan_owner_of_point(net: &CanNetwork, point: &[u64]) -> Option<u64> {
+        net.members
+            .states()
+            .find(|n| n.zones.iter().any(|z| z.contains(point)))
+            .map(|n| n.token)
+    }
+
+    /// The original O(n²)-ish membership-scan formulation of
+    /// [`CanNetwork::neighbors_of`], sorted for comparison.
+    fn scan_neighbors(net: &CanNetwork, token: u64) -> Vec<u64> {
+        let side = net.config.side();
+        let me = match net.members.get(token) {
+            Some(n) => n,
+            None => return Vec::new(),
+        };
+        let mut nbrs: Vec<u64> = net
+            .members
+            .iter()
+            .filter(|&(other, _)| other != token)
+            .filter(|(_, on)| {
+                me.zones
+                    .iter()
+                    .any(|a| on.zones.iter().any(|b| a.abuts(b, side)))
+            })
+            .map(|(other, _)| other)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs
+    }
+
+    #[test]
+    fn index_matches_membership_scans_under_churn() {
+        for dims in [1usize, 2, 3] {
+            let mut net = CanNetwork::with_nodes(CanConfig::new(dims), 40, 21 + dims as u64);
+            let mut rng = stream(22, "canidx");
+            for step in 0..60 {
+                match step % 4 {
+                    0 => {
+                        net.join_random_point();
+                    }
+                    1 if net.node_count() > 2 => {
+                        let toks = net.tokens();
+                        net.leave(toks[rng.gen::<usize>() % toks.len()]);
+                    }
+                    2 if net.node_count() > 2 => {
+                        let toks = net.tokens();
+                        net.fail_node(toks[rng.gen::<usize>() % toks.len()]);
+                    }
+                    _ => net.stabilize_takeover(),
+                }
+                for &t in &net.tokens() {
+                    assert_eq!(
+                        net.neighbors_of(t),
+                        scan_neighbors(&net, t),
+                        "dims {dims} step {step} token {t}"
+                    );
+                }
+                for probe in 0..16u64 {
+                    let p = net.point_of(rng.gen::<u64>() ^ probe);
+                    assert_eq!(
+                        net.owner_of_point(&p),
+                        scan_owner_of_point(&net, &p),
+                        "dims {dims} step {step} point {p:?}"
+                    );
+                }
+            }
         }
     }
 

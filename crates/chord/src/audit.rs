@@ -25,7 +25,7 @@ impl StateAudit for ChordNetwork {
             // Ring pointers: repaired eagerly on every graceful join/leave.
             let pred = self.predecessor_of_point(id).expect("non-empty ring");
             report.check_eq(id, "chord/predecessor", &node.predecessor, &pred);
-            let mut expected = Vec::with_capacity(r);
+            let mut expected = crate::node::SuccessorList::new();
             let mut cursor = id;
             for _ in 0..r {
                 let s = self

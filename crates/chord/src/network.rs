@@ -167,7 +167,7 @@ impl ChordNetwork {
         }
         let node = self.members.get_mut(id).expect("refresh of dead node");
         node.predecessor = pred;
-        node.successors = succs;
+        node.successors = succs.into();
         node.fingers = fingers;
     }
 
@@ -190,7 +190,7 @@ impl ChordNetwork {
         }
         let node = self.members.get_mut(id).expect("refresh of dead node");
         node.predecessor = pred;
-        node.successors = succs;
+        node.successors = succs.into();
     }
 
     /// Full stabilization: every node refreshes its fingers and ring
@@ -408,6 +408,12 @@ impl SimOverlay for ChordNetwork {
         if self.is_live(node) {
             self.refresh_node(node);
         }
+    }
+
+    fn state_heap_bytes(&self, state: &ChordNode) -> usize {
+        // Successor list is inline; only the O(log n) finger table
+        // lives on the heap.
+        state.fingers.capacity() * std::mem::size_of::<u64>()
     }
 
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {

@@ -1,5 +1,13 @@
 //! Per-node Chord state.
 
+use dht_core::inline::InlineVec;
+
+/// Fixed-capacity successor list. The harness runs Chord with the
+/// Koorde-parity list length of 3; four inline slots keep the list
+/// inside the membership slab (the O(log n) finger table stays heap
+/// allocated).
+pub type SuccessorList = InlineVec<u64, 4>;
+
 /// Routing state of one Chord node.
 ///
 /// All pointers are node identifiers on the `2^bits` ring; they may be
@@ -12,7 +20,7 @@ pub struct ChordNode {
     pub predecessor: u64,
     /// Successor list: the `r` nodes immediately following this node,
     /// nearest first. `successors[0]` is *the* successor.
-    pub successors: Vec<u64>,
+    pub successors: SuccessorList,
     /// Finger table: `fingers[i]` is `successor(id + 2^i)`.
     pub fingers: Vec<u64>,
 }
@@ -25,7 +33,7 @@ impl ChordNode {
         Self {
             id,
             predecessor: id,
-            successors: vec![id; succ_list_len],
+            successors: SuccessorList::repeat(id, succ_list_len),
             fingers: vec![id; bits as usize],
         }
     }
@@ -70,7 +78,7 @@ mod tests {
     #[test]
     fn degree_counts_distinct_contacts() {
         let mut n = ChordNode::new(0, 4, 2);
-        n.successors = vec![3, 7];
+        n.successors = vec![3, 7].into();
         n.fingers = vec![3, 3, 7, 9];
         n.predecessor = 12;
         assert_eq!(n.degree(), 4); // {3, 7, 9, 12}

@@ -187,11 +187,12 @@ mod tests {
         let mut net = net(80);
         let id = net.ids().next().unwrap();
         // Pad with distinct contacts so the *deduplicated* degree exceeds
-        // the bound, not just the slot count.
-        for c in 0..9u64 {
-            let pad = CycloidId::new(4, c);
-            net.node_mut(id).unwrap().inside_right.push(pad);
-        }
+        // the bound, not just the slot count. Each fixed-width leaf slot
+        // holds at most 4 entries, so spread the pads across three slots.
+        let state = net.node_mut(id).unwrap();
+        state.inside_left = (0..4).map(|c| CycloidId::new(4, c)).collect();
+        state.inside_right = (4..8).map(|c| CycloidId::new(4, c)).collect();
+        state.outside_left = (8..12).map(|c| CycloidId::new(4, c)).collect();
         let report = net.audit(AuditScope::Online);
         assert!(
             report.violated_invariants().contains(&"cycloid/state-size"),

@@ -48,7 +48,10 @@ impl Dim {
 }
 
 /// A Cycloid identifier: `(cyclic, cubical)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Default` is `(0, 0)` — only used as the padding value inside
+/// fixed-capacity leaf-set slots, never observed as a live identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct CycloidId {
     /// Cyclic index `k ∈ [0, d)` — position on the local cycle.
     pub cyclic: u32,

@@ -313,6 +313,10 @@ impl SimOverlay for CycloidNetwork {
         }
     }
 
+    fn aux_bytes(&self) -> usize {
+        self.index_bytes()
+    }
+
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
     }

@@ -15,7 +15,7 @@ use dht_core::sim::Membership;
 use rand::RngCore;
 
 use crate::id::{CycloidId, Dim, KeyDistance};
-use crate::state::NodeState;
+use crate::state::{LeafSlot, NodeState};
 
 /// Configuration of a Cycloid deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +212,26 @@ impl CycloidNetwork {
         best.map(|(_, id)| id)
     }
 
+    /// Approximate heap bytes of the membership indexes (`cycles`,
+    /// `by_cyclic`) — the overlay-level structures outside the node
+    /// arena, reported through `SimOverlay::aux_bytes`.
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        use dht_core::store::approx_btree_bytes;
+        let cycles: usize = self
+            .cycles
+            .values()
+            .map(|s| approx_btree_bytes(s.len(), std::mem::size_of::<u32>()))
+            .sum::<usize>()
+            + approx_btree_bytes(self.cycles.len(), std::mem::size_of::<(u64, usize)>());
+        let by_cyclic: usize = self
+            .by_cyclic
+            .iter()
+            .map(|s| approx_btree_bytes(s.len(), std::mem::size_of::<u64>()))
+            .sum();
+        cycles + by_cyclic
+    }
+
     // ------------------------------------------------------------------
     // Membership indexes
     // ------------------------------------------------------------------
@@ -348,22 +368,22 @@ impl CycloidNetwork {
     /// (mod `d`), nearest first. A node alone on its cycle points at
     /// itself (§3.3.1 case 2).
     #[must_use]
-    pub fn resolve_inside_leafs(&self, id: CycloidId) -> (Vec<CycloidId>, Vec<CycloidId>) {
+    pub fn resolve_inside_leafs(&self, id: CycloidId) -> (LeafSlot, LeafSlot) {
         let members = self
             .cycles
             .get(&id.cubical)
             .expect("inside leafs of a node on an empty cycle");
         let r = self.leaf_radius;
         if members.len() <= 1 {
-            return (vec![id; r], vec![id; r]);
+            return (LeafSlot::repeat(id, r), LeafSlot::repeat(id, r));
         }
         let sorted: Vec<u32> = members.iter().copied().collect();
         let pos = sorted
             .binary_search(&id.cyclic)
             .expect("node missing from its own cycle");
         let n = sorted.len();
-        let mut left = Vec::with_capacity(r);
-        let mut right = Vec::with_capacity(r);
+        let mut left = LeafSlot::new();
+        let mut right = LeafSlot::new();
         for i in 1..=r {
             left.push(CycloidId::new(sorted[(pos + n - (i % n)) % n], id.cubical));
             right.push(CycloidId::new(sorted[(pos + i) % n], id.cubical));
@@ -376,10 +396,10 @@ impl CycloidNetwork {
     /// cycles (wrapping on the large ring), nearest first. When fewer
     /// other cycles exist, entries wrap onto the node's own primary.
     #[must_use]
-    pub fn resolve_outside_leafs(&self, id: CycloidId) -> (Vec<CycloidId>, Vec<CycloidId>) {
+    pub fn resolve_outside_leafs(&self, id: CycloidId) -> (LeafSlot, LeafSlot) {
         let r = self.leaf_radius;
-        let mut left = Vec::with_capacity(r);
-        let mut right = Vec::with_capacity(r);
+        let mut left = LeafSlot::new();
+        let mut right = LeafSlot::new();
         let mut c = id.cubical;
         for _ in 0..r {
             c = self.prev_nonempty_cycle(c).unwrap_or(id.cubical);
@@ -516,12 +536,7 @@ impl CycloidNetwork {
         &self,
         z: CycloidId,
         x: CycloidId,
-    ) -> (
-        Vec<CycloidId>,
-        Vec<CycloidId>,
-        Vec<CycloidId>,
-        Vec<CycloidId>,
-    ) {
+    ) -> (LeafSlot, LeafSlot, LeafSlot, LeafSlot) {
         let r = self.leaf_radius;
         let z_state = self.node(z).expect("Z is live").clone();
         if z.cubical == x.cubical {
@@ -542,22 +557,17 @@ impl CycloidNetwork {
                 .binary_search(&x.cyclic)
                 .expect("x was added to the set");
             let n = members.len();
-            let mut left = Vec::with_capacity(r);
-            let mut right = Vec::with_capacity(r);
+            let mut left = LeafSlot::new();
+            let mut right = LeafSlot::new();
             for i in 1..=r {
                 left.push(CycloidId::new(members[(pos + n - (i % n)) % n], x.cubical));
                 right.push(CycloidId::new(members[(pos + i) % n], x.cubical));
             }
-            (
-                left,
-                right,
-                z_state.outside_left.clone(),
-                z_state.outside_right.clone(),
-            )
+            (left, right, z_state.outside_left, z_state.outside_right)
         } else {
             // Case 2: X is alone on its cycle; Z sits on an adjacent one.
             // "Two nodes in X's inside leaf set are X itself."
-            let inside = vec![x; r];
+            let inside = LeafSlot::repeat(x, r);
             // Locally known non-empty cycles and their primaries: Z's own
             // cycle (Z reports its primary) plus Z's outside entries.
             let mut known: BTreeMap<u64, CycloidId> = BTreeMap::new();
@@ -570,8 +580,8 @@ impl CycloidNetwork {
             }
             known.remove(&x.cubical);
             let cubicals: Vec<u64> = known.keys().copied().collect();
-            let pick = |dir_left: bool| -> Vec<CycloidId> {
-                let mut out = Vec::with_capacity(r);
+            let pick = |dir_left: bool| -> LeafSlot {
+                let mut out = LeafSlot::new();
                 let mut cursor = x.cubical;
                 for _ in 0..r {
                     let next = if dir_left {
@@ -599,7 +609,7 @@ impl CycloidNetwork {
                 }
                 out
             };
-            (inside.clone(), inside, pick(true), pick(false))
+            (inside, inside, pick(true), pick(false))
         }
     }
 

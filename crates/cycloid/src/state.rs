@@ -14,7 +14,16 @@
 //! The 11-entry variant (§3.2, §4) widens each leaf set to two predecessors
 //! and two successors.
 
+use dht_core::inline::InlineVec;
+
 use crate::id::CycloidId;
+
+/// Fixed-capacity slot for one side of a leaf set. The paper's leaf
+/// radius is 1 (7-entry state) or 2 (11-entry state); the substrate
+/// accepts radii up to 4, so four inline entries always suffice — the
+/// whole routing state stays inside the membership slab with no
+/// per-node heap allocations.
+pub type LeafSlot = InlineVec<CycloidId, 4>;
 
 /// Routing state of one Cycloid node.
 ///
@@ -37,16 +46,16 @@ pub struct NodeState {
     /// Inside leaf set, predecessor side: nearest live local-cycle
     /// predecessors, nearest first. Points at self when the node is alone
     /// on its cycle.
-    pub inside_left: Vec<CycloidId>,
+    pub inside_left: LeafSlot,
     /// Inside leaf set, successor side: nearest live local-cycle
     /// successors, nearest first.
-    pub inside_right: Vec<CycloidId>,
+    pub inside_right: LeafSlot,
     /// Outside leaf set, preceding side: primaries of the nearest preceding
     /// non-empty remote cycles, nearest first.
-    pub outside_left: Vec<CycloidId>,
+    pub outside_left: LeafSlot,
     /// Outside leaf set, succeeding side: primaries of the nearest
     /// succeeding non-empty remote cycles, nearest first.
-    pub outside_right: Vec<CycloidId>,
+    pub outside_right: LeafSlot,
 }
 
 impl NodeState {
@@ -58,10 +67,10 @@ impl NodeState {
             cubical_neighbor: None,
             cyclic_larger: None,
             cyclic_smaller: None,
-            inside_left: Vec::new(),
-            inside_right: Vec::new(),
-            outside_left: Vec::new(),
-            outside_right: Vec::new(),
+            inside_left: LeafSlot::new(),
+            inside_right: LeafSlot::new(),
+            outside_left: LeafSlot::new(),
+            outside_right: LeafSlot::new(),
         }
     }
 
@@ -126,10 +135,10 @@ mod tests {
         let mut s = NodeState::new(me);
         s.cubical_neighbor = Some(other);
         s.cyclic_larger = Some(other);
-        s.inside_left = vec![me]; // alone on cycle: points at self
-        s.inside_right = vec![me];
-        s.outside_left = vec![id(0, 4)];
-        s.outside_right = vec![id(0, 6)];
+        s.inside_left = vec![me].into(); // alone on cycle: points at self
+        s.inside_right = vec![me].into();
+        s.outside_left = vec![id(0, 4)].into();
+        s.outside_right = vec![id(0, 6)].into();
         let contacts = s.known_contacts();
         assert!(!contacts.contains(&me), "self must be excluded");
         assert_eq!(contacts.len(), 3, "duplicates must collapse: {contacts:?}");
@@ -143,10 +152,10 @@ mod tests {
         s.cubical_neighbor = Some(id(2, 1));
         s.cyclic_larger = Some(id(2, 9));
         s.cyclic_smaller = Some(id(2, 8));
-        s.inside_left = vec![id(1, 9)];
-        s.inside_right = vec![id(4, 9)];
-        s.outside_left = vec![id(7, 8)];
-        s.outside_right = vec![id(7, 10)];
+        s.inside_left = vec![id(1, 9)].into();
+        s.inside_right = vec![id(4, 9)].into();
+        s.outside_left = vec![id(7, 8)].into();
+        s.outside_right = vec![id(7, 10)].into();
         assert!(s.degree() <= 7);
         assert_eq!(s.degree(), 7);
     }

@@ -25,8 +25,12 @@
 //!   tracing ([`obs::TraceSink`], [`obs::SinkHandle`]), the metrics
 //!   registry behind the `BENCH_*.json` export, and a leveled progress
 //!   logger,
+//! * [`inline`] — fixed-capacity inline vectors ([`inline::InlineVec`])
+//!   keeping constant-degree routing tables inside the state slab,
 //! * [`overlay`] — the [`overlay::Overlay`] trait: the uniform simulation
 //!   interface (join / graceful leave / lookup / stabilize / query loads),
+//! * [`store`] — the compact struct-of-arrays node store
+//!   ([`store::CompactStore`]) backing million-node memberships,
 //! * [`ring`] — modular-ring interval and distance arithmetic shared by the
 //!   ring-based overlays,
 //! * [`sim`] — the shared simulation substrate: the [`sim::Membership`]
@@ -42,6 +46,7 @@
 pub mod audit;
 pub mod clock;
 pub mod hash;
+pub mod inline;
 pub mod lookup;
 pub mod net;
 pub mod obs;
@@ -50,10 +55,12 @@ pub mod ring;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod store;
 pub mod workload;
 
 pub use audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
 pub use clock::{exp_delay, EventQueue, SimTime, SECOND};
+pub use inline::InlineVec;
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
 pub use net::{DelayModel, FaultPlan, NetConditions, NetCosts, RetryPolicy};
 pub use obs::{
@@ -62,7 +69,8 @@ pub use obs::{
 };
 pub use overlay::{NodeToken, Overlay};
 pub use sim::{
-    CursorStep, LookupCursor, Membership, QueryLoads, SimOverlay, StepDecision, WalkCursor,
-    WalkEffects,
+    default_store_kind, set_default_store_kind, CursorStep, LookupCursor, Membership, QueryLoads,
+    SimOverlay, StepDecision, StoreKind, WalkCursor, WalkEffects,
 };
 pub use stats::Summary;
+pub use store::CompactStore;

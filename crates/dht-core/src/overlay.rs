@@ -131,6 +131,28 @@ pub trait Overlay {
     /// Zeroes all query-load counters.
     fn reset_query_loads(&mut self);
 
+    /// Total heap bytes of routing/membership state this overlay holds:
+    /// the node store plus per-state heap payloads plus auxiliary
+    /// indexes. The default reports 0 for overlays that do not track
+    /// memory; the substrate's blanket impl computes it from the
+    /// [`crate::sim::Membership`] store and the
+    /// `SimOverlay::state_heap_bytes` / `SimOverlay::aux_bytes` hooks.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Average routing/membership bytes per live node — the scale
+    /// sweep's memory-compactness measure. Zero when empty or when the
+    /// overlay does not track memory.
+    fn bytes_per_node(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.state_bytes() as f64 / n as f64
+        }
+    }
+
     /// The network conditions (fault plan + retry policy) lookups run
     /// under. The default is an ideal network; overlays on the shared
     /// substrate store these in their [`crate::sim::Membership`].
@@ -268,6 +290,14 @@ impl Overlay for Box<dyn Overlay> {
 
     fn reset_query_loads(&mut self) {
         (**self).reset_query_loads();
+    }
+
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
+    }
+
+    fn bytes_per_node(&self) -> f64 {
+        (**self).bytes_per_node()
     }
 
     fn net_conditions(&self) -> NetConditions {

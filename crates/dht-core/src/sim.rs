@@ -66,6 +66,7 @@
 //! termination test before the hop budget.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::collections::HashSet;
 
@@ -77,6 +78,7 @@ use crate::lookup::{HopPhase, LookupOutcome, LookupTrace};
 use crate::net::{NetConditions, NetCosts};
 use crate::obs::{Event, SinkHandle, TimeoutKind};
 use crate::overlay::{NodeToken, Overlay};
+use crate::store::{approx_btree_bytes, CompactStore};
 
 /// Per-node lookup-message counters (the paper's §4.2 congestion
 /// measure), tracked for exactly the current live membership.
@@ -166,60 +168,178 @@ impl QueryLoads {
 /// of insertion history.
 #[derive(Debug, Clone)]
 pub struct Membership<S> {
-    nodes: BTreeMap<NodeToken, S>,
-    /// Dense sorted mirror of the live tokens, kept in lockstep with
-    /// `nodes` so indexed draws ([`Membership::token_at`]) are O(1)
-    /// instead of an O(n) iterator scan.
-    order: Vec<NodeToken>,
-    loads: QueryLoads,
+    store: Store<S>,
     alloc: IdAllocator,
     net: NetConditions,
     sink: SinkHandle,
 }
 
+/// Selects the backing representation of a [`Membership`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// The original `BTreeMap` + dense-sorted-mirror backend, retained
+    /// as the reference implementation for the old-vs-new equivalence
+    /// suite (`tests/compact_membership.rs`). O(n) memmove per
+    /// join/leave — do not use at million-node scale.
+    Legacy,
+    /// The chunked struct-of-arrays backend
+    /// ([`crate::store::CompactStore`]): amortized O(1) join/leave,
+    /// dense state slab, O(1) token → state lookups. The default.
+    Compact,
+}
+
+thread_local! {
+    static DEFAULT_STORE_KIND: Cell<StoreKind> = const { Cell::new(StoreKind::Compact) };
+}
+
+/// The [`StoreKind`] that [`Membership::new`] uses on this thread.
+#[must_use]
+pub fn default_store_kind() -> StoreKind {
+    DEFAULT_STORE_KIND.with(Cell::get)
+}
+
+/// Overrides the backend used by subsequently constructed
+/// [`Membership`]s on this thread. This exists so equivalence tests can
+/// build entire overlays on the legacy backend without threading a
+/// store parameter through every overlay constructor; production code
+/// should leave the default ([`StoreKind::Compact`]) alone.
+pub fn set_default_store_kind(kind: StoreKind) {
+    DEFAULT_STORE_KIND.with(|c| c.set(kind));
+}
+
+/// The two interchangeable node-store backends. Every public
+/// [`Membership`] operation dispatches here; both arms implement
+/// identical observable semantics (iteration order, range behavior,
+/// duplicate-insert panics), which the equivalence suite pins.
+#[derive(Debug, Clone)]
+enum Store<S> {
+    Legacy {
+        nodes: BTreeMap<NodeToken, S>,
+        /// Dense sorted mirror of the live tokens so indexed draws
+        /// ([`Membership::token_at`]) avoid an O(n) iterator scan.
+        order: Vec<NodeToken>,
+        loads: QueryLoads,
+    },
+    Compact(CompactStore<S>),
+}
+
+/// Zero-cost iterator dispatch between the two store backends.
+enum EitherIter<A, B> {
+    A(A),
+    B(B),
+}
+
+impl<T, A: Iterator<Item = T>, B: Iterator<Item = T>> Iterator for EitherIter<A, B> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match self {
+            EitherIter::A(a) => a.next(),
+            EitherIter::B(b) => b.next(),
+        }
+    }
+}
+
 impl<S> Membership<S> {
     /// Empty membership whose identifier allocator is seeded with
     /// `seed`. Network conditions start ideal (no message faults) and
-    /// tracing starts disabled.
+    /// tracing starts disabled. The node store uses this thread's
+    /// [`default_store_kind`] (compact unless a test overrode it).
     #[must_use]
     pub fn new(seed: u64) -> Self {
+        Self::with_store_kind(seed, default_store_kind())
+    }
+
+    /// Empty membership on an explicitly chosen store backend.
+    #[must_use]
+    pub fn with_store_kind(seed: u64, kind: StoreKind) -> Self {
+        let store = match kind {
+            StoreKind::Legacy => Store::Legacy {
+                nodes: BTreeMap::new(),
+                order: Vec::new(),
+                loads: QueryLoads::new(),
+            },
+            StoreKind::Compact => Store::Compact(CompactStore::new()),
+        };
         Self {
-            nodes: BTreeMap::new(),
-            order: Vec::new(),
-            loads: QueryLoads::new(),
+            store,
             alloc: IdAllocator::new(seed),
             net: NetConditions::ideal(),
             sink: SinkHandle::disabled(),
         }
     }
 
+    /// Which backend this arena runs on.
+    #[must_use]
+    pub fn store_kind(&self) -> StoreKind {
+        match &self.store {
+            Store::Legacy { .. } => StoreKind::Legacy,
+            Store::Compact(_) => StoreKind::Compact,
+        }
+    }
+
+    /// Heap bytes held by the node store itself (token order, state
+    /// slab, query-load counters, token index) — exact capacities for
+    /// the compact backend, a documented estimate for the legacy
+    /// B-tree. Per-state heap payloads (e.g. a finger table's `Vec`)
+    /// are reported separately via `SimOverlay::state_heap_bytes`.
+    #[must_use]
+    pub fn store_bytes(&self) -> usize {
+        match &self.store {
+            Store::Legacy {
+                nodes,
+                order,
+                loads,
+            } => {
+                approx_btree_bytes(nodes.len(), std::mem::size_of::<(NodeToken, S)>())
+                    + order.capacity() * std::mem::size_of::<NodeToken>()
+                    + approx_btree_bytes(loads.len(), std::mem::size_of::<(NodeToken, u64)>())
+            }
+            Store::Compact(c) => c.heap_bytes(),
+        }
+    }
+
     /// Number of live nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.len(),
+            Store::Compact(c) => c.len(),
+        }
     }
 
     /// `true` iff no node is live.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.is_empty(),
+            Store::Compact(c) => c.is_empty(),
+        }
     }
 
     /// `true` iff `node` is live.
     #[must_use]
     pub fn contains(&self, node: NodeToken) -> bool {
-        self.nodes.contains_key(&node)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.contains_key(&node),
+            Store::Compact(c) => c.contains(node),
+        }
     }
 
     /// State of a live node.
     #[must_use]
     pub fn get(&self, node: NodeToken) -> Option<&S> {
-        self.nodes.get(&node)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.get(&node),
+            Store::Compact(c) => c.get(node),
+        }
     }
 
     /// Mutable state of a live node.
     pub fn get_mut(&mut self, node: NodeToken) -> Option<&mut S> {
-        self.nodes.get_mut(&node)
+        match &mut self.store {
+            Store::Legacy { nodes, .. } => nodes.get_mut(&node),
+            Store::Compact(c) => c.get_mut(node),
+        }
     }
 
     /// Inserts a new node and starts its query-load counter at zero.
@@ -228,68 +348,106 @@ impl<S> Membership<S> {
     /// Panics if `node` is already live: token collisions are a caller
     /// bug (joins must re-draw identifiers instead).
     pub fn insert(&mut self, node: NodeToken, state: S) {
-        let prev = self.nodes.insert(node, state);
-        assert!(prev.is_none(), "node token {node} already occupied");
-        let i = self
-            .order
-            .binary_search(&node)
-            .expect_err("order mirror out of sync");
-        self.order.insert(i, node);
-        self.loads.track(node);
+        match &mut self.store {
+            Store::Legacy {
+                nodes,
+                order,
+                loads,
+            } => {
+                let prev = nodes.insert(node, state);
+                assert!(prev.is_none(), "node token {node} already occupied");
+                let i = order
+                    .binary_search(&node)
+                    .expect_err("order mirror out of sync");
+                order.insert(i, node);
+                loads.track(node);
+            }
+            Store::Compact(c) => c.insert(node, state),
+        }
     }
 
     /// Removes a node, dropping its query-load counter. Returns the
     /// state if the node was live.
     pub fn remove(&mut self, node: NodeToken) -> Option<S> {
-        let state = self.nodes.remove(&node);
-        if state.is_some() {
-            let i = self
-                .order
-                .binary_search(&node)
-                .expect("order mirror out of sync");
-            self.order.remove(i);
-            self.loads.untrack(node);
+        match &mut self.store {
+            Store::Legacy {
+                nodes,
+                order,
+                loads,
+            } => {
+                let state = nodes.remove(&node);
+                if state.is_some() {
+                    let i = order
+                        .binary_search(&node)
+                        .expect("order mirror out of sync");
+                    order.remove(i);
+                    loads.untrack(node);
+                }
+                state
+            }
+            Store::Compact(c) => c.remove(node),
         }
-        state
     }
 
     /// Live tokens in ascending order.
     #[must_use]
     pub fn tokens(&self) -> Vec<NodeToken> {
-        self.order.clone()
+        match &self.store {
+            Store::Legacy { order, .. } => order.clone(),
+            Store::Compact(c) => c.tokens(),
+        }
     }
 
-    /// The `i`-th smallest live token, in O(1) — the indexed draw
-    /// behind [`crate::overlay::Overlay::random_node`].
+    /// The `i`-th smallest live token — the indexed draw behind
+    /// [`crate::overlay::Overlay::random_node`]. O(1) on the legacy
+    /// mirror, O(#chunks) ≈ O(n/1024) on the compact store.
     #[must_use]
     pub fn token_at(&self, i: usize) -> Option<NodeToken> {
-        self.order.get(i).copied()
+        match &self.store {
+            Store::Legacy { order, .. } => order.get(i).copied(),
+            Store::Compact(c) => c.token_at(i),
+        }
     }
 
     /// Iterates live tokens in ascending order without allocating.
     pub fn token_iter(&self) -> impl Iterator<Item = NodeToken> + '_ {
-        self.nodes.keys().copied()
+        match &self.store {
+            Store::Legacy { nodes, .. } => EitherIter::A(nodes.keys().copied()),
+            Store::Compact(c) => EitherIter::B(c.token_iter()),
+        }
     }
 
     /// Smallest live token.
     #[must_use]
     pub fn first_token(&self) -> Option<NodeToken> {
-        self.nodes.keys().next().copied()
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.keys().next().copied(),
+            Store::Compact(c) => c.first_token(),
+        }
     }
 
     /// Iterates `(token, state)` pairs in ascending token order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeToken, &S)> {
-        self.nodes.iter().map(|(&t, s)| (t, s))
+        match &self.store {
+            Store::Legacy { nodes, .. } => EitherIter::A(nodes.iter().map(|(&t, s)| (t, s))),
+            Store::Compact(c) => EitherIter::B(c.iter()),
+        }
     }
 
     /// Iterates node states in ascending token order.
     pub fn states(&self) -> impl Iterator<Item = &S> {
-        self.nodes.values()
+        match &self.store {
+            Store::Legacy { nodes, .. } => EitherIter::A(nodes.values()),
+            Store::Compact(c) => EitherIter::B(c.states()),
+        }
     }
 
     /// Mutably iterates node states in ascending token order.
     pub fn states_mut(&mut self) -> impl Iterator<Item = &mut S> {
-        self.nodes.values_mut()
+        match &mut self.store {
+            Store::Legacy { nodes, .. } => EitherIter::A(nodes.values_mut()),
+            Store::Compact(c) => EitherIter::B(c.states_mut()),
+        }
     }
 
     /// Draws a fresh raw identifier from the allocator.
@@ -309,11 +467,14 @@ impl<S> Membership<S> {
     /// First live token `>= point`, wrapping to the smallest.
     #[must_use]
     pub fn successor_of(&self, point: u64) -> Option<NodeToken> {
-        self.nodes
-            .range(point..)
-            .next()
-            .or_else(|| self.nodes.iter().next())
-            .map(|(&t, _)| t)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes
+                .range(point..)
+                .next()
+                .or_else(|| nodes.iter().next())
+                .map(|(&t, _)| t),
+            Store::Compact(c) => c.successor_of(point),
+        }
     }
 
     /// First live token `> point`, wrapping to the smallest.
@@ -328,33 +489,45 @@ impl<S> Membership<S> {
     /// Last live token `< point`, wrapping to the largest.
     #[must_use]
     pub fn predecessor_of(&self, point: u64) -> Option<NodeToken> {
-        self.nodes
-            .range(..point)
-            .next_back()
-            .or_else(|| self.nodes.iter().next_back())
-            .map(|(&t, _)| t)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes
+                .range(..point)
+                .next_back()
+                .or_else(|| nodes.iter().next_back())
+                .map(|(&t, _)| t),
+            Store::Compact(c) => c.predecessor_of(point),
+        }
     }
 
     /// Last live token `<= point`, wrapping to the largest.
     #[must_use]
     pub fn at_or_before(&self, point: u64) -> Option<NodeToken> {
-        self.nodes
-            .range(..=point)
-            .next_back()
-            .or_else(|| self.nodes.iter().next_back())
-            .map(|(&t, _)| t)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes
+                .range(..=point)
+                .next_back()
+                .or_else(|| nodes.iter().next_back())
+                .map(|(&t, _)| t),
+            Store::Compact(c) => c.at_or_before(point),
+        }
     }
 
     /// Smallest live token in `[lo, hi]` (no wrapping).
     #[must_use]
     pub fn first_in_range(&self, lo: u64, hi: u64) -> Option<NodeToken> {
-        self.nodes.range(lo..=hi).next().map(|(&t, _)| t)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.range(lo..=hi).next().map(|(&t, _)| t),
+            Store::Compact(c) => c.first_in_range(lo, hi),
+        }
     }
 
     /// Largest live token in `[lo, hi]` (no wrapping).
     #[must_use]
     pub fn last_in_range(&self, lo: u64, hi: u64) -> Option<NodeToken> {
-        self.nodes.range(lo..=hi).next_back().map(|(&t, _)| t)
+        match &self.store {
+            Store::Legacy { nodes, .. } => nodes.range(lo..=hi).next_back().map(|(&t, _)| t),
+            Store::Compact(c) => c.last_in_range(lo, hi),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -363,31 +536,52 @@ impl<S> Membership<S> {
 
     /// Increments the query-load counter of `node` (no-op if departed).
     pub fn count_query(&mut self, node: NodeToken) {
-        self.loads.count(node);
+        self.add_queries(node, 1);
     }
 
     /// Adds `k` queries to `node`'s counter (no-op if departed) —
     /// the batched form used when merging per-shard load tables.
     pub fn add_queries(&mut self, node: NodeToken, k: u64) {
-        self.loads.add(node, k);
+        match &mut self.store {
+            Store::Legacy { loads, .. } => loads.add(node, k),
+            Store::Compact(c) => c.add_load(node, k),
+        }
     }
 
     /// Per-node query loads in ascending token order; one entry per
     /// live node.
     #[must_use]
     pub fn query_loads(&self) -> Vec<u64> {
-        self.loads.as_vec()
+        match &self.store {
+            Store::Legacy { loads, .. } => loads.as_vec(),
+            Store::Compact(c) => c.loads_vec(),
+        }
     }
 
     /// Zeroes all query-load counters.
     pub fn reset_query_loads(&mut self) {
-        self.loads.reset();
+        match &mut self.store {
+            Store::Legacy { loads, .. } => loads.reset(),
+            Store::Compact(c) => c.reset_loads(),
+        }
     }
 
-    /// Read access to the counters.
+    /// Current query-load counter of `node` (zero if departed).
     #[must_use]
-    pub fn loads(&self) -> &QueryLoads {
-        &self.loads
+    pub fn load_of(&self, node: NodeToken) -> u64 {
+        match &self.store {
+            Store::Legacy { loads, .. } => loads.get(node),
+            Store::Compact(c) => c.load_of(node),
+        }
+    }
+
+    /// Sum of all query-load counters.
+    #[must_use]
+    pub fn loads_total(&self) -> u64 {
+        match &self.store {
+            Store::Legacy { loads, .. } => loads.total(),
+            Store::Compact(c) => c.loads_total(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -607,6 +801,22 @@ pub trait SimOverlay: Sync + 'static {
     /// [`Overlay`] impl forwards [`Overlay::audit_state`] here.
     fn audit_network(&self, scope: AuditScope) -> AuditReport {
         AuditReport::new(self.label(), scope)
+    }
+
+    /// Heap bytes owned by one node's routing state beyond
+    /// `size_of::<Self::State>()` — e.g. a Chord finger table's `Vec`
+    /// buffer. States whose links are stored inline
+    /// ([`crate::inline::InlineVec`]) report 0, the default.
+    fn state_heap_bytes(&self, state: &Self::State) -> usize {
+        let _ = state;
+        0
+    }
+
+    /// Heap bytes of overlay-level auxiliary indexes outside the
+    /// [`Membership`] arena (e.g. Cycloid's per-cycle member sets).
+    /// Default: none.
+    fn aux_bytes(&self) -> usize {
+        0
     }
 }
 
@@ -1380,6 +1590,12 @@ impl<T: SimOverlay> Overlay for T {
         self.membership_mut().reset_query_loads();
     }
 
+    fn state_bytes(&self) -> usize {
+        let m = self.membership();
+        let heap: usize = m.states().map(|s| self.state_heap_bytes(s)).sum();
+        m.store_bytes() + heap + self.aux_bytes()
+    }
+
     fn net_conditions(&self) -> NetConditions {
         *self.membership().net_conditions()
     }
@@ -1518,9 +1734,9 @@ mod tests {
         assert!(m.remove(5).is_some());
         assert_eq!(m.query_loads(), vec![0, 0], "counter departs with node");
         m.insert(5, ());
-        assert_eq!(m.loads().get(5), 0, "rejoin starts at zero");
+        assert_eq!(m.load_of(5), 0, "rejoin starts at zero");
         m.reset_query_loads();
-        assert_eq!(m.loads().total(), 0);
+        assert_eq!(m.loads_total(), 0);
     }
 
     #[test]
@@ -1566,7 +1782,7 @@ mod tests {
         let state = net.begin_walk(0, 40);
         let t = walk_from(&mut net, 0, state, false);
         assert_eq!(t.outcome, LookupOutcome::Found);
-        assert_eq!(net.members.loads().total(), 0);
+        assert_eq!(net.members.loads_total(), 0);
     }
 
     #[test]

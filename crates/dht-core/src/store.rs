@@ -1,0 +1,769 @@
+//! Compact struct-of-arrays node store backing [`crate::sim::Membership`].
+//!
+//! The original arena kept per-node state in a `BTreeMap<NodeToken, S>`
+//! plus a dense sorted `Vec<NodeToken>` mirror. That pairing is fine at
+//! the paper's d·2^d ≈ 90k scale but caps million-node runs twice over:
+//! the B-tree scatters small state structs across pointer-chased tree
+//! nodes, and the dense mirror pays an O(n) `memmove` per join/leave.
+//!
+//! [`CompactStore`] replaces both with three coupled structures:
+//!
+//! ```text
+//!  chunks:  [ tokens ≤1024 | slots ]  [ tokens | slots ]  ...   sorted
+//!              │ binary search over chunk `last()`s, then in-chunk
+//!              ▼
+//!  slab:    states[slot]   tokens_by_slot[slot]   loads[slot]
+//!              ▲ unordered, swap-remove compacted, never shifts
+//!              │
+//!  index:   open-addressed token → slot hash table (linear probing,
+//!           backward-shift deletion)
+//! ```
+//!
+//! * **Chunked sorted tokens** — the token order lives in bounded chunks
+//!   (≤ [`CHUNK_CAP`] entries), so a join/leave shifts at most one chunk:
+//!   amortized O(1) with a ~8 KiB worst-case `memmove` instead of the
+//!   old O(n) one. Ordered ring searches binary-search the chunk spine
+//!   and then the chunk, preserving the exact BTreeMap range semantics.
+//! * **State slab** — states are dense `Vec<S>` entries addressed by
+//!   `slot`; removal swap-removes and patches the two references (hash
+//!   index + chunk) to the moved entry. Iteration in token order walks
+//!   the chunks and indexes the slab.
+//! * **Hash index** — token → slot lookups are O(1) without touching the
+//!   ordered structure; this is the `contains`/`get` hot path.
+//!
+//! Query-load counters (the paper's §4.2 congestion measure) are a
+//! fourth parallel slab column — `loads[slot]` — so load accounting is
+//! an indexed add, and departures drop the counter with the slot: a
+//! departed node can never resurrect a "ghost" counter because its slot
+//! is gone.
+//!
+//! Every operation reproduces the observable behavior of the BTreeMap
+//! backend exactly (same iteration order, same range semantics, same
+//! duplicate-insert panic), which is what keeps the golden traces
+//! byte-identical; `tests/compact_membership.rs` pins this equivalence
+//! property end-to-end.
+
+use crate::hash::splitmix64;
+use crate::overlay::NodeToken;
+
+/// Maximum tokens per chunk before it splits in half.
+///
+/// 1024 × 8-byte tokens + 1024 × 4-byte slots ≈ 12 KiB per chunk: large
+/// enough that the spine stays short (1M nodes ≈ 1–2k chunks), small
+/// enough that the per-insert `memmove` is bounded and cache-resident.
+pub const CHUNK_CAP: usize = 1024;
+
+/// Sentinel marking a vacant hash-table entry.
+const EMPTY: u32 = u32::MAX;
+
+/// Rough per-entry heap cost of a `BTreeMap`/`BTreeSet` with entries of
+/// `entry_bytes` bytes: payload plus amortized node headers and slack
+/// from B-tree fill factor. Used by overlays to report auxiliary-index
+/// memory in [`crate::overlay::Overlay::state_bytes`]; an estimate, not
+/// an allocator measurement.
+#[must_use]
+pub fn approx_btree_bytes(len: usize, entry_bytes: usize) -> usize {
+    // B-tree nodes hold up to 11 entries and average ~75% fill; the
+    // node header plus parent pointers amortize to roughly 16 bytes per
+    // entry on top of the (padded) payload.
+    len * (entry_bytes + 16)
+}
+
+/// One bounded run of the sorted token order.
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Sorted live tokens in this chunk (non-empty by invariant).
+    tokens: Vec<u64>,
+    /// Slab slot of the matching token (`slots[i]` ↔ `tokens[i]`).
+    slots: Vec<u32>,
+}
+
+impl Chunk {
+    fn last(&self) -> u64 {
+        *self.tokens.last().expect("chunk is never empty")
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tokens.capacity() * std::mem::size_of::<u64>()
+            + self.slots.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Open-addressed token → slot map (linear probing, power-of-two
+/// capacity, backward-shift deletion so no tombstones accumulate).
+#[derive(Debug, Clone, Default)]
+struct TokenIndex {
+    /// `(token, slot)`; `slot == EMPTY` marks a vacant entry.
+    entries: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl TokenIndex {
+    fn probe_start(&self, token: u64) -> usize {
+        (splitmix64(token) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Index of `token`'s entry, if present.
+    fn find(&self, token: u64) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = self.probe_start(token);
+        loop {
+            let (t, s) = self.entries[i];
+            if s == EMPTY {
+                return None;
+            }
+            if t == token {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, token: u64) -> Option<u32> {
+        self.find(token).map(|i| self.entries[i].1)
+    }
+
+    /// Inserts a new token. Caller guarantees it is absent.
+    fn insert(&mut self, token: u64, slot: u32) {
+        if (self.len + 1) * 4 > self.entries.len() * 3 {
+            self.grow();
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = self.probe_start(token);
+        while self.entries[i].1 != EMPTY {
+            debug_assert_ne!(self.entries[i].0, token, "token already indexed");
+            i = (i + 1) & mask;
+        }
+        self.entries[i] = (token, slot);
+        self.len += 1;
+    }
+
+    /// Redirects an existing token to a new slot (after a swap-remove
+    /// moved its state).
+    fn set_slot(&mut self, token: u64, slot: u32) {
+        let i = self.find(token).expect("token must be indexed");
+        self.entries[i].1 = slot;
+    }
+
+    /// Removes a token, returning its slot. Backward-shift deletion
+    /// keeps probe sequences intact without tombstones.
+    fn remove(&mut self, token: u64) -> Option<u32> {
+        let mut hole = self.find(token)?;
+        let slot = self.entries[hole].1;
+        let mask = self.entries.len() - 1;
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            let (t, s) = self.entries[j];
+            if s == EMPTY {
+                break;
+            }
+            let ideal = (splitmix64(t) as usize) & mask;
+            // The entry at `j` may slide into the hole only if its ideal
+            // position is not cyclically inside (hole, j] — otherwise the
+            // move would break its own probe chain.
+            let blocked = if hole < j {
+                ideal > hole && ideal <= j
+            } else {
+                ideal > hole || ideal <= j
+            };
+            if !blocked {
+                self.entries[hole] = self.entries[j];
+                hole = j;
+            }
+        }
+        self.entries[hole] = (0, EMPTY);
+        self.len -= 1;
+        Some(slot)
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.entries.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.entries, vec![(0, EMPTY); cap]);
+        let mask = cap - 1;
+        for (t, s) in old {
+            if s != EMPTY {
+                let mut i = (splitmix64(t) as usize) & mask;
+                while self.entries[i].1 != EMPTY {
+                    i = (i + 1) & mask;
+                }
+                self.entries[i] = (t, s);
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+/// Compact struct-of-arrays node store: chunked sorted token order, a
+/// swap-remove state slab, per-slot query-load counters, and a hash
+/// index from token to slot. See the module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct CompactStore<S> {
+    chunks: Vec<Chunk>,
+    states: Vec<S>,
+    /// Token owning each slab slot (`tokens_by_slot[slot]`).
+    tokens_by_slot: Vec<u64>,
+    /// Query-load counter per slab slot.
+    loads: Vec<u64>,
+    index: TokenIndex,
+}
+
+impl<S> Default for CompactStore<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> CompactStore<S> {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            chunks: Vec::new(),
+            states: Vec::new(),
+            tokens_by_slot: Vec::new(),
+            loads: Vec::new(),
+            index: TokenIndex::default(),
+        }
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` iff no node is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// `true` iff `token` is live.
+    #[must_use]
+    pub fn contains(&self, token: NodeToken) -> bool {
+        self.index.get(token).is_some()
+    }
+
+    /// State of a live node.
+    #[must_use]
+    pub fn get(&self, token: NodeToken) -> Option<&S> {
+        self.index
+            .get(token)
+            .map(|slot| &self.states[slot as usize])
+    }
+
+    /// Mutable state of a live node.
+    pub fn get_mut(&mut self, token: NodeToken) -> Option<&mut S> {
+        self.index
+            .get(token)
+            .map(|slot| &mut self.states[slot as usize])
+    }
+
+    /// Position of the chunk whose range should hold `token`: the first
+    /// chunk whose last element is `>= token`, or the final chunk when
+    /// `token` is beyond every chunk.
+    fn chunk_for(&self, token: u64) -> usize {
+        let p = self.chunks.partition_point(|c| c.last() < token);
+        p.min(self.chunks.len().saturating_sub(1))
+    }
+
+    /// Inserts a new node with a zeroed query-load counter.
+    ///
+    /// # Panics
+    /// Panics if `token` is already live (same contract as the BTreeMap
+    /// backend: joins must re-draw identifiers on collision).
+    pub fn insert(&mut self, token: NodeToken, state: S) {
+        assert!(
+            self.index.get(token).is_none(),
+            "node token {token} already occupied"
+        );
+        let slot = u32::try_from(self.states.len()).expect("slab exceeds u32 slots");
+        self.states.push(state);
+        self.tokens_by_slot.push(token);
+        self.loads.push(0);
+        self.index.insert(token, slot);
+
+        if self.chunks.is_empty() {
+            self.chunks.push(Chunk {
+                tokens: vec![token],
+                slots: vec![slot],
+            });
+            return;
+        }
+        let ci = self.chunk_for(token);
+        let chunk = &mut self.chunks[ci];
+        let pos = chunk.tokens.partition_point(|&t| t < token);
+        chunk.tokens.insert(pos, token);
+        chunk.slots.insert(pos, slot);
+        if chunk.tokens.len() >= CHUNK_CAP {
+            let mid = chunk.tokens.len() / 2;
+            let hi_tokens = chunk.tokens.split_off(mid);
+            let hi_slots = chunk.slots.split_off(mid);
+            self.chunks.insert(
+                ci + 1,
+                Chunk {
+                    tokens: hi_tokens,
+                    slots: hi_slots,
+                },
+            );
+        }
+    }
+
+    /// Removes a node, dropping its query-load counter. Returns the
+    /// state if the node was live.
+    pub fn remove(&mut self, token: NodeToken) -> Option<S> {
+        let slot = self.index.remove(token)? as usize;
+
+        // Drop the ordered entry.
+        let ci = self.chunk_for(token);
+        let chunk = &mut self.chunks[ci];
+        let pos = chunk
+            .tokens
+            .binary_search(&token)
+            .expect("ordered view out of sync with index");
+        chunk.tokens.remove(pos);
+        chunk.slots.remove(pos);
+        if chunk.tokens.is_empty() {
+            self.chunks.remove(ci);
+        }
+
+        // Swap-remove the slab entry and patch references to the moved
+        // tail entry (if any).
+        let state = self.states.swap_remove(slot);
+        self.tokens_by_slot.swap_remove(slot);
+        self.loads.swap_remove(slot);
+        if slot < self.states.len() {
+            let moved = self.tokens_by_slot[slot];
+            let new_slot = u32::try_from(slot).expect("slot fits u32");
+            self.index.set_slot(moved, new_slot);
+            let mi = self.chunk_for(moved);
+            let mchunk = &mut self.chunks[mi];
+            let mpos = mchunk
+                .tokens
+                .binary_search(&moved)
+                .expect("moved token missing from ordered view");
+            mchunk.slots[mpos] = new_slot;
+        }
+        Some(state)
+    }
+
+    /// Live tokens in ascending order.
+    #[must_use]
+    pub fn tokens(&self) -> Vec<NodeToken> {
+        let mut out = Vec::with_capacity(self.len());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.tokens);
+        }
+        out
+    }
+
+    /// The `i`-th smallest live token, in O(#chunks).
+    #[must_use]
+    pub fn token_at(&self, i: usize) -> Option<NodeToken> {
+        let mut before = 0;
+        for c in &self.chunks {
+            let n = c.tokens.len();
+            if i < before + n {
+                return Some(c.tokens[i - before]);
+            }
+            before += n;
+        }
+        None
+    }
+
+    /// Iterates live tokens in ascending order without allocating.
+    pub fn token_iter(&self) -> impl Iterator<Item = NodeToken> + '_ {
+        self.chunks.iter().flat_map(|c| c.tokens.iter().copied())
+    }
+
+    /// Smallest live token.
+    #[must_use]
+    pub fn first_token(&self) -> Option<NodeToken> {
+        self.chunks.first().map(|c| c.tokens[0])
+    }
+
+    /// Largest live token.
+    #[must_use]
+    pub fn last_token(&self) -> Option<NodeToken> {
+        self.chunks.last().map(|c| c.last())
+    }
+
+    /// Iterates `(token, state)` pairs in ascending token order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeToken, &S)> {
+        self.chunks.iter().flat_map(move |c| {
+            c.tokens
+                .iter()
+                .zip(&c.slots)
+                .map(move |(&t, &slot)| (t, &self.states[slot as usize]))
+        })
+    }
+
+    /// Iterates node states in ascending token order.
+    pub fn states(&self) -> impl Iterator<Item = &S> {
+        self.iter().map(|(_, s)| s)
+    }
+
+    /// Mutably iterates node states in ascending token order.
+    ///
+    /// The slab is unordered, so this materialises one `Option<&mut S>`
+    /// per slot and yields them in chunk order — O(n) setup, used only
+    /// by whole-membership sweeps which are O(n) anyway.
+    pub fn states_mut(&mut self) -> impl Iterator<Item = &mut S> {
+        let mut refs: Vec<Option<&mut S>> = self.states.iter_mut().map(Some).collect();
+        let order: Vec<u32> = self
+            .chunks
+            .iter()
+            .flat_map(|c| c.slots.iter().copied())
+            .collect();
+        order
+            .into_iter()
+            .map(move |slot| refs[slot as usize].take().expect("slot yielded twice"))
+    }
+
+    // ------------------------------------------------------------------
+    // Ordered ring searches (exact BTreeMap range semantics)
+    // ------------------------------------------------------------------
+
+    /// First live token `>= point`, without wrapping.
+    #[must_use]
+    pub fn lower_bound(&self, point: u64) -> Option<NodeToken> {
+        let p = self.chunks.partition_point(|c| c.last() < point);
+        let c = self.chunks.get(p)?;
+        let i = c.tokens.partition_point(|&t| t < point);
+        Some(c.tokens[i])
+    }
+
+    /// Last live token `< point` (or `<= point` when `inclusive`),
+    /// without wrapping.
+    #[must_use]
+    pub fn upper_bound(&self, point: u64, inclusive: bool) -> Option<NodeToken> {
+        let below = |t: u64| if inclusive { t <= point } else { t < point };
+        let p = self.chunks.partition_point(|c| below(c.last()));
+        if let Some(c) = self.chunks.get(p) {
+            let i = c.tokens.partition_point(|&t| below(t));
+            if i > 0 {
+                return Some(c.tokens[i - 1]);
+            }
+        }
+        if p > 0 {
+            return Some(self.chunks[p - 1].last());
+        }
+        None
+    }
+
+    /// First live token `>= point`, wrapping to the smallest.
+    #[must_use]
+    pub fn successor_of(&self, point: u64) -> Option<NodeToken> {
+        self.lower_bound(point).or_else(|| self.first_token())
+    }
+
+    /// Last live token `< point`, wrapping to the largest.
+    #[must_use]
+    pub fn predecessor_of(&self, point: u64) -> Option<NodeToken> {
+        self.upper_bound(point, false).or_else(|| self.last_token())
+    }
+
+    /// Last live token `<= point`, wrapping to the largest.
+    #[must_use]
+    pub fn at_or_before(&self, point: u64) -> Option<NodeToken> {
+        self.upper_bound(point, true).or_else(|| self.last_token())
+    }
+
+    /// Smallest live token in `[lo, hi]` (no wrapping).
+    #[must_use]
+    pub fn first_in_range(&self, lo: u64, hi: u64) -> Option<NodeToken> {
+        self.lower_bound(lo).filter(|&t| t <= hi)
+    }
+
+    /// Largest live token in `[lo, hi]` (no wrapping).
+    #[must_use]
+    pub fn last_in_range(&self, lo: u64, hi: u64) -> Option<NodeToken> {
+        self.upper_bound(hi, true).filter(|&t| t >= lo)
+    }
+
+    // ------------------------------------------------------------------
+    // Query-load accounting (dense, slot-indexed)
+    // ------------------------------------------------------------------
+
+    /// Adds `k` to `token`'s query-load counter (no-op if departed).
+    pub fn add_load(&mut self, token: NodeToken, k: u64) {
+        if let Some(slot) = self.index.get(token) {
+            self.loads[slot as usize] += k;
+        }
+    }
+
+    /// Current query-load counter of `token` (zero if departed).
+    #[must_use]
+    pub fn load_of(&self, token: NodeToken) -> u64 {
+        self.index
+            .get(token)
+            .map_or(0, |slot| self.loads[slot as usize])
+    }
+
+    /// Per-node query loads in ascending token order.
+    #[must_use]
+    pub fn loads_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        for c in &self.chunks {
+            out.extend(c.slots.iter().map(|&slot| self.loads[slot as usize]));
+        }
+        out
+    }
+
+    /// Sum of all query-load counters.
+    #[must_use]
+    pub fn loads_total(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// Zeroes every query-load counter.
+    pub fn reset_loads(&mut self) {
+        self.loads.iter_mut().for_each(|l| *l = 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting
+    // ------------------------------------------------------------------
+
+    /// Heap bytes held by the store itself (chunk spine, state slab,
+    /// load counters, hash index), from `Vec` capacities. Per-state
+    /// heap payloads (e.g. a Chord finger table) are reported separately
+    /// by the overlay via `SimOverlay::state_heap_bytes`.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        let chunk_bytes: usize = self.chunks.iter().map(Chunk::heap_bytes).sum();
+        self.chunks.capacity() * std::mem::size_of::<Chunk>()
+            + chunk_bytes
+            + self.states.capacity() * std::mem::size_of::<S>()
+            + self.tokens_by_slot.capacity() * std::mem::size_of::<u64>()
+            + self.loads.capacity() * std::mem::size_of::<u64>()
+            + self.index.heap_bytes()
+    }
+
+    /// Internal consistency check used by tests: every token reachable
+    /// through the ordered view resolves to its own slot through the
+    /// hash index, chunks are sorted and non-empty, and the slab columns
+    /// agree.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        assert_eq!(self.states.len(), self.tokens_by_slot.len());
+        assert_eq!(self.states.len(), self.loads.len());
+        assert_eq!(self.index.len, self.states.len());
+        let mut count = 0;
+        let mut prev: Option<u64> = None;
+        for c in &self.chunks {
+            assert!(!c.tokens.is_empty(), "empty chunk survived");
+            assert!(c.tokens.len() < CHUNK_CAP, "chunk exceeded capacity");
+            assert_eq!(c.tokens.len(), c.slots.len());
+            for (&t, &slot) in c.tokens.iter().zip(&c.slots) {
+                assert!(prev.is_none_or(|p| p < t), "tokens out of order");
+                prev = Some(t);
+                assert_eq!(self.tokens_by_slot[slot as usize], t, "slot mismatch");
+                assert_eq!(self.index.get(t), Some(slot), "index mismatch");
+                count += 1;
+            }
+        }
+        assert_eq!(count, self.states.len(), "ordered view lost entries");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Deterministic token stream for model tests.
+    fn stream(seed: u64) -> impl Iterator<Item = u64> {
+        let mut x = seed;
+        std::iter::repeat_with(move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(x)
+        })
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s: CompactStore<String> = CompactStore::new();
+        s.insert(10, "a".into());
+        s.insert(5, "b".into());
+        s.insert(20, "c".into());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(5).map(String::as_str), Some("b"));
+        assert_eq!(s.tokens(), vec![5, 10, 20]);
+        assert_eq!(s.remove(10).as_deref(), Some("a"));
+        assert_eq!(s.remove(10), None);
+        assert_eq!(s.tokens(), vec![5, 20]);
+        s.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn duplicate_insert_panics() {
+        let mut s: CompactStore<u32> = CompactStore::new();
+        s.insert(1, 0);
+        s.insert(1, 0);
+    }
+
+    #[test]
+    fn matches_btreemap_model_through_churn() {
+        let mut s: CompactStore<u64> = CompactStore::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let tokens: Vec<u64> = stream(42).take(4000).map(|t| t % 10_000).collect();
+        for (i, &t) in tokens.iter().enumerate() {
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(t) {
+                s.insert(t, i as u64);
+                e.insert(i as u64);
+            } else {
+                // Alternate removing the probed token and a model member.
+                assert_eq!(s.remove(t), model.remove(&t));
+            }
+            if i % 512 == 0 {
+                s.check_invariants();
+                assert_eq!(s.tokens(), model.keys().copied().collect::<Vec<_>>());
+            }
+        }
+        s.check_invariants();
+        assert_eq!(s.len(), model.len());
+        assert_eq!(s.tokens(), model.keys().copied().collect::<Vec<_>>());
+        for (i, (&t, &v)) in model.iter().enumerate() {
+            assert_eq!(s.get(t), Some(&v));
+            assert_eq!(s.token_at(i), Some(t));
+        }
+        assert_eq!(s.token_at(model.len()), None);
+        // Ordered iteration matches.
+        let pairs: Vec<(u64, u64)> = s.iter().map(|(t, &v)| (t, v)).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&t, &v)| (t, v)).collect();
+        assert_eq!(pairs, want);
+    }
+
+    #[test]
+    fn ordered_queries_match_model() {
+        let mut s: CompactStore<()> = CompactStore::new();
+        let mut model: BTreeMap<u64, ()> = BTreeMap::new();
+        for t in stream(7).take(3000).map(|t| t % 5_000) {
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(t) {
+                s.insert(t, ());
+                e.insert(());
+            }
+        }
+        for point in stream(99).take(500).map(|p| p % 5_100) {
+            let succ = model
+                .range(point..)
+                .next()
+                .or_else(|| model.iter().next())
+                .map(|(&t, ())| t);
+            assert_eq!(s.successor_of(point), succ, "successor_of({point})");
+            let pred = model
+                .range(..point)
+                .next_back()
+                .or_else(|| model.iter().next_back())
+                .map(|(&t, ())| t);
+            assert_eq!(s.predecessor_of(point), pred, "predecessor_of({point})");
+            let aob = model
+                .range(..=point)
+                .next_back()
+                .or_else(|| model.iter().next_back())
+                .map(|(&t, ())| t);
+            assert_eq!(s.at_or_before(point), aob, "at_or_before({point})");
+            let lo = point.saturating_sub(300);
+            let fir = model.range(lo..=point).next().map(|(&t, ())| t);
+            assert_eq!(s.first_in_range(lo, point), fir);
+            let lir = model.range(lo..=point).next_back().map(|(&t, ())| t);
+            assert_eq!(s.last_in_range(lo, point), lir);
+        }
+    }
+
+    #[test]
+    fn ordered_queries_on_empty_store() {
+        let s: CompactStore<()> = CompactStore::new();
+        assert_eq!(s.successor_of(0), None);
+        assert_eq!(s.predecessor_of(0), None);
+        assert_eq!(s.at_or_before(0), None);
+        assert_eq!(s.first_in_range(0, u64::MAX), None);
+        assert_eq!(s.token_at(0), None);
+        assert_eq!(s.first_token(), None);
+    }
+
+    #[test]
+    fn loads_survive_swap_remove_without_ghosts() {
+        let mut s: CompactStore<()> = CompactStore::new();
+        for t in [3, 9, 14, 27] {
+            s.insert(t, ());
+        }
+        s.add_load(9, 2);
+        s.add_load(27, 5);
+        s.add_load(3, 1);
+        assert_eq!(s.loads_vec(), vec![1, 2, 0, 5]);
+        assert_eq!(s.loads_total(), 8);
+        // Removing 9 must drop its counter and keep the others intact
+        // even though the slab swap moves another entry into its slot.
+        s.remove(9);
+        assert_eq!(s.loads_vec(), vec![1, 0, 5]);
+        assert_eq!(s.load_of(9), 0);
+        // A departed node's counter never resurrects.
+        s.add_load(9, 100);
+        assert_eq!(s.loads_total(), 6);
+        // Rejoin starts back at zero.
+        s.insert(9, ());
+        assert_eq!(s.load_of(9), 0);
+        assert_eq!(s.loads_vec(), vec![1, 0, 0, 5]);
+        s.reset_loads();
+        assert_eq!(s.loads_total(), 0);
+    }
+
+    #[test]
+    fn states_mut_yields_token_order() {
+        let mut s: CompactStore<u64> = CompactStore::new();
+        for (i, t) in [50u64, 10, 30, 20, 40].iter().enumerate() {
+            s.insert(*t, i as u64);
+        }
+        // Force slab disorder via removals.
+        s.remove(30);
+        s.insert(35, 99);
+        let seen: Vec<u64> = s.states_mut().map(|v| *v).collect();
+        // Token order 10,20,35,40,50 → insertion values 1,3,99,4,0.
+        assert_eq!(seen, vec![1, 3, 99, 4, 0]);
+        for v in s.states_mut() {
+            *v += 1;
+        }
+        assert_eq!(s.get(35), Some(&100));
+    }
+
+    #[test]
+    fn chunks_split_and_drain() {
+        let mut s: CompactStore<()> = CompactStore::new();
+        let n = CHUNK_CAP * 3 + 17;
+        for t in 0..n as u64 {
+            s.insert(t, ());
+        }
+        assert!(s.chunks.len() > 1, "expected chunk splits");
+        s.check_invariants();
+        assert_eq!(s.token_at(CHUNK_CAP + 5), Some((CHUNK_CAP + 5) as u64));
+        for t in 0..n as u64 {
+            assert!(s.remove(t).is_some());
+        }
+        assert!(s.is_empty());
+        assert!(s.chunks.is_empty(), "drained chunks must be dropped");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn heap_bytes_tracks_population() {
+        let mut s: CompactStore<[u64; 4]> = CompactStore::new();
+        let empty = s.heap_bytes();
+        for t in 0..1000u64 {
+            s.insert(t, [t; 4]);
+        }
+        let full = s.heap_bytes();
+        assert!(full > empty);
+        // At least the raw payload must be accounted for.
+        assert!(full >= 1000 * std::mem::size_of::<[u64; 4]>());
+    }
+}

@@ -202,11 +202,82 @@ fn audit_pass(overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome, sink: &Sink
     }
 }
 
+/// Per-bucket membership index for [`StabilizePhase::Hashed`]: maps each
+/// per-second stabilization bucket to the set of live tokens hashing into
+/// it, maintained incrementally at every join and leave. A bucket tick
+/// then touches only the nodes that actually fire — amortized O(1) per
+/// membership event plus O(fired) per tick — instead of sweeping all `n`
+/// tokens every simulated second. Tokens are stored sorted, so the fire
+/// order within a bucket is identical to the full ascending sweep the
+/// engine originally ran.
+struct BucketIndex {
+    period: u64,
+    buckets: Vec<std::collections::BTreeSet<dht_core::overlay::NodeToken>>,
+}
+
+impl BucketIndex {
+    /// Indexes the overlay's current population.
+    fn new(overlay: &dyn Overlay, period: u64) -> Self {
+        let mut idx = Self {
+            period,
+            buckets: vec![std::collections::BTreeSet::new(); period as usize],
+        };
+        for token in overlay.node_tokens() {
+            idx.insert(token);
+        }
+        idx
+    }
+
+    fn bucket_of(&self, token: dht_core::overlay::NodeToken) -> usize {
+        (dht_core::hash::splitmix64(token) % self.period) as usize
+    }
+
+    fn insert(&mut self, token: dht_core::overlay::NodeToken) {
+        let b = self.bucket_of(token);
+        self.buckets[b].insert(token);
+    }
+
+    fn remove(&mut self, token: dht_core::overlay::NodeToken) {
+        let b = self.bucket_of(token);
+        self.buckets[b].remove(&token);
+    }
+
+    /// Runs the stabilization routines of every node in `bucket`, in
+    /// ascending token order. Returns the number of routines invoked.
+    fn fire(&self, overlay: &mut dyn Overlay, bucket: u64) -> u64 {
+        let mut calls = 0;
+        for &token in &self.buckets[bucket as usize] {
+            overlay.stabilize_node(token);
+            calls += 1;
+        }
+        calls
+    }
+}
+
+/// Builds the incremental bucket index when the phasing benefits from one
+/// ([`StabilizePhase::Hashed`]); synchronized phasing keeps the plain
+/// whole-network sweep.
+fn maybe_bucket_index(
+    overlay: &dyn Overlay,
+    phase: StabilizePhase,
+    period: u64,
+) -> Option<BucketIndex> {
+    match phase {
+        StabilizePhase::Hashed => Some(BucketIndex::new(overlay, period)),
+        StabilizePhase::Synchronized => None,
+    }
+}
+
 /// Runs one per-second stabilization bucket: under [`StabilizePhase::Hashed`]
 /// the nodes whose token hashes into `bucket` stabilize; under
 /// [`StabilizePhase::Synchronized`] the whole network stabilizes on the
 /// period's last bucket and the other buckets are no-ops. Returns the
 /// number of per-node routines invoked.
+///
+/// This is the reference O(n)-sweep formulation; the churn engines use the
+/// incremental [`BucketIndex`] for hashed phasing and fall back to this
+/// sweep for synchronized phasing (and for callers like the convergence
+/// experiment that stabilize a static population).
 pub(crate) fn stabilize_bucket(
     overlay: &mut dyn Overlay,
     phase: StabilizePhase,
@@ -282,6 +353,7 @@ fn run_rounds(
     outcome: &mut ChurnOutcome,
 ) {
     let period = params.stabilization_period_secs.max(1);
+    let mut buckets = maybe_bucket_index(overlay, params.phase, period);
     let mut queue: EventQueue<Event> = EventQueue::new();
     queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
     if params.churn_rate > 0.0 {
@@ -347,6 +419,9 @@ fn run_rounds(
                 if let Some(node) = overlay.join(rng) {
                     outcome.joins += 1;
                     outcome.peak_size = outcome.peak_size.max(overlay.len());
+                    if let Some(idx) = buckets.as_mut() {
+                        idx.insert(node);
+                    }
                     params.sink.emit(|| TraceEvent::Join { node });
                 }
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
@@ -358,6 +433,9 @@ fn run_rounds(
                     if let Some(node) = overlay.random_node(rng) {
                         if overlay.leave(node) {
                             outcome.leaves += 1;
+                            if let Some(idx) = buckets.as_mut() {
+                                idx.remove(node);
+                            }
                             params.sink.emit(|| TraceEvent::Leave {
                                 node,
                                 graceful: true,
@@ -369,7 +447,10 @@ fn run_rounds(
             }
             Event::StabilizeBucket(bucket) => {
                 flush(overlay, outcome, &mut pending);
-                outcome.stabilize_calls += stabilize_bucket(overlay, params.phase, period, bucket);
+                outcome.stabilize_calls += match buckets.as_ref() {
+                    Some(idx) => idx.fire(overlay, bucket),
+                    None => stabilize_bucket(overlay, params.phase, period, bucket),
+                };
                 // The last bucket closes a full stabilization round:
                 // every online invariant must hold right now, mid-churn.
                 if bucket + 1 == period {
@@ -410,6 +491,7 @@ fn run_continuous(
     outcome: &mut ChurnOutcome,
 ) {
     let period = params.stabilization_period_secs.max(1);
+    let mut buckets = maybe_bucket_index(overlay, params.phase, period);
     let mut queue: EventQueue<Event> = EventQueue::new();
     queue.schedule(exp_delay(params.lookup_rate, rng), Event::Lookup);
     if params.churn_rate > 0.0 {
@@ -502,6 +584,9 @@ fn run_continuous(
                 if let Some(node) = overlay.join(rng) {
                     outcome.joins += 1;
                     outcome.peak_size = outcome.peak_size.max(overlay.len());
+                    if let Some(idx) = buckets.as_mut() {
+                        idx.insert(node);
+                    }
                     params.sink.emit(|| TraceEvent::Join { node });
                 }
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
@@ -512,6 +597,9 @@ fn run_continuous(
                     if let Some(node) = overlay.random_node(rng) {
                         if overlay.leave(node) {
                             outcome.leaves += 1;
+                            if let Some(idx) = buckets.as_mut() {
+                                idx.remove(node);
+                            }
                             params.sink.emit(|| TraceEvent::Leave {
                                 node,
                                 graceful: true,
@@ -522,7 +610,10 @@ fn run_continuous(
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Leave);
             }
             Event::StabilizeBucket(bucket) => {
-                outcome.stabilize_calls += stabilize_bucket(overlay, params.phase, period, bucket);
+                outcome.stabilize_calls += match buckets.as_ref() {
+                    Some(idx) => idx.fire(overlay, bucket),
+                    None => stabilize_bucket(overlay, params.phase, period, bucket),
+                };
                 if bucket + 1 == period {
                     let round = outcome.stabilize_rounds;
                     outcome.stabilize_rounds += 1;
@@ -745,6 +836,36 @@ mod tests {
         assert!(out.elapsed_us.is_empty());
         assert_eq!(out.stranded, 0);
         assert!(out.sim_end_us > 0);
+    }
+
+    #[test]
+    fn bucket_index_matches_reference_sweep() {
+        // The incremental index must fire exactly the tokens the O(n)
+        // reference sweep fires, in the same ascending order, including
+        // after churn has moved tokens in and out of buckets.
+        let mut net = build_overlay(OverlayKind::Chord, 96, 17);
+        let mut rng = stream(18, "bucket-index");
+        let period = 30u64;
+        let mut idx = BucketIndex::new(net.as_ref(), period);
+        for step in 0..40 {
+            if step % 3 == 0 {
+                let victim = net.node_tokens()[step % net.len()];
+                assert!(net.leave(victim));
+                idx.remove(victim);
+            } else {
+                let node = net.join(&mut rng).expect("join succeeds");
+                idx.insert(node);
+            }
+        }
+        for bucket in 0..period {
+            let expected: Vec<_> = net
+                .node_tokens()
+                .into_iter()
+                .filter(|&t| dht_core::hash::splitmix64(t) % period == bucket)
+                .collect();
+            let got: Vec<_> = idx.buckets[bucket as usize].iter().copied().collect();
+            assert_eq!(got, expected, "bucket {bucket}");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl StateAudit for KoordeNetwork {
             // Ring pointers: repaired eagerly on every graceful join/leave.
             let pred = self.before_point(id).expect("non-empty ring");
             report.check_eq(id, "koorde/predecessor", &node.predecessor, &pred);
-            let mut expected = Vec::with_capacity(r);
+            let mut expected = crate::node::RingList::new();
             let mut cursor = id;
             for _ in 0..r {
                 let s = self
@@ -64,7 +64,7 @@ impl StateAudit for KoordeNetwork {
                     .at_or_before_point((2 * id) % space)
                     .expect("non-empty ring");
                 report.check_eq(id, "koorde/debruijn-pointer", &node.debruijn, &db);
-                let mut backups = Vec::with_capacity(config.debruijn_backups);
+                let mut backups = crate::node::RingList::new();
                 let mut cursor = db;
                 for _ in 0..config.debruijn_backups {
                     let p = self.before_point(cursor).expect("non-empty ring");

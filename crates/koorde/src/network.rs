@@ -209,7 +209,7 @@ impl KoordeNetwork {
         }
         let node = self.members.get_mut(id).expect("refresh of dead node");
         node.debruijn = debruijn;
-        node.debruijn_preds = preds;
+        node.debruijn_preds = preds.into();
     }
 
     /// Refreshes only the ring pointers (predecessor + successor list).
@@ -228,7 +228,7 @@ impl KoordeNetwork {
         }
         let node = self.members.get_mut(id).expect("refresh of dead node");
         node.predecessor = pred;
-        node.successors = succs;
+        node.successors = succs.into();
     }
 
     /// Full stabilization: every node refreshes ring and de Bruijn

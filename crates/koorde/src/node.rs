@@ -1,5 +1,12 @@
 //! Per-node Koorde state.
 
+use dht_core::inline::InlineVec;
+
+/// Fixed-capacity ring list (successor list / de Bruijn backups). The
+/// paper's seven-entry setup uses three of each; four inline slots keep
+/// both lists inside the membership slab.
+pub type RingList = InlineVec<u64, 4>;
+
 /// Routing state of one Koorde node (the paper's seven-entry setup:
 /// "one de Bruijn node, three successors and three immediate predecessors
 /// of the de Bruijn node", §4).
@@ -10,13 +17,13 @@ pub struct KoordeNode {
     /// Immediate predecessor on the ring.
     pub predecessor: u64,
     /// Successor list, nearest first.
-    pub successors: Vec<u64>,
+    pub successors: RingList,
     /// First de Bruijn node: the node immediately preceding ring point
     /// `2 * id`.
     pub debruijn: u64,
     /// Immediate predecessors of the de Bruijn node, nearest first — the
     /// backups taken when `debruijn` has departed.
-    pub debruijn_preds: Vec<u64>,
+    pub debruijn_preds: RingList,
 }
 
 impl KoordeNode {
@@ -26,9 +33,9 @@ impl KoordeNode {
         Self {
             id,
             predecessor: id,
-            successors: vec![id; succ_list_len],
+            successors: RingList::repeat(id, succ_list_len),
             debruijn: id,
-            debruijn_preds: vec![id; backup_len],
+            debruijn_preds: RingList::repeat(id, backup_len),
         }
     }
 
@@ -70,9 +77,9 @@ mod tests {
     #[test]
     fn degree_is_bounded_by_seven() {
         let mut n = KoordeNode::new(0, 3, 3);
-        n.successors = vec![1, 2, 3];
+        n.successors = vec![1, 2, 3].into();
         n.debruijn = 10;
-        n.debruijn_preds = vec![9, 8, 7];
+        n.debruijn_preds = vec![9, 8, 7].into();
         assert_eq!(n.degree(), 7);
     }
 }

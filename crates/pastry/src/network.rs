@@ -2,6 +2,7 @@
 //! leaf-set resolution, prefix routing, join/leave, and stabilization.
 
 use dht_core::hash::{reduce, splitmix64};
+use dht_core::inline::InlineVec;
 use dht_core::lookup::{HopPhase, LookupTrace};
 use dht_core::overlay::NodeToken;
 use dht_core::ring::{clockwise_dist, ring_dist};
@@ -46,6 +47,10 @@ impl PastryConfig {
             self.leaf_set >= 2 && self.leaf_set.is_multiple_of(2),
             "leaf set must be even"
         );
+        assert!(
+            self.leaf_set <= 16,
+            "leaf set exceeds the 8-per-side inline capacity"
+        );
     }
 
     /// Ring size `2^bits`.
@@ -83,6 +88,11 @@ impl PastryConfig {
     }
 }
 
+/// Fixed-capacity half of a Pastry leaf set. The configured `|L|` is 8
+/// (four per side); eight inline slots per side cover any even `|L|` up
+/// to 16, keeping the leaf set inside the membership slab.
+pub type LeafHalf = InlineVec<u64, 8>;
+
 /// Routing state of one Pastry node.
 #[derive(Debug, Clone)]
 pub struct PastryNode {
@@ -94,9 +104,9 @@ pub struct PastryNode {
     /// digit).
     pub table: Vec<Option<u64>>,
     /// Numerically smaller leaf-set half, nearest first.
-    pub leaf_smaller: Vec<u64>,
+    pub leaf_smaller: LeafHalf,
     /// Numerically larger leaf-set half, nearest first.
-    pub leaf_larger: Vec<u64>,
+    pub leaf_larger: LeafHalf,
 }
 
 impl PastryNode {
@@ -104,8 +114,8 @@ impl PastryNode {
         Self {
             id,
             table: vec![None; (config.digits() * config.base()) as usize],
-            leaf_smaller: Vec::new(),
-            leaf_larger: Vec::new(),
+            leaf_smaller: LeafHalf::new(),
+            leaf_larger: LeafHalf::new(),
         }
     }
 
@@ -277,10 +287,10 @@ impl PastryNetwork {
     /// Resolves the leaf set of `id`: the `|L|/2` nearest live smaller and
     /// larger identifiers on the ring.
     #[must_use]
-    pub fn resolve_leafs(&self, id: u64) -> (Vec<u64>, Vec<u64>) {
+    pub fn resolve_leafs(&self, id: u64) -> (LeafHalf, LeafHalf) {
         let half = self.config.leaf_set / 2;
-        let mut smaller = Vec::with_capacity(half);
-        let mut larger = Vec::with_capacity(half);
+        let mut smaller = LeafHalf::new();
+        let mut larger = LeafHalf::new();
         if self.members.len() <= 1 {
             return (smaller, larger);
         }
@@ -528,6 +538,12 @@ impl SimOverlay for PastryNetwork {
         if self.is_live(node) {
             self.refresh_node(node);
         }
+    }
+
+    fn state_heap_bytes(&self, state: &PastryNode) -> usize {
+        // Leaf-set halves are inline; the prefix table is the per-node
+        // heap payload.
+        state.table.capacity() * std::mem::size_of::<Option<u64>>()
     }
 
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {

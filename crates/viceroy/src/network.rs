@@ -480,6 +480,14 @@ impl SimOverlay for ViceroyNetwork {
 
     fn stabilize_one(&mut self, _node: NodeToken) {}
 
+    fn aux_bytes(&self) -> usize {
+        // The per-level membership index outside the node arena.
+        self.by_level
+            .iter()
+            .map(|s| dht_core::store::approx_btree_bytes(s.len(), std::mem::size_of::<u64>()))
+            .sum()
+    }
+
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
     }
