@@ -27,7 +27,10 @@
 //! lookup latency under continuous-time churn, exported as
 //! `BENCH_converge.json`; the extra `scale` subcommand sweeps 10⁴–10⁶
 //! node populations on the compact membership store and exports memory
-//! footprint, throughput, and join latency as `BENCH_scale.json`.
+//! footprint, throughput, and join latency as `BENCH_scale.json`; the
+//! extra `recover` subcommand corrupts routing state through the seeded
+//! strategy catalogue and measures time and repair cost to audit-clean,
+//! exported as `BENCH_recover.json`.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -39,7 +42,7 @@ use dht_core::lookup::HopPhase;
 use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Progress};
 use dht_sim::experiments::{
     churn_exp, converge, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
-    path_length, query_load, scale, sparsity, static_tables, throughput, ungraceful,
+    path_length, query_load, recover, scale, sparsity, static_tables, throughput, ungraceful,
 };
 use dht_sim::report::Table;
 
@@ -83,7 +86,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--quiet]\n\
          \x20            [--seed N] [--metrics-out DIR]\n\
          \x20            [--jobs N]\n\
-         experiments: {} all path metrics throughput converge scale",
+         experiments: {} all path metrics throughput converge scale recover",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -141,6 +144,9 @@ fn parse_args() -> Options {
             }
             "scale" => {
                 opts.experiments.insert("scale".to_string());
+            }
+            "recover" => {
+                opts.experiments.insert("recover".to_string());
             }
             name if ALL.contains(&name) => {
                 opts.experiments.insert(name.to_string());
@@ -575,6 +581,38 @@ fn main() {
         let mut reg = MetricsRegistry::new();
         converge::register_metrics(&rows, &mut reg);
         write_bench("converge", &reg);
+    }
+
+    if wants("recover") {
+        progress.info("running corruption-recovery sweep (virtual clock)...");
+        let mut params = if opts.quick {
+            recover::RecoverParams::quick(opts.seed)
+        } else {
+            recover::RecoverParams::paper(opts.seed)
+        };
+        params.jobs = opts.jobs;
+        let rows = recover::measure(&params);
+        emit(&render::recover(&rows), opts.csv);
+        if let Some(bad) = rows.iter().find(|r| r.clean_s.is_none()) {
+            eprintln!(
+                "[repro] error: {} did not recover from {} within the horizon",
+                bad.label,
+                bad.strategy.label()
+            );
+            std::process::exit(1);
+        }
+        if let Some(bad) = rows.iter().find(|r| r.post.failures > 0) {
+            eprintln!(
+                "[repro] error: {} failed {} lookups after recovering from {}",
+                bad.label,
+                bad.post.failures,
+                bad.strategy.label()
+            );
+            std::process::exit(1);
+        }
+        let mut reg = MetricsRegistry::new();
+        recover::register_metrics(&rows, &mut reg);
+        write_bench("recover", &reg);
     }
 
     if wants("scale") {

@@ -8,6 +8,7 @@ use dht_sim::experiments::key_distribution::KeyDistributionRow;
 use dht_sim::experiments::mass_departure::MassDepartureRow;
 use dht_sim::experiments::path_length::PathLengthRow;
 use dht_sim::experiments::query_load::QueryLoadRow;
+use dht_sim::experiments::recover::RecoverRow;
 use dht_sim::experiments::scale::ScaleRow;
 use dht_sim::experiments::sparsity::SparsityRow;
 use dht_sim::experiments::static_tables;
@@ -429,6 +430,43 @@ pub fn converge_latency(rows: &[ConvergeRow]) -> Table {
             format!("{}", load.stranded),
             format!("{}", load.failures),
             format!("{:.0}", load.sim_secs),
+        ]);
+    }
+    t
+}
+
+/// Extension: time and cost to recover from seeded routing-state
+/// corruption, with the full-scope audit as the recovery oracle.
+#[must_use]
+pub fn recover(rows: &[RecoverRow]) -> Table {
+    let clean = |v: Option<u64>| v.map_or_else(|| "—".to_string(), |s| format!("{s}"));
+    let mut t = Table::new(
+        "Extension: self-stabilizing recovery from corrupted routing state",
+        &[
+            "strategy",
+            "severity",
+            "T (s)",
+            "system",
+            "targeted",
+            "entries hit",
+            "clean (s)",
+            "repair calls",
+            "entries fixed",
+            "post failures",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.strategy.label().to_string(),
+            format!("{:.2}", r.severity),
+            format!("{}", r.period),
+            r.label.clone(),
+            format!("{}", r.targeted),
+            format!("{}", r.mutated_entries),
+            clean(r.clean_s),
+            format!("{}", r.repair_calls),
+            format!("{}", r.repaired_entries),
+            format!("{}", r.post.failures),
         ]);
     }
     t

@@ -29,6 +29,7 @@
 mod audit;
 mod index;
 pub mod network;
+mod repair;
 pub mod zone;
 
 pub use network::{CanConfig, CanNetwork, CanNode};

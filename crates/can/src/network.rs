@@ -66,15 +66,15 @@ pub struct CanWalk {
 #[derive(Debug, Clone)]
 pub struct CanNetwork {
     config: CanConfig,
-    members: Membership<CanNode>,
+    pub(crate) members: Membership<CanNode>,
     /// Zones whose owner crashed, awaiting takeover by the stabilizer.
-    orphans: Vec<Zone>,
+    pub(crate) orphans: Vec<Zone>,
     /// Dyadic index of the current tiling: point location and neighbour
     /// sweeps in `O(depth)` instead of a full membership scan. Mirrors
     /// the zone lists exactly on every protocol transition; the
     /// `index_matches_membership_scans_under_churn` test pins the
     /// equivalence against the original scan formulations.
-    index: ZoneIndex,
+    pub(crate) index: ZoneIndex,
 }
 
 impl CanNetwork {
@@ -485,6 +485,17 @@ impl SimOverlay for CanNetwork {
 
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
+    }
+
+    fn corrupt_network(
+        &mut self,
+        plan: &dht_core::corrupt::CorruptionPlan,
+    ) -> dht_core::corrupt::CorruptionReport {
+        self.corrupt(plan)
+    }
+
+    fn repair_step(&mut self, node: NodeToken) -> u64 {
+        self.repair_one(node)
     }
 }
 

@@ -29,6 +29,7 @@
 mod audit;
 pub mod network;
 pub mod node;
+mod repair;
 
 pub use network::{ChordConfig, ChordNetwork};
 pub use node::ChordNode;

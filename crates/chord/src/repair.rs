@@ -1,0 +1,183 @@
+//! Corruption and self-stabilizing repair of Chord routing state.
+//!
+//! Maps the shared strategy catalogue ([`CorruptionStrategy`]) onto
+//! Chord's state — predecessor, successor list, finger table — and
+//! implements one node's repair step as an audited recompute from live
+//! membership ([`ChordNetwork::refresh_node`] plus a before/after entry
+//! diff). Repair is an exact no-op on healthy nodes and consumes no RNG
+//! draws.
+
+use dht_core::corrupt::{CorruptionPlan, CorruptionReport, CorruptionStrategy};
+
+use crate::network::ChordNetwork;
+use crate::node::ChordNode;
+
+const SALT_PRED: u64 = 1;
+const SALT_SUCC: u64 = 0x100;
+const SALT_FINGER: u64 = 0x1000;
+const SALT_ATTACKER: u64 = 0xa77a;
+
+/// Entries on which two states differ (predecessor + per-position
+/// successor-list and finger-table slots).
+fn diff_count(a: &ChordNode, b: &ChordNode) -> u64 {
+    let mut n = u64::from(a.predecessor != b.predecessor);
+    n += a
+        .successors
+        .iter()
+        .zip(&b.successors)
+        .filter(|(x, y)| x != y)
+        .count() as u64;
+    n += a
+        .fingers
+        .iter()
+        .zip(&b.fingers)
+        .filter(|(x, y)| x != y)
+        .count() as u64;
+    n
+}
+
+impl ChordNetwork {
+    /// Applies a seeded corruption plan (see [`dht_core::corrupt`]) to
+    /// the ring's routing state. Membership and query loads stay
+    /// untouched.
+    pub fn corrupt(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        let live: Vec<u64> = self.ids().collect();
+        let victims = plan.victims(&live);
+        let attacker = plan.pick(SALT_ATTACKER, 0, &live);
+        let space = self.config().space();
+        let mut report = CorruptionReport::default();
+        for &id in &victims {
+            let before = self.node(id).expect("victim is live").clone();
+            let mut next = before.clone();
+            match plan.strategy {
+                CorruptionStrategy::RandomizeLinks => {
+                    if let Some(p) = plan.pick(id, SALT_PRED, &live) {
+                        next.predecessor = p;
+                    }
+                    for (i, s) in next.successors.as_mut_slice().iter_mut().enumerate() {
+                        if let Some(v) = plan.pick(id, SALT_SUCC + i as u64, &live) {
+                            *s = v;
+                        }
+                    }
+                    for (i, f) in next.fingers.iter_mut().enumerate() {
+                        if let Some(v) = plan.pick(id, SALT_FINGER + i as u64, &live) {
+                            *f = v;
+                        }
+                    }
+                }
+                CorruptionStrategy::GhostLinks => {
+                    let is_live = |v: u64| live.binary_search(&v).is_ok();
+                    if let Some(g) = plan.ghost(id, SALT_PRED, space, is_live) {
+                        next.predecessor = g;
+                    }
+                    for (i, s) in next.successors.as_mut_slice().iter_mut().enumerate() {
+                        if let Some(g) = plan.ghost(id, SALT_SUCC + i as u64, space, is_live) {
+                            *s = g;
+                        }
+                    }
+                    for (i, f) in next.fingers.iter_mut().enumerate() {
+                        if let Some(g) = plan.ghost(id, SALT_FINGER + i as u64, space, is_live) {
+                            *f = g;
+                        }
+                    }
+                }
+                CorruptionStrategy::CrossWireLeafSets => {
+                    // Chord's "leaf set" is the ring neighborhood: rotate
+                    // the successor list one position and cross the
+                    // predecessor with the farthest successor.
+                    let slots = next.successors.as_mut_slice();
+                    slots.rotate_left(1);
+                    if let Some(last) = slots.last_mut() {
+                        std::mem::swap(&mut next.predecessor, last);
+                    }
+                }
+                CorruptionStrategy::ZeroLinks => {
+                    // The "knows nobody" reset state of a fresh node.
+                    next.predecessor = next.id;
+                    for s in next.successors.as_mut_slice() {
+                        *s = next.id;
+                    }
+                    for f in next.fingers.iter_mut() {
+                        *f = next.id;
+                    }
+                }
+                CorruptionStrategy::EclipseRegion => {
+                    if let Some(attacker) = attacker {
+                        next.predecessor = attacker;
+                        for s in next.successors.as_mut_slice() {
+                            *s = attacker;
+                        }
+                        for f in next.fingers.iter_mut() {
+                            *f = attacker;
+                        }
+                    }
+                }
+            }
+            let mutated = diff_count(&before, &next);
+            *self.node_mut(id).expect("victim is live") = next;
+            report.note(mutated);
+        }
+        report
+    }
+
+    /// One node's repair step: recompute predecessor, successor list and
+    /// fingers from live membership; returns entries rewritten (0 on a
+    /// healthy node). Ignores dead tokens.
+    pub fn repair_one(&mut self, id: u64) -> u64 {
+        if !self.is_live(id) {
+            return 0;
+        }
+        let before = self.node(id).expect("live node has state").clone();
+        self.refresh_node(id);
+        diff_count(&before, self.node(id).expect("still live"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ChordConfig;
+    use dht_core::audit::{AuditScope, StateAudit};
+
+    fn net(n: usize) -> ChordNetwork {
+        ChordNetwork::with_nodes(ChordConfig::new(11), n, 42)
+    }
+
+    fn repair_sweep(net: &mut ChordNetwork) -> u64 {
+        let ids: Vec<u64> = net.ids().collect();
+        ids.into_iter().map(|id| net.repair_one(id)).sum()
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_a_healthy_ring() {
+        let mut n = net(80);
+        assert!(n.audit(AuditScope::Full).is_clean());
+        assert_eq!(repair_sweep(&mut n), 0);
+    }
+
+    #[test]
+    fn every_strategy_is_detected_and_repaired() {
+        for strategy in CorruptionStrategy::ALL {
+            let mut n = net(80);
+            let plan = CorruptionPlan::new(strategy, 0.5, 9);
+            let report = n.corrupt(&plan);
+            assert_eq!(report.targeted_nodes, 40, "{strategy:?}");
+            assert!(report.corrupted_nodes > 0, "{strategy:?} did no damage");
+            assert!(
+                !n.audit(AuditScope::Full).is_clean(),
+                "{strategy:?} evaded the audit"
+            );
+            repair_sweep(&mut n);
+            assert!(
+                n.audit(AuditScope::Full).is_clean(),
+                "{strategy:?} not repaired: {}",
+                n.audit(AuditScope::Full)
+            );
+            assert_eq!(
+                repair_sweep(&mut n),
+                0,
+                "{strategy:?} repair not idempotent"
+            );
+        }
+    }
+}

@@ -38,6 +38,7 @@ mod audit;
 pub mod id;
 pub mod lookup;
 pub mod network;
+mod repair;
 pub mod state;
 
 pub use id::{CycloidId, Dim, KeyDistance};

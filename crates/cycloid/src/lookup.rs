@@ -320,6 +320,17 @@ impl SimOverlay for CycloidNetwork {
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
     }
+
+    fn corrupt_network(
+        &mut self,
+        plan: &dht_core::corrupt::CorruptionPlan,
+    ) -> dht_core::corrupt::CorruptionReport {
+        self.corrupt(plan)
+    }
+
+    fn repair_step(&mut self, node: NodeToken) -> u64 {
+        self.repair_one(CycloidId::from_linear(node, self.dim()))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,247 @@
+//! Self-stabilizing repair of corrupted routing state.
+//!
+//! The corrupt half maps the shared strategy catalogue
+//! ([`CorruptionStrategy`]) onto Cycloid's seven- or eleven-entry state:
+//! the three routing-table pointers (cubical, two cyclics) and the four
+//! leaf-set slots. The repair half is one node's stabilizer run as an
+//! *audited* recompute: rebuild the node's entire state from live
+//! membership ([`CycloidNetwork::refresh_node`]) and report how many
+//! entries actually changed. On a healthy node that count is zero and
+//! nothing else moves — repair draws from no RNG stream — which is what
+//! lets the churn engine substitute repair for stabilization without
+//! perturbing a single golden byte.
+
+use dht_core::corrupt::{CorruptionPlan, CorruptionReport, CorruptionStrategy};
+
+use crate::id::CycloidId;
+use crate::network::CycloidNetwork;
+use crate::state::{LeafSlot, NodeState};
+
+/// Salts separating the deterministic draws of distinct state entries.
+const SALT_CUBICAL: u64 = 1;
+const SALT_CYCLIC_LARGER: u64 = 2;
+const SALT_CYCLIC_SMALLER: u64 = 3;
+const SALT_INSIDE_LEFT: u64 = 0x10;
+const SALT_INSIDE_RIGHT: u64 = 0x20;
+const SALT_OUTSIDE_LEFT: u64 = 0x30;
+const SALT_OUTSIDE_RIGHT: u64 = 0x40;
+/// Salt for the eclipse attacker draw (network-wide, not per-victim).
+const SALT_ATTACKER: u64 = 0xa77a;
+
+/// Entries on which two states differ: the three pointers plus every
+/// position of the four leaf slots (a slot that changed length counts
+/// the longer side).
+fn diff_count(a: &NodeState, b: &NodeState) -> u64 {
+    let mut n = 0u64;
+    n += u64::from(a.cubical_neighbor != b.cubical_neighbor);
+    n += u64::from(a.cyclic_larger != b.cyclic_larger);
+    n += u64::from(a.cyclic_smaller != b.cyclic_smaller);
+    for (x, y) in [
+        (&a.inside_left, &b.inside_left),
+        (&a.inside_right, &b.inside_right),
+        (&a.outside_left, &b.outside_left),
+        (&a.outside_right, &b.outside_right),
+    ] {
+        n += slot_diff(x, y);
+    }
+    n
+}
+
+fn slot_diff(a: &LeafSlot, b: &LeafSlot) -> u64 {
+    let common = a.len().min(b.len());
+    let mut n = (a.len().max(b.len()) - common) as u64;
+    for i in 0..common {
+        n += u64::from(a.as_slice()[i] != b.as_slice()[i]);
+    }
+    n
+}
+
+impl CycloidNetwork {
+    /// Applies a seeded corruption plan (see [`dht_core::corrupt`]) to
+    /// this network's routing state. Membership, the cycle indexes, and
+    /// query loads are untouched — corruption damages what nodes
+    /// *believe*, not who exists.
+    pub fn corrupt(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        let dim = self.dim();
+        let live: Vec<u64> = self.ids().map(|id| id.linear(dim)).collect();
+        let victims = plan.victims(&live);
+        let attacker = plan
+            .pick(SALT_ATTACKER, 0, &live)
+            .map(|t| CycloidId::from_linear(t, dim));
+        let mut report = CorruptionReport::default();
+        for &tok in &victims {
+            let id = CycloidId::from_linear(tok, dim);
+            let before = self
+                .node(id)
+                .expect("victim chosen from live tokens")
+                .clone();
+            let mut next = before.clone();
+            match plan.strategy {
+                CorruptionStrategy::RandomizeLinks => {
+                    let rand_id = |salt: u64| {
+                        plan.pick(tok, salt, &live)
+                            .map(|t| CycloidId::from_linear(t, dim))
+                    };
+                    next.cubical_neighbor = rand_id(SALT_CUBICAL);
+                    next.cyclic_larger = rand_id(SALT_CYCLIC_LARGER);
+                    next.cyclic_smaller = rand_id(SALT_CYCLIC_SMALLER);
+                    for (slot, base) in slots(&mut next) {
+                        for (i, entry) in slot.as_mut_slice().iter_mut().enumerate() {
+                            if let Some(r) = rand_id(base + i as u64) {
+                                *entry = r;
+                            }
+                        }
+                    }
+                }
+                CorruptionStrategy::GhostLinks => {
+                    let space = dim.id_space();
+                    let is_live = |v: u64| live.binary_search(&v).is_ok();
+                    let ghost_id = |salt: u64| {
+                        plan.ghost(tok, salt, space, is_live)
+                            .map(|t| CycloidId::from_linear(t, dim))
+                    };
+                    next.cubical_neighbor = ghost_id(SALT_CUBICAL).or(next.cubical_neighbor);
+                    next.cyclic_larger = ghost_id(SALT_CYCLIC_LARGER).or(next.cyclic_larger);
+                    next.cyclic_smaller = ghost_id(SALT_CYCLIC_SMALLER).or(next.cyclic_smaller);
+                    for (slot, base) in slots(&mut next) {
+                        for (i, entry) in slot.as_mut_slice().iter_mut().enumerate() {
+                            if let Some(g) = ghost_id(base + i as u64) {
+                                *entry = g;
+                            }
+                        }
+                    }
+                }
+                CorruptionStrategy::CrossWireLeafSets => {
+                    std::mem::swap(&mut next.inside_left, &mut next.inside_right);
+                    std::mem::swap(&mut next.outside_left, &mut next.outside_right);
+                    std::mem::swap(&mut next.cyclic_larger, &mut next.cyclic_smaller);
+                }
+                CorruptionStrategy::ZeroLinks => {
+                    next.cubical_neighbor = None;
+                    next.cyclic_larger = None;
+                    next.cyclic_smaller = None;
+                    next.inside_left.clear();
+                    next.inside_right.clear();
+                    next.outside_left.clear();
+                    next.outside_right.clear();
+                }
+                CorruptionStrategy::EclipseRegion => {
+                    if let Some(attacker) = attacker {
+                        next.cubical_neighbor = Some(attacker);
+                        next.cyclic_larger = Some(attacker);
+                        next.cyclic_smaller = Some(attacker);
+                        for (slot, _) in slots(&mut next) {
+                            for entry in slot.as_mut_slice().iter_mut() {
+                                *entry = attacker;
+                            }
+                        }
+                    }
+                }
+            }
+            let mutated = diff_count(&before, &next);
+            *self.node_mut(id).expect("victim is live") = next;
+            report.note(mutated);
+        }
+        report
+    }
+
+    /// One node's repair step: recompute its full routing state from
+    /// live membership and return the number of entries rewritten. An
+    /// exact no-op (returning 0) on a healthy node; ignores dead tokens.
+    pub fn repair_one(&mut self, id: CycloidId) -> u64 {
+        if !self.is_live(id) {
+            return 0;
+        }
+        let before = self.node(id).expect("live node has state").clone();
+        self.refresh_node(id);
+        diff_count(&before, self.node(id).expect("still live"))
+    }
+}
+
+/// The four leaf slots of a state with their per-slot salt bases.
+fn slots(state: &mut NodeState) -> [(&mut LeafSlot, u64); 4] {
+    [
+        (&mut state.inside_left, SALT_INSIDE_LEFT),
+        (&mut state.inside_right, SALT_INSIDE_RIGHT),
+        (&mut state.outside_left, SALT_OUTSIDE_LEFT),
+        (&mut state.outside_right, SALT_OUTSIDE_RIGHT),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CycloidConfig;
+    use dht_core::audit::{AuditScope, StateAudit};
+
+    fn net(n: usize) -> CycloidNetwork {
+        CycloidNetwork::with_nodes(CycloidConfig::seven_entry(5), n, 42)
+    }
+
+    fn repair_sweep(net: &mut CycloidNetwork) -> u64 {
+        let ids: Vec<CycloidId> = net.ids().collect();
+        ids.into_iter().map(|id| net.repair_one(id)).sum()
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_a_healthy_network() {
+        let mut n = net(80);
+        assert!(n.audit(AuditScope::Full).is_clean());
+        assert_eq!(repair_sweep(&mut n), 0);
+    }
+
+    #[test]
+    fn every_strategy_is_detected_and_repaired() {
+        for strategy in CorruptionStrategy::ALL {
+            let mut n = net(80);
+            let plan = CorruptionPlan::new(strategy, 0.5, 9);
+            let report = n.corrupt(&plan);
+            assert_eq!(report.targeted_nodes, 40, "{strategy:?}");
+            assert!(report.corrupted_nodes > 0, "{strategy:?} did no damage");
+            assert!(
+                !n.audit(AuditScope::Full).is_clean(),
+                "{strategy:?} evaded the audit"
+            );
+            let fixed = repair_sweep(&mut n);
+            assert!(fixed >= report.mutated_entries / 2, "{strategy:?}");
+            assert!(
+                n.audit(AuditScope::Full).is_clean(),
+                "{strategy:?} not repaired: {}",
+                n.audit(AuditScope::Full)
+            );
+            assert_eq!(
+                repair_sweep(&mut n),
+                0,
+                "{strategy:?} repair not idempotent"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let plan = CorruptionPlan::new(CorruptionStrategy::RandomizeLinks, 0.3, 77);
+        let run = || {
+            let mut n = net(64);
+            let rep = n.corrupt(&plan);
+            let states: Vec<String> = n
+                .ids()
+                .map(|id| format!("{:?}", n.node(id).unwrap()))
+                .collect();
+            (rep, states)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corruption_leaves_membership_alone() {
+        let mut n = net(64);
+        let before: Vec<CycloidId> = n.ids().collect();
+        n.corrupt(&CorruptionPlan::new(
+            CorruptionStrategy::EclipseRegion,
+            1.0,
+            3,
+        ));
+        let after: Vec<CycloidId> = n.ids().collect();
+        assert_eq!(before, after);
+    }
+}

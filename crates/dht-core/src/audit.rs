@@ -288,6 +288,77 @@ mod tests {
     }
 
     #[test]
+    fn merging_empty_reports_is_identity() {
+        let mut r = AuditReport::new("Test", AuditScope::Full);
+        r.note_checked(4);
+        r.record(1, "test/x", "boom".into());
+        let before = (r.checked_nodes(), r.violations().to_vec());
+        // An empty same-scope merge and an empty cross-scope merge both
+        // leave the receiver untouched (scope is metadata, not a guard).
+        r.merge(AuditReport::new("Test", AuditScope::Full));
+        r.merge(AuditReport::new("Elsewhere", AuditScope::Online));
+        assert_eq!(r.checked_nodes(), before.0);
+        assert_eq!(r.violations(), before.1.as_slice());
+        // And a chain of empty-into-empty merges stays clean.
+        let mut empty = AuditReport::new("Test", AuditScope::Online);
+        empty.merge(AuditReport::new("Test", AuditScope::Online));
+        empty.merge(AuditReport::new("Test", AuditScope::Full));
+        assert!(empty.is_clean());
+        assert_eq!(empty.checked_nodes(), 0);
+    }
+
+    #[test]
+    fn duplicate_invariant_names_dedup_in_first_hit_order() {
+        let mut r = AuditReport::new("Test", AuditScope::Full);
+        r.record(1, "test/b", "1".into());
+        r.record(2, "test/a", "2".into());
+        r.record(3, "test/b", "3".into());
+        let mut other = AuditReport::new("Test", AuditScope::Full);
+        other.record(4, "test/a", "4".into());
+        other.record(5, "test/c", "5".into());
+        r.merge(other);
+        // Every individual violation is kept...
+        assert_eq!(r.violations().len(), 5);
+        // ...but the distinct-name view dedups, preserving first-hit
+        // order across the merge boundary.
+        assert_eq!(r.violated_invariants(), vec!["test/b", "test/a", "test/c"]);
+    }
+
+    #[test]
+    fn merge_across_scopes_keeps_receiver_identity_but_all_violations() {
+        // The churn engine merges per-round Online passes; a Full pass
+        // folded in afterwards must not relabel the accumulator, yet its
+        // violations still count.
+        let mut acc = AuditReport::new("Cycloid(7)", AuditScope::Online);
+        acc.note_checked(10);
+        let mut full = AuditReport::new("Cycloid(7)", AuditScope::Full);
+        full.note_checked(10);
+        full.record(3, "cycloid/cubical-neighbor", "stale".into());
+        acc.merge(full);
+        assert_eq!(acc.scope(), AuditScope::Online);
+        assert_eq!(acc.overlay(), "Cycloid(7)");
+        assert_eq!(acc.checked_nodes(), 20);
+        assert!(!acc.is_clean());
+        assert_eq!(acc.violated_invariants(), vec!["cycloid/cubical-neighbor"]);
+    }
+
+    #[test]
+    fn check_eq_handles_option_and_collection_values() {
+        let mut r = AuditReport::new("Test", AuditScope::Full);
+        // Equal values — including None == None — record nothing.
+        r.check_eq(1, "test/none", &None::<u64>, &None::<u64>);
+        r.check_eq(2, "test/vec-eq", &vec![1u64, 2], &vec![1u64, 2]);
+        assert!(r.is_clean());
+        // None vs Some and length-mismatched collections both render an
+        // expected-vs-actual detail.
+        r.check_eq(3, "test/opt", &None::<u64>, &Some(9u64));
+        r.check_eq(4, "test/vec", &vec![1u64], &vec![1u64, 2]);
+        assert_eq!(r.violations().len(), 2);
+        assert_eq!(r.violations()[0].detail, "expected Some(9), found None");
+        assert_eq!(r.violations()[1].detail, "expected [1, 2], found [1]");
+    }
+
+    #[test]
     fn display_lists_violations() {
         let mut r = AuditReport::new("Test", AuditScope::Full);
         r.note_checked(1);

@@ -1,0 +1,309 @@
+//! Deterministic corruption of routing state — the adversary half of
+//! the self-stabilization contract.
+//!
+//! The audit subsystem ([`crate::audit`]) *detects* divergence from
+//! paper-specified routing state but repairs nothing. This module
+//! supplies the other two pieces needed to prove the repair layer
+//! correct: a catalogue of named corruption strategies
+//! ([`CorruptionStrategy`]) and a seeded, fully deterministic plan
+//! ([`CorruptionPlan`]) for applying one to a chosen fraction of a
+//! network. Overlays implement the actual mutations (they own their
+//! state layouts) via `SimOverlay::corrupt_network`; this module only
+//! decides *who* gets corrupted and supplies deterministic draws for
+//! *what* to write, so that a `(strategy, severity, seed)` triple
+//! names exactly one corrupted network.
+//!
+//! Two properties matter for the test harness built on top:
+//!
+//! - **Exact-count victim selection.** [`CorruptionPlan::victims`]
+//!   targets exactly `ceil(severity * n)` nodes for *every* seed — a
+//!   per-node coin flip would make "≥25% of nodes corrupted" a
+//!   probabilistic claim and the convergence proptests flaky.
+//! - **No RNG objects.** All draws are pure [`splitmix64`] chains over
+//!   `(seed, token, salt)`. Corruption consumes nothing from the
+//!   overlay's seeded RNG streams, so a corrupt-then-repair episode
+//!   composes with any workload without perturbing its draws.
+
+use crate::hash::splitmix64;
+
+/// A named way of damaging routing state. Each overlay maps the
+/// strategy onto its own link layout (fingers, de Bruijn pointers,
+/// leaf sets, zones…); the strategy names the *shape* of the damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionStrategy {
+    /// Overwrite links with arbitrary (live) nodes: routing still lands
+    /// somewhere real, but in the wrong place.
+    RandomizeLinks,
+    /// Point links at identifiers that are *not* live — departed or
+    /// never-joined "ghost" nodes, the stale-entry hazard of §4.3.
+    GhostLinks,
+    /// Swap paired link sets against each other (smaller↔larger leaf
+    /// halves, inside↔outside leaf sets), breaking ordering invariants
+    /// while keeping every entry individually plausible.
+    CrossWireLeafSets,
+    /// Zero out long-range state (fingers, de Bruijn pointers, prefix
+    /// tables), degrading routing to its fallback paths.
+    ZeroLinks,
+    /// Rewrite every victim's links to one seeded "attacker" node,
+    /// eclipsing a contiguous region of the identifier space behind a
+    /// single sink.
+    EclipseRegion,
+}
+
+impl CorruptionStrategy {
+    /// Every strategy, in catalogue order.
+    pub const ALL: [CorruptionStrategy; 5] = [
+        CorruptionStrategy::RandomizeLinks,
+        CorruptionStrategy::GhostLinks,
+        CorruptionStrategy::CrossWireLeafSets,
+        CorruptionStrategy::ZeroLinks,
+        CorruptionStrategy::EclipseRegion,
+    ];
+
+    /// Short stable name, used in experiment tables and metric keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionStrategy::RandomizeLinks => "randomize",
+            CorruptionStrategy::GhostLinks => "ghost",
+            CorruptionStrategy::CrossWireLeafSets => "crosswire",
+            CorruptionStrategy::ZeroLinks => "zero",
+            CorruptionStrategy::EclipseRegion => "eclipse",
+        }
+    }
+}
+
+/// A seeded plan: which strategy, what fraction of the network, under
+/// which seed. A plan is pure data — applying it twice to identical
+/// networks produces identical damage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionPlan {
+    /// The damage shape.
+    pub strategy: CorruptionStrategy,
+    /// Fraction of live nodes to target, in `[0, 1]`. Exactly
+    /// `ceil(severity * n)` nodes are selected.
+    pub severity: f64,
+    /// Master seed for victim selection and value draws.
+    pub seed: u64,
+}
+
+impl CorruptionPlan {
+    /// Builds a plan, clamping `severity` into `[0, 1]`.
+    #[must_use]
+    pub fn new(strategy: CorruptionStrategy, severity: f64, seed: u64) -> Self {
+        Self {
+            strategy,
+            severity: severity.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// Selects exactly `ceil(severity * n)` victim tokens from `tokens`,
+    /// returned in ascending token order.
+    ///
+    /// For [`CorruptionStrategy::EclipseRegion`] the victims are a
+    /// contiguous (wrap-around) arc of the ascending token list — a
+    /// *region* of identifier space. Every other strategy ranks tokens
+    /// by a per-token hash and takes the `k` smallest ranks, i.e. a
+    /// seeded uniform sample without replacement.
+    #[must_use]
+    pub fn victims(&self, tokens: &[u64]) -> Vec<u64> {
+        let n = tokens.len();
+        let k = ((self.severity * n as f64).ceil() as usize).min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut sorted: Vec<u64> = tokens.to_vec();
+        sorted.sort_unstable();
+        let mut chosen: Vec<u64> = match self.strategy {
+            CorruptionStrategy::EclipseRegion => {
+                let start = (splitmix64(self.seed) % n as u64) as usize;
+                (0..k).map(|i| sorted[(start + i) % n]).collect()
+            }
+            _ => {
+                let mut ranked: Vec<(u64, u64)> = sorted
+                    .iter()
+                    .map(|&t| (splitmix64(self.seed ^ splitmix64(t)), t))
+                    .collect();
+                ranked.sort_unstable();
+                ranked.truncate(k);
+                ranked.into_iter().map(|(_, t)| t).collect()
+            }
+        };
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// A deterministic 64-bit draw for `(victim token, salt)`. Distinct
+    /// salts give independent-looking draws for distinct entries of the
+    /// same node; no RNG object is involved.
+    #[must_use]
+    pub fn draw(&self, token: u64, salt: u64) -> u64 {
+        splitmix64(splitmix64(self.seed ^ splitmix64(token)) ^ splitmix64(salt))
+    }
+
+    /// Picks one element of `pool` for `(token, salt)`; `None` when the
+    /// pool is empty.
+    #[must_use]
+    pub fn pick(&self, token: u64, salt: u64, pool: &[u64]) -> Option<u64> {
+        if pool.is_empty() {
+            return None;
+        }
+        Some(pool[(self.draw(token, salt) % pool.len() as u64) as usize])
+    }
+
+    /// Draws an identifier in `[0, space)` that `is_live` rejects — a
+    /// ghost. Probes up to 32 distinct draws before giving up (`None`
+    /// only when the space is saturated with live nodes).
+    #[must_use]
+    pub fn ghost(
+        &self,
+        token: u64,
+        salt: u64,
+        space: u64,
+        is_live: impl Fn(u64) -> bool,
+    ) -> Option<u64> {
+        if space == 0 {
+            return None;
+        }
+        (0..32)
+            .map(|probe| self.draw(token, salt ^ (0x9e37 + probe)) % space)
+            .find(|&cand| !is_live(cand))
+    }
+}
+
+/// What a corruption pass actually did — the harness uses it to assert
+/// the adversary really damaged as much as the plan demanded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Nodes the plan selected as victims.
+    pub targeted_nodes: usize,
+    /// Victims whose state actually changed (a victim whose drawn value
+    /// happened to equal the current one stays healthy).
+    pub corrupted_nodes: usize,
+    /// Total routing entries rewritten across all victims.
+    pub mutated_entries: u64,
+}
+
+impl CorruptionReport {
+    /// Records one visited victim that had `mutated` entries rewritten.
+    pub fn note(&mut self, mutated: u64) {
+        self.targeted_nodes += 1;
+        if mutated > 0 {
+            self.corrupted_nodes += 1;
+            self.mutated_entries += mutated;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(n: u64) -> Vec<u64> {
+        // Deliberately unsorted input: victims() must not rely on order.
+        (0..n).map(|i| splitmix64(i) % 10_000).collect()
+    }
+
+    #[test]
+    fn victims_hit_the_exact_ceiling_count() {
+        let toks: Vec<u64> = (0..97).collect();
+        for &sev in &[0.0, 0.01, 0.25, 0.5, 0.999, 1.0] {
+            for seed in 0..8 {
+                let plan = CorruptionPlan::new(CorruptionStrategy::RandomizeLinks, sev, seed);
+                let want = ((sev * 97.0).ceil() as usize).min(97);
+                assert_eq!(plan.victims(&toks).len(), want, "sev={sev} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn victims_are_sorted_deduplicated_members() {
+        let toks = tokens(64);
+        for strategy in CorruptionStrategy::ALL {
+            let plan = CorruptionPlan::new(strategy, 0.4, 9);
+            let v = plan.victims(&toks);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{strategy:?} sorted");
+            assert!(v.iter().all(|t| toks.contains(t)), "{strategy:?} members");
+            assert_eq!(v, plan.victims(&toks), "{strategy:?} deterministic");
+        }
+    }
+
+    #[test]
+    fn eclipse_selects_a_contiguous_arc() {
+        let toks: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let plan = CorruptionPlan::new(CorruptionStrategy::EclipseRegion, 0.3, 123);
+        let v = plan.victims(&toks);
+        assert_eq!(v.len(), 15);
+        // In the ascending token circle, a wrap-around arc has at most
+        // one gap between consecutive selected positions.
+        let positions: Vec<usize> = v
+            .iter()
+            .map(|t| toks.iter().position(|x| x == t).unwrap())
+            .collect();
+        let gaps = positions.windows(2).filter(|w| w[1] != w[0] + 1).count();
+        assert!(gaps <= 1, "positions not contiguous: {positions:?}");
+    }
+
+    #[test]
+    fn distinct_seeds_select_distinct_victims() {
+        let toks = tokens(200);
+        let a = CorruptionPlan::new(CorruptionStrategy::GhostLinks, 0.25, 1).victims(&toks);
+        let b = CorruptionPlan::new(CorruptionStrategy::GhostLinks, 0.25, 2).victims(&toks);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn draw_is_salt_and_token_sensitive() {
+        let plan = CorruptionPlan::new(CorruptionStrategy::ZeroLinks, 0.5, 77);
+        assert_ne!(plan.draw(1, 0), plan.draw(1, 1));
+        assert_ne!(plan.draw(1, 0), plan.draw(2, 0));
+        assert_eq!(plan.draw(1, 0), plan.draw(1, 0));
+    }
+
+    #[test]
+    fn pick_stays_in_pool_and_handles_empty() {
+        let plan = CorruptionPlan::new(CorruptionStrategy::RandomizeLinks, 0.5, 5);
+        assert_eq!(plan.pick(1, 0, &[]), None);
+        let pool = [10, 20, 30];
+        for salt in 0..20 {
+            let got = plan.pick(7, salt, &pool).unwrap();
+            assert!(pool.contains(&got));
+        }
+    }
+
+    #[test]
+    fn ghost_avoids_live_identifiers() {
+        let plan = CorruptionPlan::new(CorruptionStrategy::GhostLinks, 0.5, 5);
+        let live = |id: u64| id.is_multiple_of(2);
+        for salt in 0..20 {
+            let g = plan.ghost(3, salt, 1 << 20, live).unwrap();
+            assert!(g % 2 == 1, "drew a live id {g}");
+            assert!(g < (1 << 20));
+        }
+        // Saturated space: every id live, no ghost exists.
+        assert_eq!(plan.ghost(3, 0, 4, |_| true), None);
+        assert_eq!(plan.ghost(3, 0, 0, |_| false), None);
+    }
+
+    #[test]
+    fn severity_is_clamped() {
+        let plan = CorruptionPlan::new(CorruptionStrategy::ZeroLinks, 7.0, 1);
+        assert_eq!(plan.severity, 1.0);
+        let plan = CorruptionPlan::new(CorruptionStrategy::ZeroLinks, -3.0, 1);
+        assert_eq!(plan.severity, 0.0);
+        assert!(plan.victims(&[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn report_counts_targeted_vs_corrupted() {
+        let mut rep = CorruptionReport::default();
+        rep.note(0);
+        rep.note(3);
+        rep.note(2);
+        assert_eq!(rep.targeted_nodes, 3);
+        assert_eq!(rep.corrupted_nodes, 2);
+        assert_eq!(rep.mutated_entries, 5);
+    }
+}

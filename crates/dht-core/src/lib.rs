@@ -10,6 +10,9 @@
 //! * [`clock`] — the virtual clock: the deterministic discrete-event
 //!   kernel ([`clock::EventQueue`], FIFO tie-breaking, Poisson arrival
 //!   sampling) every temporal simulation in the workspace runs on,
+//! * [`corrupt`] — seeded adversarial corruption of routing state
+//!   ([`corrupt::CorruptionPlan`], [`corrupt::CorruptionStrategy`]): the
+//!   damage half of the self-stabilization test harness,
 //! * [`hash`] — the consistent-hashing primitive used to map node names and
 //!   object keys onto identifier spaces,
 //! * [`rng`] — deterministic, seedable randomness so every experiment is
@@ -45,6 +48,7 @@
 
 pub mod audit;
 pub mod clock;
+pub mod corrupt;
 pub mod hash;
 pub mod inline;
 pub mod lookup;
@@ -60,6 +64,7 @@ pub mod workload;
 
 pub use audit::{AuditReport, AuditScope, AuditViolation, StateAudit};
 pub use clock::{exp_delay, EventQueue, SimTime, SECOND};
+pub use corrupt::{CorruptionPlan, CorruptionReport, CorruptionStrategy};
 pub use inline::InlineVec;
 pub use lookup::{HopPhase, LookupOutcome, LookupTrace};
 pub use net::{DelayModel, FaultPlan, NetConditions, NetCosts, RetryPolicy};

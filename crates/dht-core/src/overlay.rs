@@ -11,6 +11,7 @@ use std::any::Any;
 use rand::RngCore;
 
 use crate::audit::{AuditReport, AuditScope};
+use crate::corrupt::{CorruptionPlan, CorruptionReport};
 use crate::lookup::LookupTrace;
 use crate::net::NetConditions;
 use crate::obs::SinkHandle;
@@ -120,6 +121,26 @@ pub trait Overlay {
     /// [`crate::audit::StateAudit`] impl override this to run it.
     fn audit_state(&self, scope: AuditScope) -> AuditReport {
         AuditReport::new(self.name(), scope)
+    }
+
+    /// Seeded, deterministic corruption of routing state — the adversary
+    /// half of the self-stabilization contract (see [`crate::corrupt`]).
+    /// The returned report says how much damage was actually done. The
+    /// default corrupts nothing.
+    fn corrupt_state(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        let _ = plan;
+        CorruptionReport::default()
+    }
+
+    /// One node's repair routine: recomputes the routing entries its
+    /// stabilizer owns from live membership and returns how many entries
+    /// were rewritten. Repair subsumes [`Overlay::stabilize_node`] (the
+    /// churn engine fires it *instead of* the stabilizer when repair is
+    /// enabled) and must be an exact no-op on healthy state. The default
+    /// delegates to the stabilizer and reports zero rewrites.
+    fn repair_node(&mut self, node: NodeToken) -> u64 {
+        self.stabilize_node(node);
+        0
     }
 
     /// Per-node query loads: number of lookup messages each live node has
@@ -282,6 +303,14 @@ impl Overlay for Box<dyn Overlay> {
 
     fn audit_state(&self, scope: AuditScope) -> AuditReport {
         (**self).audit_state(scope)
+    }
+
+    fn corrupt_state(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        (**self).corrupt_state(plan)
+    }
+
+    fn repair_node(&mut self, node: NodeToken) -> u64 {
+        (**self).repair_node(node)
     }
 
     fn query_loads(&self) -> Vec<u64> {

@@ -73,6 +73,7 @@ use std::collections::HashSet;
 use rand::RngCore;
 
 use crate::audit::{AuditReport, AuditScope};
+use crate::corrupt::{CorruptionPlan, CorruptionReport};
 use crate::hash::IdAllocator;
 use crate::lookup::{HopPhase, LookupOutcome, LookupTrace};
 use crate::net::{NetConditions, NetCosts};
@@ -801,6 +802,31 @@ pub trait SimOverlay: Sync + 'static {
     /// [`Overlay`] impl forwards [`Overlay::audit_state`] here.
     fn audit_network(&self, scope: AuditScope) -> AuditReport {
         AuditReport::new(self.label(), scope)
+    }
+
+    /// Applies a seeded corruption plan to the network's routing state
+    /// (see [`crate::corrupt`]): the plan chooses the victims and the
+    /// value draws, the overlay maps the plan's strategy onto its own
+    /// link layout. Implementations must be deterministic in
+    /// `(current state, plan)` and must not draw from any RNG stream.
+    /// The default corrupts nothing — overlays without mutable routing
+    /// links report zero targets.
+    fn corrupt_network(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        let _ = plan;
+        CorruptionReport::default()
+    }
+
+    /// One node's *repair* routine: recomputes every routing entry the
+    /// node's stabilizer owns from live membership and returns how many
+    /// entries were actually rewritten. Repair subsumes
+    /// [`SimOverlay::stabilize_one`] — on a healthy network it must be
+    /// an exact no-op (zero rewrites, no other state change, no RNG
+    /// draws), which is what pins goldens and repair-enabled churn runs
+    /// byte-identical. The default falls back to the stabilizer and
+    /// reports zero rewrites.
+    fn repair_step(&mut self, node: NodeToken) -> u64 {
+        self.stabilize_one(node);
+        0
     }
 
     /// Heap bytes owned by one node's routing state beyond
@@ -1580,6 +1606,14 @@ impl<T: SimOverlay> Overlay for T {
 
     fn audit_state(&self, scope: AuditScope) -> AuditReport {
         self.audit_network(scope)
+    }
+
+    fn corrupt_state(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        self.corrupt_network(plan)
+    }
+
+    fn repair_node(&mut self, node: NodeToken) -> u64 {
+        self.repair_step(node)
     }
 
     fn query_loads(&self) -> Vec<u64> {

@@ -100,6 +100,15 @@ pub struct ChurnParams {
     pub time: TimeModel,
     /// Stabilization timer phasing. Default: [`StabilizePhase::Hashed`].
     pub phase: StabilizePhase,
+    /// Run each node's self-stabilizing repair routine
+    /// ([`Overlay::repair_node`]) on its stabilization timer *instead of*
+    /// the plain stabilizer. Repair subsumes stabilization — on a healthy
+    /// or merely stale network it performs exactly the refresh the
+    /// stabilizer would (same state, same RNG draws), so enabling it on
+    /// an uncorrupted run is bit-identical to leaving it off; the
+    /// difference is that repaired entries are counted into
+    /// [`ChurnOutcome::repair_entries`]. Default: false.
+    pub repair: bool,
 }
 
 impl Default for ChurnParams {
@@ -116,6 +125,7 @@ impl Default for ChurnParams {
             jobs: 1,
             time: TimeModel::default(),
             phase: StabilizePhase::default(),
+            repair: false,
         }
     }
 }
@@ -167,6 +177,11 @@ pub struct ChurnOutcome {
     /// [`TimeModel::Rounds`], where lookups never span membership
     /// events.
     pub stranded: usize,
+    /// Routing-state entries rewritten by repair routines, summed over
+    /// every [`Overlay::repair_node`] call the run fired. Always zero
+    /// when [`ChurnParams::repair`] is off, and zero on a run whose
+    /// network was never corrupted (repair is a no-op on healthy state).
+    pub repair_entries: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,15 +257,22 @@ impl BucketIndex {
         self.buckets[b].remove(&token);
     }
 
-    /// Runs the stabilization routines of every node in `bucket`, in
-    /// ascending token order. Returns the number of routines invoked.
-    fn fire(&self, overlay: &mut dyn Overlay, bucket: u64) -> u64 {
+    /// Runs the stabilization (or, with `repair`, the self-stabilizing
+    /// repair) routines of every node in `bucket`, in ascending token
+    /// order. Returns the number of routines invoked and the entries
+    /// repaired (always zero without `repair`).
+    fn fire(&self, overlay: &mut dyn Overlay, bucket: u64, repair: bool) -> (u64, u64) {
         let mut calls = 0;
+        let mut entries = 0;
         for &token in &self.buckets[bucket as usize] {
-            overlay.stabilize_node(token);
+            if repair {
+                entries += overlay.repair_node(token);
+            } else {
+                overlay.stabilize_node(token);
+            }
             calls += 1;
         }
-        calls
+        (calls, entries)
     }
 }
 
@@ -298,6 +320,33 @@ pub(crate) fn stabilize_bucket(
     calls
 }
 
+/// [`stabilize_bucket`]'s repair-mode sibling: the same per-second timer
+/// phasing, but each firing node runs [`Overlay::repair_node`] instead of
+/// its stabilizer. Returns `(routines invoked, entries repaired)`. Used by
+/// the churn engines when [`ChurnParams::repair`] is set and by the
+/// recovery experiment, which drives repair over a static corrupted
+/// population.
+pub(crate) fn repair_bucket(
+    overlay: &mut dyn Overlay,
+    phase: StabilizePhase,
+    period: u64,
+    bucket: u64,
+) -> (u64, u64) {
+    let mut calls = 0;
+    let mut entries = 0;
+    for token in overlay.node_tokens() {
+        let fires = match phase {
+            StabilizePhase::Hashed => dht_core::hash::splitmix64(token) % period == bucket,
+            StabilizePhase::Synchronized => bucket + 1 == period,
+        };
+        if fires {
+            entries += overlay.repair_node(token);
+            calls += 1;
+        }
+    }
+    (calls, entries)
+}
+
 /// Runs the churn simulation on `overlay`, which should already contain
 /// the starting population, under the [`TimeModel`] the parameters
 /// select.
@@ -334,6 +383,7 @@ pub fn run_churn(
         elapsed_us: Vec::new(),
         sim_end_us: 0,
         stranded: 0,
+        repair_entries: 0,
     };
     match params.time {
         TimeModel::Rounds => run_rounds(overlay, &params, rng, &mut outcome),
@@ -447,10 +497,13 @@ fn run_rounds(
             }
             Event::StabilizeBucket(bucket) => {
                 flush(overlay, outcome, &mut pending);
-                outcome.stabilize_calls += match buckets.as_ref() {
-                    Some(idx) => idx.fire(overlay, bucket),
-                    None => stabilize_bucket(overlay, params.phase, period, bucket),
+                let (calls, entries) = match buckets.as_ref() {
+                    Some(idx) => idx.fire(overlay, bucket, params.repair),
+                    None if params.repair => repair_bucket(overlay, params.phase, period, bucket),
+                    None => (stabilize_bucket(overlay, params.phase, period, bucket), 0),
                 };
+                outcome.stabilize_calls += calls;
+                outcome.repair_entries += entries;
                 // The last bucket closes a full stabilization round:
                 // every online invariant must hold right now, mid-churn.
                 if bucket + 1 == period {
@@ -610,10 +663,13 @@ fn run_continuous(
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Leave);
             }
             Event::StabilizeBucket(bucket) => {
-                outcome.stabilize_calls += match buckets.as_ref() {
-                    Some(idx) => idx.fire(overlay, bucket),
-                    None => stabilize_bucket(overlay, params.phase, period, bucket),
+                let (calls, entries) = match buckets.as_ref() {
+                    Some(idx) => idx.fire(overlay, bucket, params.repair),
+                    None if params.repair => repair_bucket(overlay, params.phase, period, bucket),
+                    None => (stabilize_bucket(overlay, params.phase, period, bucket), 0),
                 };
+                outcome.stabilize_calls += calls;
+                outcome.repair_entries += entries;
                 if bucket + 1 == period {
                     let round = outcome.stabilize_rounds;
                     outcome.stabilize_rounds += 1;
@@ -652,6 +708,7 @@ mod tests {
             jobs: 1,
             time: TimeModel::Rounds,
             phase: StabilizePhase::Hashed,
+            repair: false,
         }
     }
 
@@ -741,6 +798,57 @@ mod tests {
         assert!(out.stabilize_calls > 0, "stabilization must run");
         assert!(out.stabilize_rounds > 0, "at least one full round");
         assert_eq!(out.audit_us, 0, "no audit requested, no audit time");
+    }
+
+    #[test]
+    fn repair_mode_is_bit_identical_to_stabilization_under_churn() {
+        let run = |repair: bool| {
+            let mut net = build_overlay(OverlayKind::Cycloid7, 256, 1);
+            let mut rng = stream(2, "repair-churn");
+            let mut params = small_params(0.2);
+            params.audit = true;
+            params.repair = repair;
+            run_churn(net.as_mut(), params, &mut rng)
+        };
+        let plain = run(false);
+        let repaired = run(true);
+        // Repair subsumes stabilization: the same timers fire the same
+        // state transitions, so every measurement stream matches.
+        assert_eq!(plain.path_lens, repaired.path_lens);
+        assert_eq!(plain.latency_us, repaired.latency_us);
+        assert_eq!(plain.joins, repaired.joins);
+        assert_eq!(plain.leaves, repaired.leaves);
+        assert_eq!(plain.stabilize_calls, repaired.stabilize_calls);
+        assert_eq!(plain.repair_entries, 0, "repair off never counts entries");
+        assert!(repaired.audit.expect("audit requested").is_clean());
+    }
+
+    #[test]
+    fn repair_mode_counts_nothing_on_a_steady_network() {
+        let mut net = build_overlay(OverlayKind::Cycloid7, 128, 3);
+        let mut rng = stream(4, "repair-steady");
+        let mut params = small_params(0.0);
+        params.repair = true;
+        let out = run_churn(net.as_mut(), params, &mut rng);
+        assert!(out.stabilize_calls > 0, "repair timers must fire");
+        assert_eq!(out.repair_entries, 0, "healthy network: nothing to repair");
+    }
+
+    #[test]
+    fn continuous_repair_mode_matches_plain_stabilization() {
+        let run = |repair: bool| {
+            let mut net = build_overlay(OverlayKind::Chord, 128, 13);
+            let mut rng = stream(14, "cont-repair");
+            let mut params = continuous_params(0.3);
+            params.repair = repair;
+            run_churn(net.as_mut(), params, &mut rng)
+        };
+        let plain = run(false);
+        let repaired = run(true);
+        assert_eq!(plain.path_lens, repaired.path_lens);
+        assert_eq!(plain.elapsed_us, repaired.elapsed_us);
+        assert_eq!(plain.sim_end_us, repaired.sim_end_us);
+        assert_eq!(plain.stabilize_calls, repaired.stabilize_calls);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod maintenance;
 pub mod mass_departure;
 pub mod path_length;
 pub mod query_load;
+pub mod recover;
 pub mod scale;
 pub mod sparsity;
 pub mod static_tables;

@@ -32,6 +32,7 @@
 mod audit;
 pub mod network;
 pub mod node;
+mod repair;
 
 pub use network::{ImaginaryStart, KoordeConfig, KoordeNetwork};
 pub use node::KoordeNode;

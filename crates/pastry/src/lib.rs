@@ -33,5 +33,6 @@
 
 mod audit;
 pub mod network;
+mod repair;
 
 pub use network::{PastryConfig, PastryNetwork, PastryNode};

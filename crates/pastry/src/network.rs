@@ -213,9 +213,9 @@ impl PastryNetwork {
         self.members.get(id)
     }
 
-    /// Exclusive access to one node — for the audit tests, which inject
-    /// corruptions the protocol itself never produces.
-    #[cfg(test)]
+    /// Exclusive access to one node — for the corruption injector and
+    /// the audit tests, which damage state the protocol itself never
+    /// produces.
     pub(crate) fn node_mut(&mut self, id: u64) -> Option<&mut PastryNode> {
         self.members.get_mut(id)
     }
@@ -548,6 +548,17 @@ impl SimOverlay for PastryNetwork {
 
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
+    }
+
+    fn corrupt_network(
+        &mut self,
+        plan: &dht_core::corrupt::CorruptionPlan,
+    ) -> dht_core::corrupt::CorruptionReport {
+        self.corrupt(plan)
+    }
+
+    fn repair_step(&mut self, node: NodeToken) -> u64 {
+        self.repair_one(node)
     }
 }
 

@@ -1,0 +1,191 @@
+//! Corruption and self-stabilizing repair of Pastry routing state.
+//!
+//! Maps the shared strategy catalogue ([`CorruptionStrategy`]) onto
+//! Pastry's state — the prefix routing table and the two leaf-set
+//! halves — and implements one node's repair step as an audited
+//! recompute from live membership ([`PastryNetwork::refresh_node`] plus
+//! a before/after entry diff). Populated table slots are the corruption
+//! surface (own-digit slots are structurally `None` and stay that way,
+//! so the `pastry/table-shape` invariant keeps auditing shape, not
+//! damage). Repair is an exact no-op on healthy nodes and consumes no
+//! RNG draws.
+
+use dht_core::corrupt::{CorruptionPlan, CorruptionReport, CorruptionStrategy};
+
+use crate::network::{PastryNetwork, PastryNode};
+
+const SALT_TABLE: u64 = 0x1000;
+const SALT_LEAF_SMALLER: u64 = 0x100;
+const SALT_LEAF_LARGER: u64 = 0x200;
+const SALT_ATTACKER: u64 = 0xa77a;
+
+/// Entries on which two states differ (per table slot and per leaf
+/// position; a leaf half that changed length counts the longer side).
+fn diff_count(a: &PastryNode, b: &PastryNode) -> u64 {
+    let mut n = a.table.iter().zip(&b.table).filter(|(x, y)| x != y).count() as u64;
+    for (x, y) in [
+        (&a.leaf_smaller, &b.leaf_smaller),
+        (&a.leaf_larger, &b.leaf_larger),
+    ] {
+        let common = x.len().min(y.len());
+        n += (x.len().max(y.len()) - common) as u64;
+        n += x.as_slice()[..common]
+            .iter()
+            .zip(&y.as_slice()[..common])
+            .filter(|(p, q)| p != q)
+            .count() as u64;
+    }
+    n
+}
+
+impl PastryNetwork {
+    /// Applies a seeded corruption plan (see [`dht_core::corrupt`]) to
+    /// the network's routing state. Membership and query loads stay
+    /// untouched.
+    pub fn corrupt(&mut self, plan: &CorruptionPlan) -> CorruptionReport {
+        let live: Vec<u64> = self.ids().collect();
+        let victims = plan.victims(&live);
+        let attacker = plan.pick(SALT_ATTACKER, 0, &live);
+        let space = self.config().space();
+        let mut report = CorruptionReport::default();
+        for &id in &victims {
+            let before = self.node(id).expect("victim is live").clone();
+            let mut next = before.clone();
+            match plan.strategy {
+                CorruptionStrategy::RandomizeLinks => {
+                    for (i, slot) in next.table.iter_mut().enumerate() {
+                        if slot.is_some() {
+                            *slot = plan.pick(id, SALT_TABLE + i as u64, &live).or(*slot);
+                        }
+                    }
+                    for (i, l) in next.leaf_smaller.as_mut_slice().iter_mut().enumerate() {
+                        if let Some(v) = plan.pick(id, SALT_LEAF_SMALLER + i as u64, &live) {
+                            *l = v;
+                        }
+                    }
+                    for (i, l) in next.leaf_larger.as_mut_slice().iter_mut().enumerate() {
+                        if let Some(v) = plan.pick(id, SALT_LEAF_LARGER + i as u64, &live) {
+                            *l = v;
+                        }
+                    }
+                }
+                CorruptionStrategy::GhostLinks => {
+                    let is_live = |v: u64| live.binary_search(&v).is_ok();
+                    for (i, slot) in next.table.iter_mut().enumerate() {
+                        if slot.is_some() {
+                            *slot = plan
+                                .ghost(id, SALT_TABLE + i as u64, space, is_live)
+                                .or(*slot);
+                        }
+                    }
+                    for (i, l) in next.leaf_smaller.as_mut_slice().iter_mut().enumerate() {
+                        if let Some(g) =
+                            plan.ghost(id, SALT_LEAF_SMALLER + i as u64, space, is_live)
+                        {
+                            *l = g;
+                        }
+                    }
+                    for (i, l) in next.leaf_larger.as_mut_slice().iter_mut().enumerate() {
+                        if let Some(g) = plan.ghost(id, SALT_LEAF_LARGER + i as u64, space, is_live)
+                        {
+                            *l = g;
+                        }
+                    }
+                }
+                CorruptionStrategy::CrossWireLeafSets => {
+                    // The literal cross-wire: smaller and larger halves
+                    // trade places, breaking the leaf set's ring-order
+                    // invariant while every entry stays individually live.
+                    std::mem::swap(&mut next.leaf_smaller, &mut next.leaf_larger);
+                }
+                CorruptionStrategy::ZeroLinks => {
+                    for slot in next.table.iter_mut() {
+                        *slot = None;
+                    }
+                    next.leaf_smaller.clear();
+                    next.leaf_larger.clear();
+                }
+                CorruptionStrategy::EclipseRegion => {
+                    if let Some(attacker) = attacker {
+                        for slot in next.table.iter_mut() {
+                            if slot.is_some() {
+                                *slot = Some(attacker);
+                            }
+                        }
+                        for l in next.leaf_smaller.as_mut_slice() {
+                            *l = attacker;
+                        }
+                        for l in next.leaf_larger.as_mut_slice() {
+                            *l = attacker;
+                        }
+                    }
+                }
+            }
+            let mutated = diff_count(&before, &next);
+            *self.node_mut(id).expect("victim is live") = next;
+            report.note(mutated);
+        }
+        report
+    }
+
+    /// One node's repair step: recompute the full prefix table and both
+    /// leaf halves from live membership; returns entries rewritten (0 on
+    /// a healthy node). Ignores dead tokens.
+    pub fn repair_one(&mut self, id: u64) -> u64 {
+        if !self.is_live(id) {
+            return 0;
+        }
+        let before = self.node(id).expect("live node has state").clone();
+        self.refresh_node(id);
+        diff_count(&before, self.node(id).expect("still live"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PastryConfig;
+    use dht_core::audit::{AuditScope, StateAudit};
+
+    fn net(n: usize) -> PastryNetwork {
+        PastryNetwork::with_nodes(PastryConfig::new(12), n, 42)
+    }
+
+    fn repair_sweep(net: &mut PastryNetwork) -> u64 {
+        let ids: Vec<u64> = net.ids().collect();
+        ids.into_iter().map(|id| net.repair_one(id)).sum()
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_a_healthy_network() {
+        let mut n = net(80);
+        assert!(n.audit(AuditScope::Full).is_clean());
+        assert_eq!(repair_sweep(&mut n), 0);
+    }
+
+    #[test]
+    fn every_strategy_is_detected_and_repaired() {
+        for strategy in CorruptionStrategy::ALL {
+            let mut n = net(80);
+            let plan = CorruptionPlan::new(strategy, 0.5, 9);
+            let report = n.corrupt(&plan);
+            assert_eq!(report.targeted_nodes, 40, "{strategy:?}");
+            assert!(report.corrupted_nodes > 0, "{strategy:?} did no damage");
+            assert!(
+                !n.audit(AuditScope::Full).is_clean(),
+                "{strategy:?} evaded the audit"
+            );
+            repair_sweep(&mut n);
+            assert!(
+                n.audit(AuditScope::Full).is_clean(),
+                "{strategy:?} not repaired: {}",
+                n.audit(AuditScope::Full)
+            );
+            assert_eq!(
+                repair_sweep(&mut n),
+                0,
+                "{strategy:?} repair not idempotent"
+            );
+        }
+    }
+}

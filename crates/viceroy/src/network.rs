@@ -149,9 +149,9 @@ impl ViceroyNetwork {
         self.members.get(id)
     }
 
-    /// Exclusive access to one node — for the audit tests, which inject
-    /// corruptions the protocol itself never produces.
-    #[cfg(test)]
+    /// Exclusive access to one node — for the corruption injector and
+    /// the audit tests, which damage state the protocol itself never
+    /// produces.
     pub(crate) fn node_mut(&mut self, id: u64) -> Option<&mut ViceroyNode> {
         self.members.get_mut(id)
     }
@@ -490,6 +490,17 @@ impl SimOverlay for ViceroyNetwork {
 
     fn audit_network(&self, scope: dht_core::audit::AuditScope) -> dht_core::audit::AuditReport {
         dht_core::audit::StateAudit::audit(self, scope)
+    }
+
+    fn corrupt_network(
+        &mut self,
+        plan: &dht_core::corrupt::CorruptionPlan,
+    ) -> dht_core::corrupt::CorruptionReport {
+        self.corrupt(plan)
+    }
+
+    fn repair_step(&mut self, node: NodeToken) -> u64 {
+        self.repair_one(node)
     }
 }
 

@@ -88,13 +88,47 @@ pub fn render_traces_jobs(
     render_inner(kind, conditions, SinkHandle::disabled(), Some(jobs))
 }
 
+/// A hook run on the freshly built overlay before the golden workload.
+pub type PrepareFn<'a> = &'a dyn Fn(&mut dyn dht_core::overlay::Overlay);
+
+/// [`render_traces`] with `prepare` run on the freshly built overlay
+/// before the workload. `self_stabilization.rs` pins that a full
+/// self-repair sweep over a healthy network leaves the rendered traces
+/// byte-identical to the checked-in golden files.
+pub fn render_traces_prepared(
+    kind: OverlayKind,
+    conditions: Option<NetConditions>,
+    prepare: PrepareFn,
+) -> String {
+    render_with(
+        kind,
+        conditions,
+        SinkHandle::disabled(),
+        None,
+        Some(prepare),
+    )
+}
+
 fn render_inner(
     kind: OverlayKind,
     conditions: Option<NetConditions>,
     sink: SinkHandle,
     jobs: Option<usize>,
 ) -> String {
+    render_with(kind, conditions, sink, jobs, None)
+}
+
+fn render_with(
+    kind: OverlayKind,
+    conditions: Option<NetConditions>,
+    sink: SinkHandle,
+    jobs: Option<usize>,
+    prepare: Option<PrepareFn>,
+) -> String {
     let mut net = build_overlay(kind, NODES, SEED);
+    if let Some(prepare) = prepare {
+        prepare(net.as_mut());
+    }
     if let Some(c) = conditions {
         net.set_net_conditions(c);
     }

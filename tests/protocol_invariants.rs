@@ -169,6 +169,91 @@ proptest! {
     }
 }
 
+/// Replays one recorded proptest regression (a churn script that once
+/// broke the leaf-set invariant) and then drives the repair-enabled
+/// path over the survivor network: every corruption strategy must be
+/// repaired back to both audit-clean *and* exact leaf sets. The scripts
+/// come from `protocol_invariants.proptest-regressions`; naming them
+/// keeps the cases pinned even if that file is ever pruned.
+fn replay_regression_through_repair(script: &[bool], seed: u64) {
+    use dht_core::corrupt::{CorruptionPlan, CorruptionStrategy};
+
+    for strategy in CorruptionStrategy::ALL {
+        let mut net = CycloidNetwork::with_nodes(CycloidConfig::seven_entry(7), 80, seed);
+        let mut rng = stream(seed, "churn-script");
+        for &join in script {
+            if join {
+                let _ = net.join_random(&mut rng);
+            } else if net.node_count() > 4 {
+                let ids: Vec<_> = net.ids().collect();
+                let victim = ids[(rng.gen::<u64>() % ids.len() as u64) as usize];
+                net.leave(victim);
+            }
+        }
+        net.stabilize_all();
+        assert!(
+            net.audit_state(AuditScope::Full).is_clean(),
+            "{strategy:?} seed={seed}: post-churn baseline dirty"
+        );
+
+        net.corrupt(&CorruptionPlan::new(strategy, 0.5, seed));
+        assert!(
+            !net.audit_state(AuditScope::Full).is_clean(),
+            "{strategy:?} seed={seed}: corruption evaded the audit"
+        );
+        for id in net.ids().collect::<Vec<_>>() {
+            net.repair_one(id);
+        }
+        let report = net.audit_state(AuditScope::Full);
+        assert!(report.is_clean(), "{strategy:?} seed={seed}: {report}");
+        // The original regression's invariant, re-proven after repair:
+        // every leaf set equals a fresh resolution over the membership.
+        for id in net.ids().collect::<Vec<_>>() {
+            let state = net.node(id).unwrap().clone();
+            let (in_l, in_r) = net.resolve_inside_leafs(id);
+            let (out_l, out_r) = net.resolve_outside_leafs(id);
+            assert_eq!(state.inside_left, in_l, "{strategy:?} inside-left of {id}");
+            assert_eq!(
+                state.inside_right, in_r,
+                "{strategy:?} inside-right of {id}"
+            );
+            assert_eq!(
+                state.outside_left, out_l,
+                "{strategy:?} outside-left of {id}"
+            );
+            assert_eq!(
+                state.outside_right, out_r,
+                "{strategy:?} outside-right of {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn regression_seed_54_churn_script_repairs_clean() {
+    replay_regression_through_repair(
+        &[
+            true, true, false, false, true, true, true, false, false, false, true, false, false,
+            false, false, false, false, false, true, true, false, true, true, true, false, false,
+            false, false, false, true, true, true, true, true, false, true, false, false, true,
+            false, true, true, true, false,
+        ],
+        54,
+    );
+}
+
+#[test]
+fn regression_seed_538_churn_script_repairs_clean() {
+    replay_regression_through_repair(
+        &[
+            false, true, false, true, true, false, false, true, false, true, false, false, false,
+            true, false, true, false, true, true, true, false, true, false, false, false, true,
+            true, true, true, false, true, true, false, false, false,
+        ],
+        538,
+    );
+}
+
 #[test]
 fn cycloid_join_equals_bulk_construction() {
     // Building a network by protocol joins and then stabilizing must give
