@@ -39,10 +39,11 @@ use std::time::Instant;
 
 use bench::{metrics_io, render};
 use dht_core::lookup::HopPhase;
-use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Progress};
+use dht_core::obs::{to_bench_json, BenchMeta, LogLevel, MetricsRegistry, Phase, Progress};
 use dht_sim::experiments::{
     churn_exp, converge, fault_tolerance, hotspot, key_distribution, maintenance, mass_departure,
-    path_length, query_load, recover, scale, sparsity, static_tables, throughput, ungraceful,
+    path_length, profile, query_load, recover, scale, sparsity, static_tables, throughput,
+    ungraceful,
 };
 use dht_sim::report::Table;
 
@@ -86,7 +87,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT...] [--quick] [--csv] [--chart] [--quiet]\n\
          \x20            [--seed N] [--metrics-out DIR]\n\
          \x20            [--jobs N]\n\
-         experiments: {} all path metrics throughput converge scale recover",
+         experiments: {} all path metrics throughput converge scale recover profile",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -147,6 +148,9 @@ fn parse_args() -> Options {
             }
             "recover" => {
                 opts.experiments.insert("recover".to_string());
+            }
+            "profile" => {
+                opts.experiments.insert("profile".to_string());
             }
             name if ALL.contains(&name) => {
                 opts.experiments.insert(name.to_string());
@@ -641,6 +645,38 @@ fn main() {
         let mut reg = MetricsRegistry::new();
         scale::register_metrics(&rows, &mut reg);
         write_bench("scale", &reg);
+    }
+
+    if wants("profile") {
+        progress.info("running per-phase cost profile (all kinds, default churn)...");
+        let mut params = if opts.quick {
+            profile::ProfileParams::quick(opts.seed)
+        } else {
+            profile::ProfileParams::paper(opts.seed)
+        };
+        params.jobs = opts.jobs;
+        let rows = profile::measure(&params);
+        emit(&render::profile_messages(&rows), opts.csv);
+        emit(&render::profile_calls(&rows), opts.csv);
+        emit(&render::profile_latency(&rows), opts.csv);
+        // The profile's contract: every kind exercises every maintenance
+        // phase. A structurally-zero cell means the accounting lost a
+        // billing site, so fail loudly rather than export a hole.
+        for row in &rows {
+            for phase in [Phase::Lookup, Phase::Stabilize, Phase::Repair] {
+                if row.phases.get(phase).msgs == 0 {
+                    eprintln!(
+                        "[repro] error: {} billed no {} messages",
+                        row.label,
+                        phase.label()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        profile::register_metrics(&rows, &mut reg);
+        write_bench("profile", &reg);
     }
 
     // Reader side, after any producers so `repro path metrics

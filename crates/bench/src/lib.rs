@@ -8,5 +8,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod metrics_io;
 pub mod render;

@@ -1,6 +1,6 @@
 //! Reading and validating the `BENCH_*.json` documents `repro` writes.
 //!
-//! The schema (version 1) is produced by
+//! The schema (version 2) is produced by
 //! [`dht_core::obs::to_bench_json`]; this module is the consuming side:
 //! it re-parses the documents with the same zero-dependency JSON reader
 //! and checks every field the writer promises, so a drifting writer
@@ -97,10 +97,31 @@ fn validate_metric(entry: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn validate_series(entry: &Json) -> Result<(), String> {
+    let name = require_str(entry, "name")?;
+    let ctx = |e: String| format!("series \"{name}\": {e}");
+    let points = entry
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ctx("missing or non-array field \"points\"".into()))?;
+    let mut prev_t = f64::NEG_INFINITY;
+    for p in points {
+        let t = require_num(p, "t_us").map_err(&ctx)?;
+        require_num(p, "value").map_err(&ctx)?;
+        if t < prev_t {
+            return Err(ctx(format!("point timestamps not monotone at t_us={t}")));
+        }
+        prev_t = t;
+    }
+    Ok(())
+}
+
 /// Validates a parsed document against schema version
 /// [`SCHEMA_VERSION`]: the header fields must be present with the right
-/// types, every metric entry must carry its type-specific fields, and
-/// histogram buckets must be strictly increasing and sum to `count`.
+/// types, every metric entry must carry its type-specific fields,
+/// histogram buckets must be strictly increasing and sum to `count`,
+/// and every series (schema v2) must carry name-tagged points with
+/// non-decreasing virtual timestamps.
 pub fn validate(doc: &Json) -> Result<(), String> {
     let version = require_num(doc, "schema_version")?;
     if version != f64::from(SCHEMA_VERSION) {
@@ -120,6 +141,13 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         .ok_or("missing or non-array field \"metrics\"")?;
     for entry in metrics {
         validate_metric(entry)?;
+    }
+    let series = doc
+        .get("series")
+        .and_then(Json::as_array)
+        .ok_or("missing or non-array field \"series\"")?;
+    for entry in series {
+        validate_series(entry)?;
     }
     Ok(())
 }
@@ -173,6 +201,8 @@ mod tests {
         h.record(3);
         h.record(9);
         reg.timer("a.wall").record_us(42);
+        reg.series("a.live").push(0, 19.5);
+        reg.series("a.live").push(7, 21.5);
         to_bench_json(
             &BenchMeta {
                 experiment: "sample".into(),
@@ -192,9 +222,38 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_version() {
-        let text = sample_doc().replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let text = sample_doc().replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
         let err = parse_and_validate(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_v1_documents() {
+        // Pre-series documents must be regenerated, not silently read.
+        let text = sample_doc().replacen("\"schema_version\": 2", "\"schema_version\": 1", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_series_section() {
+        let text = sample_doc().replacen("\"series\"", "\"serues\"", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("series"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_series_points() {
+        let text = sample_doc().replacen("\"t_us\": 7", "\"t_us\": -1", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn rejects_series_point_missing_value() {
+        let text = sample_doc().replacen("\"value\": 19.5", "\"val\": 19.5", 1);
+        let err = parse_and_validate(&text).unwrap_err();
+        assert!(err.contains("value"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use dht_sim::experiments::fault_tolerance::FaultToleranceRow;
 use dht_sim::experiments::key_distribution::KeyDistributionRow;
 use dht_sim::experiments::mass_departure::MassDepartureRow;
 use dht_sim::experiments::path_length::PathLengthRow;
+use dht_sim::experiments::profile::ProfileRow;
 use dht_sim::experiments::query_load::QueryLoadRow;
 use dht_sim::experiments::recover::RecoverRow;
 use dht_sim::experiments::scale::ScaleRow;
@@ -17,6 +18,7 @@ use dht_sim::experiments::ungraceful::UngracefulRow;
 use dht_sim::report::{audit_cell, f, mean_p01_p99, Table};
 
 use dht_core::lookup::HopPhase;
+use dht_core::obs::ALL_PHASES;
 
 /// Pivots `(x, series, value)` triples into a table with one row per `x`
 /// and one column per series, preserving first-appearance order.
@@ -430,6 +432,78 @@ pub fn converge_latency(rows: &[ConvergeRow]) -> Table {
             format!("{}", load.stranded),
             format!("{}", load.failures),
             format!("{:.0}", load.sim_secs),
+        ]);
+    }
+    t
+}
+
+/// Per-phase message totals for every profiled overlay: one row per
+/// kind, one column per [`dht_core::obs::Phase`].
+#[must_use]
+pub fn profile_messages(rows: &[ProfileRow]) -> Table {
+    let triples: Vec<_> = rows
+        .iter()
+        .flat_map(|r| {
+            ALL_PHASES.iter().map(move |&p| {
+                (
+                    r.label.clone(),
+                    p.label().to_string(),
+                    r.phases.get(p).msgs.to_string(),
+                )
+            })
+        })
+        .collect();
+    pivot(
+        "Profile: messages billed per phase under default churn",
+        "Overlay",
+        &triples,
+    )
+}
+
+/// Per-phase routine invocations for every profiled overlay.
+#[must_use]
+pub fn profile_calls(rows: &[ProfileRow]) -> Table {
+    let triples: Vec<_> = rows
+        .iter()
+        .flat_map(|r| {
+            ALL_PHASES.iter().map(move |&p| {
+                (
+                    r.label.clone(),
+                    p.label().to_string(),
+                    r.phases.get(p).calls.to_string(),
+                )
+            })
+        })
+        .collect();
+    pivot(
+        "Profile: phase invocations under default churn",
+        "Overlay",
+        &triples,
+    )
+}
+
+/// Simulated lookup-latency quantiles from the log₂-bucket histogram
+/// (nearest-rank; mid-range values carry a factor-of-two error bound,
+/// extremes are exact — see [`dht_core::obs::Histogram::quantile`]).
+#[must_use]
+pub fn profile_latency(rows: &[ProfileRow]) -> Table {
+    let mut t = Table::new(
+        "Profile: simulated lookup latency quantiles (µs)",
+        &["Overlay", "p50", "p90", "p99", "max", "lookups"],
+    );
+    for r in rows {
+        let q = |q: f64| {
+            r.latency
+                .quantile(q)
+                .map_or_else(|| "—".to_string(), |v| v.to_string())
+        };
+        t.row(vec![
+            r.label.clone(),
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            q(1.0),
+            r.latency.count().to_string(),
         ]);
     }
     t

@@ -389,6 +389,11 @@ impl SimOverlay for CanNetwork {
         None
     }
 
+    /// One message per zone-abutting neighbour of the node's zones.
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        (self.neighbors_of(node).len() as u64).max(1)
+    }
+
     fn map_key(&self, raw_key: u64) -> u64 {
         // No scalar identifier space; report the first coordinate.
         self.point_of(raw_key)[0]

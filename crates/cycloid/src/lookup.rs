@@ -221,6 +221,14 @@ impl SimOverlay for CycloidNetwork {
         Some(3 + 4 * self.leaf_radius())
     }
 
+    /// One message per routing-table/leaf-set entry the node actually
+    /// holds (floored at one: even a lone node probes its cycle).
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        self.members()
+            .get(node)
+            .map_or(1, |s| (s.degree() as u64).max(1))
+    }
+
     fn map_key(&self, raw_key: u64) -> u64 {
         self.key_of(raw_key).linear(self.dim())
     }

@@ -16,7 +16,10 @@ use super::json::{escape, num};
 
 /// Version stamp written into every `BENCH_*.json`. Consumers must
 /// reject files with a version they do not understand.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 = header + `metrics` array; v2 adds the `series` array
+/// of virtual-time telemetry samples (and is otherwise identical).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A saturating event counter.
 ///
@@ -201,6 +204,51 @@ impl Histogram {
             .map(|(i, &c)| (Self::bucket_upper_bound(i), c))
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by the
+    /// nearest-rank rule over the log₂ buckets, or `None` if empty.
+    ///
+    /// **Error bound.** The rank is exact (bucket counts are exact), so
+    /// the true quantile lies inside the selected bucket; the estimate
+    /// is that bucket's midpoint, clamped to the exact observed
+    /// `[min, max]`. A bucket spans `[2^(i-1), 2^i)`, so the estimate
+    /// is always within a factor of 2 of the true quantile — and exact
+    /// whenever the bucket is degenerate: an empty-range clamp (all
+    /// observations equal), the zero bucket, or a quantile pinned to
+    /// `min`/`max`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank, 1-based: smallest r with r/count >= q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The first and last ranks are the exact observed extremes.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        let mut idx = HISTOGRAM_BUCKETS - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                idx = i;
+                break;
+            }
+        }
+        let estimate = if idx == 0 {
+            0
+        } else {
+            let low = 1u64 << (idx - 1);
+            let high = Self::bucket_upper_bound(idx);
+            low + (high - low) / 2
+        };
+        Some(estimate.clamp(self.min, self.max))
+    }
 }
 
 /// Accumulated wall-clock time over any number of spans.
@@ -289,6 +337,52 @@ impl Metric {
     }
 }
 
+/// A named virtual-time telemetry series: `(t_us, value)` samples in
+/// non-decreasing time order.
+///
+/// Unlike the point metrics above, a series keeps *every* sample, so a
+/// `BENCH_*.json` can report the trajectory of a run (live nodes over
+/// time, violations draining to zero, per-phase message totals), not
+/// just its endpoint. Timestamps are virtual-clock microseconds
+/// ([`crate::clock::SimTime`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// Appends a sample.
+    ///
+    /// # Panics
+    /// If `t_us` is earlier than the last sample — series are recorded
+    /// by a single clock-driven sampler, so out-of-order pushes are a
+    /// programming error.
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t_us >= last, "series sample at {t_us}µs after {last}µs");
+        }
+        self.points.push((t_us, value));
+    }
+
+    /// The samples, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
 /// A flat, name-keyed collection of metrics.
 ///
 /// Accessors create the metric on first use and panic if an existing
@@ -297,6 +391,7 @@ impl Metric {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     metrics: BTreeMap<String, Metric>,
+    series: BTreeMap<String, Series>,
 }
 
 impl MetricsRegistry {
@@ -388,6 +483,30 @@ impl MetricsRegistry {
     pub fn is_empty(&self) -> bool {
         self.metrics.is_empty()
     }
+
+    /// The series named `name`, created empty on first access. Series
+    /// share the registry's namespace conventions but live beside the
+    /// point metrics — a name may hold both a metric and a series.
+    pub fn series(&mut self, name: &str) -> &mut Series {
+        self.series.entry(name.to_string()).or_default()
+    }
+
+    /// Read-only view of a series, if present.
+    #[must_use]
+    pub fn get_series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// All series in name order.
+    pub fn series_iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered series.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series.len()
+    }
 }
 
 /// Provenance stamped into every `BENCH_*.json` alongside the metrics.
@@ -409,7 +528,7 @@ pub struct BenchMeta {
 ///
 /// ```json
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "experiment": "path",
 ///   "git_rev": "abc1234",
 ///   "seed": 42,
@@ -421,9 +540,16 @@ pub struct BenchMeta {
 ///     {"name": "...", "type": "histogram", "count": 3, "sum": 7,
 ///      "min": 1, "max": 4, "mean": 2.33,
 ///      "buckets": [{"le": 1, "count": 2}, {"le": 7, "count": 1}]}
+///   ],
+///   "series": [
+///     {"name": "...", "points": [{"t_us": 0, "value": 128},
+///                                {"t_us": 1000000, "value": 131}]}
 ///   ]
 /// }
 /// ```
+///
+/// The `series` array (schema v2) carries the virtual-time telemetry
+/// samples; point timestamps are non-decreasing within each series.
 #[must_use]
 pub fn to_bench_json(meta: &BenchMeta, reg: &MetricsRegistry) -> String {
     let mut out = String::new();
@@ -479,6 +605,23 @@ pub fn to_bench_json(meta: &BenchMeta, reg: &MetricsRegistry) -> String {
         }
         entry.push('}');
         if i + 1 < total {
+            entry.push(',');
+        }
+        let _ = writeln!(out, "{entry}");
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"series\": [\n");
+    let n_series = reg.series_len();
+    for (i, (name, series)) in reg.series_iter().enumerate() {
+        let mut entry = format!("    {{\"name\": \"{}\", \"points\": [", escape(name));
+        for (j, (t_us, value)) in series.points().iter().enumerate() {
+            if j > 0 {
+                entry.push_str(", ");
+            }
+            let _ = write!(entry, "{{\"t_us\": {t_us}, \"value\": {}}}", num(*value));
+        }
+        entry.push_str("]}");
+        if i + 1 < n_series {
             entry.push(',');
         }
         let _ = writeln!(out, "{entry}");
@@ -575,6 +718,85 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Empty: no quantile exists.
+        assert_eq!(Histogram::new().quantile(0.5), None);
+
+        // All zeros: every quantile is the zero bucket, exactly.
+        let mut zeros = Histogram::new();
+        for _ in 0..10 {
+            zeros.record(0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(zeros.quantile(q), Some(0), "q={q}");
+        }
+
+        // Single bucket with equal observations: the [min, max] clamp
+        // collapses the bucket-midpoint error to zero.
+        let mut single = Histogram::new();
+        for _ in 0..5 {
+            single.record(100);
+        }
+        assert_eq!(single.quantile(0.5), Some(100));
+        assert_eq!(single.quantile(1.0), Some(100));
+
+        // u64::MAX lands in the last bucket; q=1 clamps to the exact max.
+        let mut extreme = Histogram::new();
+        extreme.record(1);
+        extreme.record(u64::MAX);
+        assert_eq!(extreme.quantile(0.0), Some(1));
+        assert_eq!(extreme.quantile(0.5), Some(1));
+        assert_eq!(extreme.quantile(1.0), Some(u64::MAX));
+
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(extreme.quantile(-1.0), Some(1));
+        assert_eq!(extreme.quantile(2.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantile_within_factor_of_two() {
+        // The documented bound: estimate and true quantile share a
+        // log₂ bucket, so they differ by at most 2x.
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.1f64, 0.5, 0.9, 0.99] {
+            let truth = values[((q * 1000.0).ceil() as usize).clamp(1, 1000) - 1];
+            let est = h.quantile(q).unwrap();
+            assert!(
+                est >= truth / 2 && est <= truth.saturating_mul(2),
+                "q={q}: estimate {est} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_records_ordered_samples() {
+        let mut reg = MetricsRegistry::new();
+        reg.series("live_nodes").push(0, 128.0);
+        reg.series("live_nodes").push(1_000_000, 131.0);
+        reg.series("violations").push(0, 4.0);
+        assert_eq!(reg.series_len(), 2);
+        assert_eq!(
+            reg.get_series("live_nodes").unwrap().points(),
+            &[(0, 128.0), (1_000_000, 131.0)]
+        );
+        let names: Vec<_> = reg.series_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["live_nodes", "violations"]);
+        assert!(reg.is_empty(), "series live beside the point metrics");
+    }
+
+    #[test]
+    #[should_panic(expected = "series sample")]
+    fn series_rejects_time_travel() {
+        let mut s = Series::default();
+        s.push(10, 1.0);
+        s.push(5, 2.0);
+    }
+
+    #[test]
     fn timer_is_monotone() {
         let mut t = Timer::default();
         let span = Timer::start();
@@ -625,6 +847,8 @@ mod tests {
         reg.histogram("hops").record(3);
         reg.histogram("hops").record(9);
         reg.timer("wall").record_us(4200);
+        reg.series("live_nodes").push(0, 64.0);
+        reg.series("live_nodes").push(500_000, 66.0);
         let meta = BenchMeta {
             experiment: "unit".to_string(),
             git_rev: "deadbeef".to_string(),
@@ -649,5 +873,18 @@ mod tests {
         let buckets = hops.get("buckets").and_then(Json::as_array).unwrap();
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].get("le").and_then(Json::as_f64), Some(3.0));
+        let series = doc.get("series").and_then(Json::as_array).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(
+            series[0].get("name").and_then(Json::as_str),
+            Some("live_nodes")
+        );
+        let points = series[0].get("points").and_then(Json::as_array).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[1].get("t_us").and_then(Json::as_f64),
+            Some(500_000.0)
+        );
+        assert_eq!(points[1].get("value").and_then(Json::as_f64), Some(66.0));
     }
 }

@@ -36,11 +36,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod phase;
 
 pub use metrics::{
     to_bench_json, BenchMeta, Counter, Gauge, Histogram, Metric, MetricsRegistry, Timer, TimerSpan,
     SCHEMA_VERSION,
 };
+pub use phase::{Phase, PhaseAccountant, PhaseCosts, PhaseTable, ALL_PHASES};
 
 use std::fmt;
 use std::io::Write;
@@ -336,6 +338,43 @@ impl RingBufferSink {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Takes the retained events *together with* the number evicted
+    /// before them, leaving the sink empty.
+    ///
+    /// This is the read path consumers should prefer over
+    /// [`RingBufferSink::snapshot`]: a full buffer silently sheds its
+    /// oldest events, so any reader that only sees the retained suffix
+    /// can mistake a truncated trace for a complete one. The drain
+    /// couples the events with the drop count so truncation is always
+    /// visible ([`DrainedTrace::is_complete`]).
+    pub fn drain(&mut self) -> DrainedTrace {
+        let drained = DrainedTrace {
+            events: self.events.drain(..).collect(),
+            dropped: self.dropped,
+        };
+        self.dropped = 0;
+        drained
+    }
+}
+
+/// The output of [`RingBufferSink::drain`]: the retained events plus
+/// how many older events were evicted before them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainedTrace {
+    /// The retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted because the buffer was full; `0` means `events`
+    /// is the complete stream.
+    pub dropped: u64,
+}
+
+impl DrainedTrace {
+    /// Whether the trace is the complete stream (nothing was evicted).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
     }
 }
 
@@ -662,6 +701,39 @@ mod tests {
             ring.snapshot(),
             vec![Event::Join { node: 3 }, Event::Join { node: 4 }]
         );
+    }
+
+    #[test]
+    fn ring_buffer_drain_surfaces_drops_at_capacity_boundary() {
+        // Exactly at capacity: nothing dropped, trace complete.
+        let mut ring = RingBufferSink::new(3);
+        for node in 0..3u64 {
+            ring.record(&Event::Join { node });
+        }
+        let full = ring.drain();
+        assert!(full.is_complete());
+        assert_eq!(full.dropped, 0);
+        assert_eq!(full.events.len(), 3);
+        assert!(ring.is_empty(), "drain empties the sink");
+
+        // One past capacity: the eviction must be visible in the drain.
+        for node in 0..4u64 {
+            ring.record(&Event::Join { node });
+        }
+        let truncated = ring.drain();
+        assert!(!truncated.is_complete());
+        assert_eq!(truncated.dropped, 1);
+        assert_eq!(
+            truncated.events,
+            vec![
+                Event::Join { node: 1 },
+                Event::Join { node: 2 },
+                Event::Join { node: 3 }
+            ]
+        );
+        // The drain resets the drop counter for the next window.
+        ring.record(&Event::Join { node: 9 });
+        assert!(ring.drain().is_complete());
     }
 
     #[test]

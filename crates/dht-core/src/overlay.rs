@@ -14,7 +14,7 @@ use crate::audit::{AuditReport, AuditScope};
 use crate::corrupt::{CorruptionPlan, CorruptionReport};
 use crate::lookup::LookupTrace;
 use crate::net::NetConditions;
-use crate::obs::SinkHandle;
+use crate::obs::{PhaseAccountant, SinkHandle};
 use crate::sim::{LookupCursor, WalkEffects};
 
 /// Opaque, overlay-assigned identity of a live node.
@@ -204,6 +204,34 @@ pub trait Overlay {
         let _ = sink;
     }
 
+    /// The per-phase cost accountant every lookup, stabilization pass,
+    /// repair, and membership change bills into (see
+    /// [`crate::obs::phase`]). The default reports accounting disabled;
+    /// overlays on the shared substrate store the handle in their
+    /// [`crate::sim::Membership`]. Handles are cheap clones
+    /// (`Option<Arc<_>>`), so this returns by value.
+    fn phase_accountant(&self) -> PhaseAccountant {
+        PhaseAccountant::disabled()
+    }
+
+    /// Installs a phase accountant handle. The default (for overlays
+    /// not on the shared substrate) ignores the request, matching the
+    /// disabled handle [`Overlay::phase_accountant`] reports.
+    fn set_phase_accountant(&mut self, acct: PhaseAccountant) {
+        let _ = acct;
+    }
+
+    /// Messages one maintenance pass over `node`'s routing links costs
+    /// — the hook behind the Stabilize/Repair/Join/Leave message
+    /// conventions (one probe per routing entry; see
+    /// [`crate::obs::phase`]). Overlays report their actual per-node
+    /// link count; the default assumes the constant degree bound, or 1
+    /// when the degree grows with the network.
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        let _ = node;
+        self.degree_bound().map_or(1, |d| d.max(1) as u64)
+    }
+
     /// `true` iff `node` is live. The default scans
     /// [`Overlay::node_tokens`]; substrate overlays answer from the
     /// membership arena in `O(log n)`.
@@ -343,6 +371,18 @@ impl Overlay for Box<dyn Overlay> {
 
     fn set_trace_sink(&mut self, sink: SinkHandle) {
         (**self).set_trace_sink(sink);
+    }
+
+    fn phase_accountant(&self) -> PhaseAccountant {
+        (**self).phase_accountant()
+    }
+
+    fn set_phase_accountant(&mut self, acct: PhaseAccountant) {
+        (**self).set_phase_accountant(acct);
+    }
+
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        (**self).maintenance_msgs(node)
     }
 
     fn contains(&self, node: NodeToken) -> bool {

@@ -77,7 +77,7 @@ use crate::corrupt::{CorruptionPlan, CorruptionReport};
 use crate::hash::IdAllocator;
 use crate::lookup::{HopPhase, LookupOutcome, LookupTrace};
 use crate::net::{NetConditions, NetCosts};
-use crate::obs::{Event, SinkHandle, TimeoutKind};
+use crate::obs::{Event, Phase, PhaseAccountant, PhaseCosts, SinkHandle, TimeoutKind};
 use crate::overlay::{NodeToken, Overlay};
 use crate::store::{approx_btree_bytes, CompactStore};
 
@@ -173,6 +173,7 @@ pub struct Membership<S> {
     alloc: IdAllocator,
     net: NetConditions,
     sink: SinkHandle,
+    accountant: PhaseAccountant,
 }
 
 /// Selects the backing representation of a [`Membership`] arena.
@@ -266,6 +267,7 @@ impl<S> Membership<S> {
             alloc: IdAllocator::new(seed),
             net: NetConditions::ideal(),
             sink: SinkHandle::disabled(),
+            accountant: PhaseAccountant::disabled(),
         }
     }
 
@@ -623,6 +625,24 @@ impl<S> Membership<S> {
     pub fn set_trace_sink(&mut self, sink: SinkHandle) {
         self.sink = sink;
     }
+
+    // ------------------------------------------------------------------
+    // Per-phase cost accounting
+    // ------------------------------------------------------------------
+
+    /// The installed phase accountant handle (disabled by default).
+    #[must_use]
+    pub fn phase_accountant(&self) -> &PhaseAccountant {
+        &self.accountant
+    }
+
+    /// Installs a phase accountant; the walk engine and maintenance
+    /// drivers bill per-phase costs through it (see
+    /// [`crate::obs::phase`]). Pass [`PhaseAccountant::disabled`] to
+    /// turn accounting back off.
+    pub fn set_phase_accountant(&mut self, accountant: PhaseAccountant) {
+        self.accountant = accountant;
+    }
 }
 
 /// What one node decides about a lookup it currently holds.
@@ -844,6 +864,17 @@ pub trait SimOverlay: Sync + 'static {
     fn aux_bytes(&self) -> usize {
         0
     }
+
+    /// Messages one maintenance pass over `node`'s routing links costs
+    /// (one probe per routing entry — see the [`crate::obs::phase`]
+    /// conventions). Overlays override this with their actual per-node
+    /// link count; the default assumes the constant degree bound, or 1
+    /// when the degree grows with the network. Must not mutate anything
+    /// or draw from any RNG stream.
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        let _ = node;
+        self.degree_limit().map_or(1, |d| d.max(1) as u64)
+    }
 }
 
 /// One hop's deferred repair-on-use record: the walk hopped
@@ -880,6 +911,11 @@ pub struct WalkEffects {
     pub exhausted: Option<NodeToken>,
     /// Trace events in emission order (empty when tracing is off).
     pub events: Vec<Event>,
+    /// The walk's [`Phase::Lookup`] bill, recorded only when the
+    /// overlay's [`PhaseAccountant`] was enabled at walk start (the
+    /// same snapshot discipline as `events`); billed at apply time so
+    /// parallel walks account in canonical workload order.
+    pub bill: Option<PhaseCosts>,
 }
 
 impl WalkEffects {
@@ -890,6 +926,7 @@ impl WalkEffects {
             && self.repairs.is_empty()
             && self.exhausted.is_none()
             && self.events.is_empty()
+            && self.bill.is_none()
     }
 }
 
@@ -1027,15 +1064,35 @@ pub fn apply_effects<T: SimOverlay + ?Sized>(net: &mut T, fx: WalkEffects) {
         repairs,
         exhausted,
         events,
+        bill,
     } = fx;
     for &node in &queried {
         net.membership_mut().count_query(node);
+    }
+    // Repair-on-use costs are billed to `Repair`, not `Lookup`: the
+    // lookup only *detected* the stale entries; rewriting them is
+    // maintenance work (one message per evicted entry).
+    if !repairs.is_empty() {
+        let entries: u64 = repairs.iter().map(|r| r.timed_out.len() as u64).sum();
+        net.membership()
+            .phase_accountant()
+            .bill(Phase::Repair, || PhaseCosts {
+                calls: repairs.len() as u64,
+                msgs: entries,
+                repair_entries: entries,
+                ..PhaseCosts::default()
+            });
     }
     for r in &repairs {
         net.repair_on_use(r.from, r.phase, r.to, &r.timed_out);
     }
     if let Some(terminal) = exhausted {
         net.record_exhausted(terminal);
+    }
+    if let Some(costs) = bill {
+        net.membership()
+            .phase_accountant()
+            .bill(Phase::Lookup, || costs);
     }
     if !events.is_empty() {
         let sink = net.membership().trace_sink().clone();
@@ -1108,6 +1165,7 @@ pub struct WalkCursor<W> {
     lookup_index: u64,
     count_loads: bool,
     record_events: bool,
+    bill_phase: bool,
     conditions: NetConditions,
     budget: usize,
 }
@@ -1133,8 +1191,9 @@ impl<W> WalkCursor<W> {
         );
         // Record events only when a sink is installed, preserving the
         // zero-cost-when-disabled guarantee. Ids are stamped at apply
-        // time.
+        // time. Phase billing snapshots enablement the same way.
         let record_events = net.membership().trace_sink().is_enabled();
+        let bill_phase = net.membership().phase_accountant().is_enabled();
         let conditions = *net.membership().net_conditions();
         let mut fx = WalkEffects::default();
         if record_events {
@@ -1158,6 +1217,7 @@ impl<W> WalkCursor<W> {
             lookup_index,
             count_loads,
             record_events,
+            bill_phase,
             conditions,
             budget: net.hop_budget(),
         }
@@ -1340,6 +1400,7 @@ impl<W> WalkCursor<W> {
             mut fx,
             outcome,
             record_events,
+            bill_phase,
             ..
         } = self;
         let outcome = outcome.expect("finishing an unfinished walk");
@@ -1351,6 +1412,21 @@ impl<W> WalkCursor<W> {
                 hops: hops.len() as u32,
                 timeouts,
                 latency_us: costs.latency_us,
+            });
+        }
+        if bill_phase {
+            // Message convention (see `crate::obs::phase`): one per hop
+            // taken, one per extra send attempt, one per timed-out
+            // contact (stale entry or exhausted retries).
+            let retries = u64::from(costs.retries);
+            let total_timeouts = u64::from(timeouts) + u64::from(costs.msg_timeouts);
+            fx.bill = Some(PhaseCosts {
+                calls: 1,
+                msgs: hops.len() as u64 + retries + total_timeouts,
+                retries,
+                timeouts: total_timeouts,
+                repair_entries: 0,
+                time_us: costs.latency_us,
             });
         }
         (
@@ -1644,6 +1720,18 @@ impl<T: SimOverlay> Overlay for T {
 
     fn set_trace_sink(&mut self, sink: SinkHandle) {
         self.membership_mut().set_trace_sink(sink);
+    }
+
+    fn phase_accountant(&self) -> PhaseAccountant {
+        self.membership().phase_accountant().clone()
+    }
+
+    fn set_phase_accountant(&mut self, acct: PhaseAccountant) {
+        self.membership_mut().set_phase_accountant(acct);
+    }
+
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        SimOverlay::maintenance_msgs(self, node)
     }
 
     fn contains(&self, node: NodeToken) -> bool {

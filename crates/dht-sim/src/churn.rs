@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 use dht_core::audit::{AuditReport, AuditScope};
 use dht_core::lookup::LookupTrace;
 use dht_core::net::NetConditions;
-use dht_core::obs::{Event as TraceEvent, SinkHandle};
+use dht_core::obs::{Event as TraceEvent, Phase, PhaseAccountant, PhaseCosts, SinkHandle};
 use dht_core::overlay::Overlay;
 use dht_core::sim::{CursorStep, LookupCursor};
 use rand::{Rng, RngCore};
@@ -109,6 +109,19 @@ pub struct ChurnParams {
     /// difference is that repaired entries are counted into
     /// [`ChurnOutcome::repair_entries`]. Default: false.
     pub repair: bool,
+    /// Per-phase cost accountant installed on the overlay for the run:
+    /// every lookup, stabilization sweep, repair, join, leave, and audit
+    /// bills its messages and virtual time to its [`Phase`]. Like the
+    /// sink, the disabled default records nothing and changes no routing
+    /// result. Default: disabled.
+    pub accountant: PhaseAccountant,
+    /// Telemetry sampling cadence in virtual µs: every `sample_every_us`
+    /// of simulated time, a read-only [`ChurnSample`] snapshot is pushed
+    /// into [`ChurnOutcome::samples`]. The sampler draws no RNG, mutates
+    /// nothing, and (in rounds mode) does not flush the pending lookup
+    /// batch, so enabling it changes no measurement. 0 disables sampling
+    /// (the default).
+    pub sample_every_us: u64,
 }
 
 impl Default for ChurnParams {
@@ -126,8 +139,35 @@ impl Default for ChurnParams {
             time: TimeModel::default(),
             phase: StabilizePhase::default(),
             repair: false,
+            accountant: PhaseAccountant::disabled(),
+            sample_every_us: 0,
         }
     }
+}
+
+/// One virtual-time telemetry snapshot (see
+/// [`ChurnParams::sample_every_us`]). Cumulative fields count from the
+/// start of the run, so consumers can difference consecutive samples
+/// into rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSample {
+    /// Virtual time of the snapshot, in µs.
+    pub t_us: u64,
+    /// Live nodes at the snapshot instant.
+    pub live_nodes: u64,
+    /// Cumulative messages billed per phase, indexed in
+    /// [`dht_core::obs::ALL_PHASES`] order. All-zero when the run's
+    /// [`ChurnParams::accountant`] is disabled.
+    pub phase_msgs: [u64; 6],
+    /// Median per-node query load (nearest rank over live nodes).
+    pub load_p50: u64,
+    /// 99th-percentile per-node query load.
+    pub load_p99: u64,
+    /// Violations found by the most recent audit pass (0 before the
+    /// first pass, or when auditing is off).
+    pub audit_violations: u64,
+    /// Routing-state bytes per live node.
+    pub bytes_per_node: f64,
 }
 
 /// Aggregate result of one churn run.
@@ -182,6 +222,10 @@ pub struct ChurnOutcome {
     /// when [`ChurnParams::repair`] is off, and zero on a run whose
     /// network was never corrupted (repair is a no-op on healthy state).
     pub repair_entries: u64,
+    /// Telemetry snapshots taken every [`ChurnParams::sample_every_us`]
+    /// of virtual time, in ascending `t_us` order. Empty when sampling
+    /// is off.
+    pub samples: Vec<ChurnSample>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,28 +237,77 @@ enum Event {
     StabilizeBucket(u64),
     /// Resume the suspended lookup with this id (continuous mode only).
     Step(u64),
+    /// Read-only telemetry snapshot (scheduled only when
+    /// [`ChurnParams::sample_every_us`] is nonzero).
+    Sample,
 }
 
 /// One timed online audit pass: merged into the accumulated report,
-/// billed to `audit_us`, and announced through the sink. No-op when
-/// auditing is off.
-fn audit_pass(overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome, sink: &SinkHandle) {
+/// billed to `audit_us` (and, when accounting is on, to
+/// [`Phase::Audit`] — one message per invariant check, wall-clock
+/// time), and announced through the sink. Returns the number of
+/// violations this pass found; no-op returning 0 when auditing is off.
+fn audit_pass(overlay: &mut dyn Overlay, outcome: &mut ChurnOutcome, sink: &SinkHandle) -> u64 {
     if outcome.audit.is_none() {
-        return;
+        return 0;
     }
     let started = std::time::Instant::now();
     let report = overlay.audit_state(AuditScope::Online);
-    outcome.audit_us = outcome
-        .audit_us
-        .saturating_add(started.elapsed().as_micros() as u64);
+    let wall_us = started.elapsed().as_micros() as u64;
+    outcome.audit_us = outcome.audit_us.saturating_add(wall_us);
+    let violations = report.violations().len() as u64;
     sink.emit(|| TraceEvent::AuditRun {
         clean: report.is_clean(),
         checked: report.checked_nodes() as u64,
-        violations: report.violations().len() as u64,
+        violations,
     });
+    overlay
+        .phase_accountant()
+        .bill(Phase::Audit, || PhaseCosts {
+            calls: 1,
+            msgs: report.checked_nodes() as u64,
+            time_us: wall_us,
+            ..PhaseCosts::default()
+        });
     if let Some(acc) = outcome.audit.as_mut() {
         acc.merge(report);
     }
+    violations
+}
+
+/// Pushes one read-only telemetry snapshot. Draws no RNG and mutates
+/// nothing, so sampling cannot perturb the run it observes.
+fn record_sample(
+    overlay: &dyn Overlay,
+    outcome: &mut ChurnOutcome,
+    acct: &PhaseAccountant,
+    t_us: SimTime,
+    audit_violations: u64,
+) {
+    let mut phase_msgs = [0u64; 6];
+    if let Some(table) = acct.snapshot() {
+        for (i, (_, costs)) in table.iter().enumerate() {
+            phase_msgs[i] = costs.msgs;
+        }
+    }
+    let mut loads = overlay.query_loads();
+    loads.sort_unstable();
+    let rank = |q: f64| -> u64 {
+        if loads.is_empty() {
+            return 0;
+        }
+        let idx = ((q * loads.len() as f64).ceil() as usize).clamp(1, loads.len()) - 1;
+        loads[idx]
+    };
+    outcome.samples.push(ChurnSample {
+        t_us,
+        live_nodes: overlay.len() as u64,
+        phase_msgs,
+        load_p50: rank(0.5),
+        load_p99: rank(0.99),
+        audit_violations,
+        bytes_per_node: overlay.bytes_per_node(),
+    });
 }
 
 /// Per-bucket membership index for [`StabilizePhase::Hashed`]: maps each
@@ -260,11 +353,20 @@ impl BucketIndex {
     /// Runs the stabilization (or, with `repair`, the self-stabilizing
     /// repair) routines of every node in `bucket`, in ascending token
     /// order. Returns the number of routines invoked and the entries
-    /// repaired (always zero without `repair`).
+    /// repaired (always zero without `repair`). When the overlay's
+    /// accountant is enabled, the tick is billed to
+    /// [`Phase::Stabilize`] (or [`Phase::Repair`]) — one message per
+    /// routing entry examined, via [`Overlay::maintenance_msgs`].
     fn fire(&self, overlay: &mut dyn Overlay, bucket: u64, repair: bool) -> (u64, u64) {
+        let acct = overlay.phase_accountant();
+        let count_msgs = acct.is_enabled();
         let mut calls = 0;
         let mut entries = 0;
+        let mut msgs = 0;
         for &token in &self.buckets[bucket as usize] {
+            if count_msgs {
+                msgs += overlay.maintenance_msgs(token);
+            }
             if repair {
                 entries += overlay.repair_node(token);
             } else {
@@ -272,6 +374,17 @@ impl BucketIndex {
             }
             calls += 1;
         }
+        let phase = if repair {
+            Phase::Repair
+        } else {
+            Phase::Stabilize
+        };
+        acct.bill(phase, || PhaseCosts {
+            calls,
+            msgs,
+            repair_entries: entries,
+            ..PhaseCosts::default()
+        });
         (calls, entries)
     }
 }
@@ -306,17 +419,28 @@ pub(crate) fn stabilize_bucket(
     period: u64,
     bucket: u64,
 ) -> u64 {
+    let acct = overlay.phase_accountant();
+    let count_msgs = acct.is_enabled();
     let mut calls = 0;
+    let mut msgs = 0;
     for token in overlay.node_tokens() {
         let fires = match phase {
             StabilizePhase::Hashed => dht_core::hash::splitmix64(token) % period == bucket,
             StabilizePhase::Synchronized => bucket + 1 == period,
         };
         if fires {
+            if count_msgs {
+                msgs += overlay.maintenance_msgs(token);
+            }
             overlay.stabilize_node(token);
             calls += 1;
         }
     }
+    acct.bill(Phase::Stabilize, || PhaseCosts {
+        calls,
+        msgs,
+        ..PhaseCosts::default()
+    });
     calls
 }
 
@@ -332,18 +456,30 @@ pub(crate) fn repair_bucket(
     period: u64,
     bucket: u64,
 ) -> (u64, u64) {
+    let acct = overlay.phase_accountant();
+    let count_msgs = acct.is_enabled();
     let mut calls = 0;
     let mut entries = 0;
+    let mut msgs = 0;
     for token in overlay.node_tokens() {
         let fires = match phase {
             StabilizePhase::Hashed => dht_core::hash::splitmix64(token) % period == bucket,
             StabilizePhase::Synchronized => bucket + 1 == period,
         };
         if fires {
+            if count_msgs {
+                msgs += overlay.maintenance_msgs(token);
+            }
             entries += overlay.repair_node(token);
             calls += 1;
         }
     }
+    acct.bill(Phase::Repair, || PhaseCosts {
+        calls,
+        msgs,
+        repair_entries: entries,
+        ..PhaseCosts::default()
+    });
     (calls, entries)
 }
 
@@ -364,6 +500,7 @@ pub fn run_churn(
     assert!(overlay.len() > 1, "churn needs a populated overlay");
     overlay.set_net_conditions(params.conditions);
     overlay.set_trace_sink(params.sink.clone());
+    overlay.set_phase_accountant(params.accountant.clone());
     let mut outcome = ChurnOutcome {
         path_lens: Vec::with_capacity(params.lookups),
         timeouts: Vec::with_capacity(params.lookups),
@@ -384,6 +521,7 @@ pub fn run_churn(
         sim_end_us: 0,
         stranded: 0,
         repair_entries: 0,
+        samples: Vec::new(),
     };
     match params.time {
         TimeModel::Rounds => run_rounds(overlay, &params, rng, &mut outcome),
@@ -413,7 +551,12 @@ fn run_rounds(
     for bucket in 0..period {
         queue.schedule((bucket + 1) * SECOND, Event::StabilizeBucket(bucket));
     }
+    if params.sample_every_us > 0 {
+        queue.schedule(params.sample_every_us, Event::Sample);
+    }
 
+    let acct = overlay.phase_accountant();
+    let mut last_viol = 0u64;
     let mut seen_lookups = 0usize;
     // Lookups arriving between two membership events are buffered with
     // their arrival ordinal and routed as one parallel batch right
@@ -448,7 +591,7 @@ fn run_rounds(
         }
     };
 
-    while let Some((_, event)) = queue.pop() {
+    while let Some((now, event)) = queue.pop() {
         match event {
             Event::Lookup => {
                 seen_lookups += 1;
@@ -473,6 +616,11 @@ fn run_rounds(
                         idx.insert(node);
                     }
                     params.sink.emit(|| TraceEvent::Join { node });
+                    acct.bill(Phase::Join, || PhaseCosts {
+                        calls: 1,
+                        msgs: overlay.maintenance_msgs(node),
+                        ..PhaseCosts::default()
+                    });
                 }
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
             }
@@ -481,6 +629,13 @@ fn run_rounds(
                 // Keep at least a handful of nodes alive.
                 if overlay.len() > 8 {
                     if let Some(node) = overlay.random_node(rng) {
+                        // Teardown messages go to the links held *before*
+                        // departure; computed only when accounting is on.
+                        let msgs = if acct.is_enabled() {
+                            overlay.maintenance_msgs(node)
+                        } else {
+                            0
+                        };
                         if overlay.leave(node) {
                             outcome.leaves += 1;
                             if let Some(idx) = buckets.as_mut() {
@@ -489,6 +644,11 @@ fn run_rounds(
                             params.sink.emit(|| TraceEvent::Leave {
                                 node,
                                 graceful: true,
+                            });
+                            acct.bill(Phase::Leave, || PhaseCosts {
+                                calls: 1,
+                                msgs,
+                                ..PhaseCosts::default()
                             });
                         }
                     }
@@ -513,9 +673,16 @@ fn run_rounds(
                         round,
                         nodes: overlay.len() as u64,
                     });
-                    audit_pass(overlay, outcome, &params.sink);
+                    last_viol = audit_pass(overlay, outcome, &params.sink);
                 }
                 queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
+            }
+            Event::Sample => {
+                // Deliberately no flush: the sampler observes applied
+                // state only, so enabling it cannot reorder the batch
+                // stream.
+                record_sample(overlay, outcome, &acct, now, last_viol);
+                queue.schedule_in(params.sample_every_us, Event::Sample);
             }
             Event::Step(_) => unreachable!("rounds mode schedules no Step events"),
         }
@@ -554,6 +721,11 @@ fn run_continuous(
     for bucket in 0..period {
         queue.schedule((bucket + 1) * SECOND, Event::StabilizeBucket(bucket));
     }
+    if params.sample_every_us > 0 {
+        queue.schedule(params.sample_every_us, Event::Sample);
+    }
+    let acct = overlay.phase_accountant();
+    let mut last_viol = 0u64;
 
     struct InFlight {
         ordinal: usize,
@@ -641,6 +813,11 @@ fn run_continuous(
                         idx.insert(node);
                     }
                     params.sink.emit(|| TraceEvent::Join { node });
+                    acct.bill(Phase::Join, || PhaseCosts {
+                        calls: 1,
+                        msgs: overlay.maintenance_msgs(node),
+                        ..PhaseCosts::default()
+                    });
                 }
                 queue.schedule_in(exp_delay(params.churn_rate, rng), Event::Join);
             }
@@ -648,6 +825,11 @@ fn run_continuous(
                 // Keep at least a handful of nodes alive.
                 if overlay.len() > 8 {
                     if let Some(node) = overlay.random_node(rng) {
+                        let msgs = if acct.is_enabled() {
+                            overlay.maintenance_msgs(node)
+                        } else {
+                            0
+                        };
                         if overlay.leave(node) {
                             outcome.leaves += 1;
                             if let Some(idx) = buckets.as_mut() {
@@ -656,6 +838,11 @@ fn run_continuous(
                             params.sink.emit(|| TraceEvent::Leave {
                                 node,
                                 graceful: true,
+                            });
+                            acct.bill(Phase::Leave, || PhaseCosts {
+                                calls: 1,
+                                msgs,
+                                ..PhaseCosts::default()
                             });
                         }
                     }
@@ -677,9 +864,13 @@ fn run_continuous(
                         round,
                         nodes: overlay.len() as u64,
                     });
-                    audit_pass(overlay, outcome, &params.sink);
+                    last_viol = audit_pass(overlay, outcome, &params.sink);
                 }
                 queue.schedule_in(period * SECOND, Event::StabilizeBucket(bucket));
+            }
+            Event::Sample => {
+                record_sample(overlay, outcome, &acct, now, last_viol);
+                queue.schedule_in(params.sample_every_us, Event::Sample);
             }
         }
         if outcome.path_lens.len() >= params.lookups && in_flight.is_empty() {
@@ -709,6 +900,8 @@ mod tests {
             time: TimeModel::Rounds,
             phase: StabilizePhase::Hashed,
             repair: false,
+            accountant: PhaseAccountant::disabled(),
+            sample_every_us: 0,
         }
     }
 
@@ -974,6 +1167,98 @@ mod tests {
             let got: Vec<_> = idx.buckets[bucket as usize].iter().copied().collect();
             assert_eq!(got, expected, "bucket {bucket}");
         }
+    }
+
+    #[test]
+    fn accountant_bills_every_active_phase_in_both_time_models() {
+        for time in [TimeModel::Rounds, TimeModel::Continuous] {
+            let mut net = build_overlay(OverlayKind::Cycloid7, 128, 9);
+            let mut rng = stream(10, "churn-billing");
+            let acct = PhaseAccountant::enabled();
+            let mut p = small_params(0.2);
+            p.time = time;
+            p.audit = true;
+            p.accountant = acct.clone();
+            let out = run_churn(net.as_mut(), p, &mut rng);
+            let table = acct.snapshot().expect("enabled accountant snapshots");
+            let ctx = format!("{time:?}");
+            for phase in [
+                Phase::Lookup,
+                Phase::Stabilize,
+                Phase::Join,
+                Phase::Leave,
+                Phase::Audit,
+            ] {
+                let costs = table.get(phase);
+                assert!(costs.calls > 0, "{ctx}: no {} calls", phase.label());
+                assert!(costs.msgs > 0, "{ctx}: no {} messages", phase.label());
+            }
+            // Lookup message counts stay tied to the engine's own path
+            // measurements: at least one message per measured hop.
+            let hops: u64 = out.path_lens.iter().map(|&l| l as u64).sum();
+            assert!(table.get(Phase::Lookup).msgs >= hops, "{ctx}");
+            // Every executed lookup bills one call; the engine also runs
+            // warmup and any lookups already scheduled when measurement
+            // completed, so the count is a floor, not an equality.
+            assert!(
+                table.get(Phase::Lookup).calls as usize >= out.path_lens.len() + 20,
+                "{ctx}: fewer lookup calls than measured lookups"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_records_monotone_cumulative_snapshots() {
+        for time in [TimeModel::Rounds, TimeModel::Continuous] {
+            let mut net = build_overlay(OverlayKind::Chord, 96, 11);
+            let mut rng = stream(12, "churn-sampler");
+            let mut p = small_params(0.1);
+            p.time = time;
+            p.audit = true;
+            p.accountant = PhaseAccountant::enabled();
+            p.sample_every_us = 20 * SECOND;
+            let out = run_churn(net.as_mut(), p, &mut rng);
+            assert!(
+                out.samples.len() >= 2,
+                "{time:?}: expected several samples, got {}",
+                out.samples.len()
+            );
+            for pair in out.samples.windows(2) {
+                assert!(pair[0].t_us < pair[1].t_us, "{time:?}: timestamps");
+                for i in 0..pair[0].phase_msgs.len() {
+                    assert!(
+                        pair[0].phase_msgs[i] <= pair[1].phase_msgs[i],
+                        "{time:?}: cumulative counts regressed"
+                    );
+                }
+            }
+            let last = out.samples.last().expect("samples recorded");
+            assert!(last.live_nodes > 0, "{time:?}");
+            assert!(last.bytes_per_node > 0.0, "{time:?}");
+            assert!(last.load_p99 >= last.load_p50, "{time:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_changes_no_measurement() {
+        let run_with = |sample_every_us: u64| {
+            let mut net = build_overlay(OverlayKind::Koorde, 96, 13);
+            let mut rng = stream(14, "churn-sampler-eq");
+            let mut p = small_params(0.15);
+            p.audit = true;
+            p.sample_every_us = sample_every_us;
+            run_churn(net.as_mut(), p, &mut rng)
+        };
+        let base = run_with(0);
+        let sampled = run_with(10 * SECOND);
+        assert_eq!(base.path_lens, sampled.path_lens);
+        assert_eq!(base.timeouts, sampled.timeouts);
+        assert_eq!(base.latency_us, sampled.latency_us);
+        assert_eq!(base.joins, sampled.joins);
+        assert_eq!(base.leaves, sampled.leaves);
+        assert_eq!(base.final_size, sampled.final_size);
+        assert_eq!(base.stabilize_calls, sampled.stabilize_calls);
+        assert!(base.samples.is_empty() && !sampled.samples.is_empty());
     }
 
     #[test]

@@ -153,6 +153,12 @@ pub struct ConvergeRow {
     /// Simulated seconds until the audit came back clean after the
     /// burst leave; `None` if unconverged within the horizon.
     pub leave_clean_s: Option<u64>,
+    /// Open full-scope audit violations after the mass join, sampled at
+    /// every simulated second as `(t_us, violations)` — the convergence
+    /// trajectory behind [`ConvergeRow::join_clean_s`].
+    pub join_trajectory: Vec<(u64, u64)>,
+    /// The burst leave's convergence trajectory.
+    pub leave_trajectory: Vec<(u64, u64)>,
     /// Latency percentiles under load (base-period rows only).
     pub load: Option<LatencyUnderLoad>,
 }
@@ -171,24 +177,45 @@ pub fn time_to_clean(
     period: u64,
     max_secs: u64,
 ) -> Option<u64> {
+    time_to_clean_traced(overlay, phase, period, max_secs).0
+}
+
+/// [`time_to_clean`], additionally recording the convergence
+/// *trajectory*: the full-scope audit's open-violation count at `t = 0`
+/// and after every simulated second's stabilization bucket, as
+/// `(t_us, violations)` points in ascending virtual time. The last
+/// point is 0 exactly when the shock converged.
+#[must_use]
+pub fn time_to_clean_traced(
+    overlay: &mut dyn Overlay,
+    phase: StabilizePhase,
+    period: u64,
+    max_secs: u64,
+) -> (Option<u64>, Vec<(u64, u64)>) {
     let period = period.max(1);
-    if overlay.audit_state(AuditScope::Full).is_clean() {
-        return Some(0);
+    let violations =
+        |overlay: &mut dyn Overlay| overlay.audit_state(AuditScope::Full).violations().len() as u64;
+    let start = violations(overlay);
+    let mut trajectory = vec![(0, start)];
+    if start == 0 {
+        return (Some(0), trajectory);
     }
     let mut queue: EventQueue<u64> = EventQueue::new();
     queue.schedule(SECOND, 1);
     while let Some((now, sec)) = queue.pop() {
         let bucket = (sec - 1) % period;
         stabilize_bucket(overlay, phase, period, bucket);
-        if overlay.audit_state(AuditScope::Full).is_clean() {
-            return Some(now / SECOND);
+        let open = violations(overlay);
+        trajectory.push((now, open));
+        if open == 0 {
+            return (Some(now / SECOND), trajectory);
         }
         if sec >= max_secs {
-            return None;
+            return (None, trajectory);
         }
         queue.schedule_in(SECOND, sec + 1);
     }
-    None
+    (None, trajectory)
 }
 
 /// Runs the sweep; rows ordered by period then kind.
@@ -240,7 +267,8 @@ fn run_cell(params: &ConvergeParams, kind: OverlayKind, period: u64, cell: u64) 
             join_added += 1;
         }
     }
-    let join_clean_s = time_to_clean(net.as_mut(), StabilizePhase::Hashed, period, horizon);
+    let (join_clean_s, join_trajectory) =
+        time_to_clean_traced(net.as_mut(), StabilizePhase::Hashed, period, horizon);
 
     // Shock 2: burst departure. Each node vanishes *ungracefully* with
     // probability `leave_fraction`, all in one instant, keeping a
@@ -256,7 +284,8 @@ fn run_cell(params: &ConvergeParams, kind: OverlayKind, period: u64, cell: u64) 
             leave_removed += 1;
         }
     }
-    let leave_clean_s = time_to_clean(net.as_mut(), StabilizePhase::Hashed, period, horizon);
+    let (leave_clean_s, leave_trajectory) =
+        time_to_clean_traced(net.as_mut(), StabilizePhase::Hashed, period, horizon);
 
     // Latency under load, at the base period only: a fresh overlay
     // under continuous-time churn with message delays.
@@ -304,12 +333,16 @@ fn run_cell(params: &ConvergeParams, kind: OverlayKind, period: u64, cell: u64) 
     });
 
     ConvergeRow {
-        label: net.name(),
+        // `kind.label()` and not `net.name()`: the Koorde ablation shares
+        // the display name "Koorde", and metric keys must be unique.
+        label: kind.label().to_string(),
         period,
         join_added,
         join_clean_s,
         leave_removed,
         leave_clean_s,
+        join_trajectory,
+        leave_trajectory,
         load,
     }
 }
@@ -328,6 +361,15 @@ pub fn register_metrics(rows: &[ConvergeRow], reg: &mut MetricsRegistry) {
             .set(clean(row.join_clean_s));
         reg.gauge(&format!("{prefix}.leave_clean_s"))
             .set(clean(row.leave_clean_s));
+        for (name, trajectory) in [
+            ("join_violations", &row.join_trajectory),
+            ("leave_violations", &row.leave_trajectory),
+        ] {
+            let series = reg.series(&format!("{prefix}.{name}"));
+            for &(t_us, open) in trajectory {
+                series.push(t_us, open as f64);
+            }
+        }
         if let Some(load) = &row.load {
             reg.gauge(&format!("{prefix}.load.latency_p50_ms"))
                 .set(load.p50_ms);

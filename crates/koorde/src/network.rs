@@ -386,6 +386,13 @@ impl SimOverlay for KoordeNetwork {
         Some(self.config.successor_list + self.config.debruijn_backups + 1)
     }
 
+    /// One message per distinct successor/de-Bruijn entry actually held.
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        self.members
+            .get(node)
+            .map_or(1, |s| (s.degree() as u64).max(1))
+    }
+
     fn map_key(&self, raw_key: u64) -> u64 {
         self.key_of(raw_key)
     }

@@ -456,6 +456,13 @@ impl SimOverlay for PastryNetwork {
         None // O(log n) routing table
     }
 
+    /// One message per distinct routing-table/leaf-set entry.
+    fn maintenance_msgs(&self, node: NodeToken) -> u64 {
+        self.members
+            .get(node)
+            .map_or(1, |s| (s.degree() as u64).max(1))
+    }
+
     fn map_key(&self, raw_key: u64) -> u64 {
         self.key_of(raw_key)
     }

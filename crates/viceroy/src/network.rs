@@ -373,6 +373,13 @@ impl SimOverlay for ViceroyNetwork {
         Some(7) // succ, pred, level next/prev, down-left, down-right, up
     }
 
+    /// Links resolve lazily from live membership, so a maintenance pass
+    /// probes the full constant link set — capped by the nodes that
+    /// actually exist to answer.
+    fn maintenance_msgs(&self, _node: NodeToken) -> u64 {
+        (self.members.len().saturating_sub(1) as u64).clamp(1, 7)
+    }
+
     fn map_key(&self, raw_key: u64) -> u64 {
         self.key_of(raw_key)
     }

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 
 use cycloid_repro::prelude::{build_overlay, OverlayKind};
 use dht_core::net::{DelayModel, FaultPlan, NetConditions, RetryPolicy};
-use dht_core::obs::SinkHandle;
+use dht_core::obs::{PhaseAccountant, SinkHandle};
 use dht_core::rng::stream;
 use rand::Rng;
 
@@ -86,6 +86,27 @@ pub fn render_traces_jobs(
     jobs: usize,
 ) -> String {
     render_inner(kind, conditions, SinkHandle::disabled(), Some(jobs))
+}
+
+/// [`render_traces`] with a phase accountant installed before the
+/// workload runs. Billing is cost *observation*, never a routing input,
+/// so the rendered text must stay byte-identical to the accountant-free
+/// goldens — `phase_accounting.rs` pins that equivalence.
+pub fn render_traces_accounted(
+    kind: OverlayKind,
+    conditions: Option<NetConditions>,
+    acct: PhaseAccountant,
+) -> String {
+    let prepare: PrepareFn = &move |net: &mut dyn dht_core::overlay::Overlay| {
+        net.set_phase_accountant(acct.clone());
+    };
+    render_with(
+        kind,
+        conditions,
+        SinkHandle::disabled(),
+        None,
+        Some(prepare),
+    )
 }
 
 /// A hook run on the freshly built overlay before the golden workload.
